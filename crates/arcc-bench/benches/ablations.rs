@@ -1,0 +1,150 @@
+//! Ablation benchmarks for the design choices DESIGN.md §6 calls out:
+//!
+//! 1. **codeword joining cost** — decoding a 128 B upgraded line as one
+//!    set of 4 wide codewords vs. decoding its two halves as relaxed
+//!    lines (the EDAC-controller cost of the upgrade);
+//! 2. **LLC accommodation** — paired-tag vs. sectored design, measured as
+//!    achieved hit counts on a low-locality stream (the reason the paper
+//!    rejects the sectored cache) and as raw operation throughput;
+//! 3. **page upgrade** — the end-to-end cost of converting a page
+//!    (64 decodes + 32 joined encodes);
+//! 4. **address mapping policy** — service time of a random stream under
+//!    the three DRAMsim-style maps.
+
+use arcc_cache::{CacheConfig, CacheModel, PairedTagLlc, SectoredLlc};
+use arcc_core::{FunctionalMemory, ProtectionMode};
+use arcc_gf::chipkill::LineCodec;
+use arcc_mem::{AccessKind, MappingPolicy, MemRequest, MemorySystem, SystemConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn ablate_codeword_joining(c: &mut Criterion) {
+    let relaxed = LineCodec::relaxed_x8();
+    let upgraded = LineCodec::upgraded_two_channel();
+    let a: Vec<u8> = (0..64).map(|i| i as u8).collect();
+    let b: Vec<u8> = (64..128).map(|i| i as u8).collect();
+    let ea = relaxed.encode_line(&a).expect("valid");
+    let eb = relaxed.encode_line(&b).expect("valid");
+    let mut joined_data = a.clone();
+    joined_data.extend_from_slice(&b);
+    let ej = upgraded.encode_line(&joined_data).expect("valid");
+
+    let mut g = c.benchmark_group("ablation_codeword_joining");
+    g.bench_function("decode_128B_as_two_relaxed", |bch| {
+        bch.iter_batched(
+            || (ea.clone(), eb.clone()),
+            |(mut x, mut y)| {
+                relaxed.decode_line(black_box(&mut x), &[], 1).expect("clean");
+                relaxed.decode_line(black_box(&mut y), &[], 1).expect("clean");
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("decode_128B_as_one_upgraded", |bch| {
+        bch.iter_batched(
+            || ej.clone(),
+            |mut x| {
+                upgraded.decode_line(black_box(&mut x), &[], 1).expect("clean");
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("join_upgrade_two_lines", |bch| {
+        bch.iter(|| {
+            relaxed
+                .join_upgrade(black_box(&ea), black_box(&eb), &upgraded)
+                .expect("compatible geometry")
+        })
+    });
+    g.finish();
+}
+
+fn ablate_llc_designs(c: &mut Criterion) {
+    let cfg = CacheConfig::paper_llc();
+    // Low-locality line stream touching distinct 128 B sectors.
+    let lines: Vec<u64> = (0..40_000u64).map(|k| (k * 2 + ((k >> 5) & 1)) % (1 << 22)).collect();
+    let mut g = c.benchmark_group("ablation_llc");
+    g.bench_function("paired_tag", |b| {
+        b.iter(|| {
+            let mut llc = PairedTagLlc::new(cfg);
+            let mut hits = 0u64;
+            for &l in &lines {
+                if llc.access(black_box(l), false) {
+                    hits += 1;
+                } else {
+                    llc.fill(l, false, false);
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("sectored", |b| {
+        b.iter(|| {
+            let mut llc = SectoredLlc::new(cfg);
+            let mut hits = 0u64;
+            for &l in &lines {
+                if llc.access(black_box(l), false) {
+                    hits += 1;
+                } else {
+                    llc.fill(l, false, false);
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn ablate_page_upgrade(c: &mut Criterion) {
+    c.bench_function("ablation_page_upgrade_4kb", |b| {
+        b.iter_batched(
+            || {
+                let mut mem = FunctionalMemory::new(1);
+                for l in 0..mem.lines() {
+                    mem.write_line(l, &vec![0xA5u8; 64]).expect("in range");
+                }
+                mem
+            },
+            |mut mem| {
+                mem.convert_page(0, black_box(ProtectionMode::Upgraded))
+                    .expect("correctable");
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn ablate_mapping_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_address_map");
+    for (name, policy) in [
+        ("base_map", MappingPolicy::BaseMap),
+        ("high_perf", MappingPolicy::HighPerformance),
+        ("close_page", MappingPolicy::ClosePageMap),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = SystemConfig::arcc_x8();
+                cfg.mapping = policy;
+                let mut sys = MemorySystem::new(cfg);
+                // Sequential stream: the map decides bank spread.
+                for i in 0..10_000u64 {
+                    sys.issue(MemRequest::new(
+                        i,
+                        AccessKind::Read,
+                        arcc_mem::RequestSpan::line(black_box(i)),
+                    ));
+                }
+                sys.finish().sim_cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_codeword_joining,
+    ablate_llc_designs,
+    ablate_page_upgrade,
+    ablate_mapping_policies
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the reliability engines: lifetime fault
+//! sampling, the SDC Monte Carlo, and scrubbing a functional image.
+
+use arcc_core::{FunctionalMemory, InjectedFault, ScrubStrategy, Scrubber};
+use arcc_faults::montecarlo::{FaultSampler, HOURS_PER_YEAR};
+use arcc_faults::{FaultGeometry, FitRates};
+use arcc_reliability::sdc::{run_sdc_monte_carlo, SdcConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sampling(c: &mut Criterion) {
+    let sampler = FaultSampler::new(
+        FaultGeometry::paper_channel(),
+        FitRates::sridharan_sc12().scaled(4.0),
+    );
+    let mut g = c.benchmark_group("fault_sampling");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("thousand_channel_lifetimes", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..1000 {
+                total += sampler
+                    .sample_lifetime(&mut rng, black_box(7.0 * HOURS_PER_YEAR))
+                    .len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn bench_sdc_mc(c: &mut Criterion) {
+    c.bench_function("sdc_monte_carlo_5k_machines", |b| {
+        b.iter(|| {
+            run_sdc_monte_carlo(black_box(&SdcConfig {
+                machines: 5000,
+                rate_multiplier: 4.0,
+                ..SdcConfig::default()
+            }))
+        })
+    });
+}
+
+fn bench_scrub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scrubber");
+    for (name, strategy) in [
+        ("conventional", ScrubStrategy::Conventional),
+        ("test_pattern", ScrubStrategy::TestPattern),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut mem = FunctionalMemory::new(8);
+                    for l in 0..mem.lines() {
+                        mem.write_line(l, &vec![0x5Au8; 64]).expect("in range");
+                    }
+                    mem.inject_fault(InjectedFault::stuck_everywhere(5, 0x00));
+                    mem
+                },
+                |mut mem| Scrubber::new(strategy).scrub(black_box(&mut mem)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_sdc_mc, bench_scrub);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the DRAM memory-system simulator: request
+//! service throughput for the two Table 7.1 configurations and for
+//! lockstep upgraded spans.
+
+use arcc_mem::{AccessKind, MemRequest, MemorySystem, RequestSpan, SystemConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn drive(cfg: SystemConfig, n: u64, upgraded: bool) -> u64 {
+    let mut sys = MemorySystem::new(cfg);
+    let mut addr = 1u64;
+    for i in 0..n {
+        addr = addr.wrapping_mul(6364136223846793005).wrapping_add(7);
+        let line = addr >> 12;
+        let span = if upgraded && i % 4 == 0 {
+            RequestSpan::Upgraded(line)
+        } else {
+            RequestSpan::line(line)
+        };
+        sys.issue(MemRequest::new(i * 2, AccessKind::Read, span));
+    }
+    sys.finish().sim_cycles
+}
+
+fn bench_request_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory_system");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("baseline_36dev", |b| {
+        b.iter(|| drive(black_box(SystemConfig::sccdcd_baseline()), 20_000, false))
+    });
+    g.bench_function("arcc_relaxed", |b| {
+        b.iter(|| drive(black_box(SystemConfig::arcc_x8()), 20_000, false))
+    });
+    g.bench_function("arcc_with_upgraded_spans", |b| {
+        b.iter(|| drive(black_box(SystemConfig::arcc_x8()), 20_000, true))
+    });
+    g.finish();
+}
+
+fn bench_address_mapping(c: &mut Criterion) {
+    let mapper = SystemConfig::arcc_x8().mapper();
+    c.bench_function("address_map", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for la in 0..4096u64 {
+                acc ^= mapper.map(black_box(la)).row;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_request_throughput, bench_address_mapping);
+criterion_main!(benches);

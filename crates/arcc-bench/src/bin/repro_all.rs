@@ -1,0 +1,23 @@
+//! Runs every table/figure reproduction in order (the EXPERIMENTS.md
+//! generator). Each artefact is also available as its own binary.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig_layouts", "table7_1", "table7_4", "fig3_1", "motivation", "fig6_1", "fig7_1",
+        "fig7_2", "fig7_3", "fig7_4", "fig7_5", "fig7_6", "escape_rates",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the ARCC paper.
+//!
+//! Each binary under `src/bin/` reproduces one artefact (see DESIGN.md §5
+//! for the index); `repro_all` chains them. Knobs are environment
+//! variables so CI can run cheap versions:
+//!
+//! * `ARCC_TRACE_REQUESTS` — requests per mix simulation (default 120 000);
+//! * `ARCC_MC_CHANNELS` — Monte-Carlo channels/machines (default 10 000);
+//! * `ARCC_MC_MACHINES` — machines for the SDC study (default 200 000).
+
+use arcc_core::{MixResult, SimConfig, SystemSim};
+use arcc_trace::{Mix, TraceConfig};
+
+/// Requests per trace simulation (env `ARCC_TRACE_REQUESTS`).
+pub fn trace_requests() -> usize {
+    std::env::var("ARCC_TRACE_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120_000)
+}
+
+/// Channels for lifetime Monte Carlos (env `ARCC_MC_CHANNELS`).
+pub fn mc_channels() -> u32 {
+    std::env::var("ARCC_MC_CHANNELS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+/// Machines for the SDC Monte Carlo (env `ARCC_MC_MACHINES`).
+pub fn mc_machines() -> u32 {
+    std::env::var("ARCC_MC_MACHINES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000)
+}
+
+/// The deterministic trace configuration shared by all experiments.
+pub fn trace_config() -> TraceConfig {
+    TraceConfig {
+        requests: trace_requests(),
+        seed: 0xA2CC,
+    }
+}
+
+/// Runs one mix under the SCCDCD baseline.
+pub fn run_baseline(mix: &Mix) -> MixResult {
+    let mut cfg = SimConfig::baseline();
+    cfg.trace = trace_config();
+    SystemSim::new(cfg).run_mix(mix)
+}
+
+/// Runs one mix under ARCC with the given upgraded-page fraction.
+pub fn run_arcc(mix: &Mix, upgraded_fraction: f64) -> MixResult {
+    let mut cfg = SimConfig::arcc(upgraded_fraction);
+    cfg.trace = trace_config();
+    SystemSim::new(cfg).run_mix(mix)
+}
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!();
+    println!("==================================================================");
+    println!("{id}: {caption}");
+    println!("==================================================================");
+}
+
+/// Formats a ratio as a signed percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Geometric mean of a slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_helpers() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(pct(0.367), "+36.7%");
+        assert_eq!(pct(-0.059), "-5.9%");
+    }
+
+    #[test]
+    fn env_defaults() {
+        // Without env vars set, defaults apply.
+        assert!(trace_requests() >= 1000);
+        assert!(mc_channels() >= 100);
+        assert!(mc_machines() >= 100);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the LLC models: the pair co-residency invariant the
+//! ARCC write path depends on, LRU sanity, and counter consistency —
+//! under arbitrary operation sequences.
+
+use arcc_cache::{CacheConfig, CacheModel, PairedTagLlc, SectoredLlc};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access { line: u64, write: bool },
+    FillRelaxed { line: u64, write: bool },
+    FillUpgraded { line: u64, write: bool },
+    Invalidate { line: u64 },
+}
+
+fn op_strategy(max_line: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..max_line, any::<bool>()).prop_map(|(line, write)| Op::Access { line, write }),
+        (0..max_line, any::<bool>()).prop_map(|(line, write)| Op::FillRelaxed { line, write }),
+        (0..max_line, any::<bool>()).prop_map(|(line, write)| Op::FillUpgraded { line, write }),
+        (0..max_line).prop_map(|line| Op::Invalidate { line }),
+    ]
+}
+
+fn small_config() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 32 * 4 * 64, // 32 sets x 4 ways
+        ways: 4,
+        line_bytes: 64,
+    }
+}
+
+/// Tracks which lines were last filled as upgraded pairs, mirroring the
+/// page table's view (a line's mode only changes through a new fill).
+#[derive(Default)]
+struct PairLedger {
+    upgraded_bases: std::collections::HashSet<u64>,
+}
+
+impl PairLedger {
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::FillUpgraded { line, .. } => {
+                self.upgraded_bases.insert(line & !1);
+            }
+            Op::FillRelaxed { line, .. } => {
+                self.upgraded_bases.remove(&(line & !1));
+            }
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn paired_lines_are_co_resident(ops in proptest::collection::vec(op_strategy(512), 1..300)) {
+        let mut llc = PairedTagLlc::new(small_config());
+        let mut ledger = PairLedger::default();
+        for op in &ops {
+            match *op {
+                Op::Access { line, write } => { llc.access(line, write); }
+                Op::FillRelaxed { line, write } => { llc.fill(line, false, write); }
+                Op::FillUpgraded { line, write } => { llc.fill(line, true, write); }
+                Op::Invalidate { line } => { llc.invalidate(line); }
+            }
+            ledger.apply(op);
+            // Invariant: for every upgraded base, both sub-lines are in the
+            // same residency state.
+            for &base in &ledger.upgraded_bases {
+                prop_assert_eq!(
+                    llc.contains(base),
+                    llc.contains(base + 1),
+                    "pair {} split after {:?}",
+                    base,
+                    op
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fill_makes_line_resident(line in 0u64..4096, write in any::<bool>()) {
+        let mut llc = PairedTagLlc::new(small_config());
+        llc.fill(line, false, write);
+        prop_assert!(llc.contains(line));
+        let mut sec = SectoredLlc::new(small_config());
+        sec.fill(line, false, write);
+        prop_assert!(sec.contains(line));
+    }
+
+    #[test]
+    fn counters_are_consistent(ops in proptest::collection::vec(op_strategy(256), 1..200)) {
+        let mut llc = PairedTagLlc::new(small_config());
+        let mut accesses = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Access { line, write } => {
+                    llc.access(line, write);
+                    accesses += 1;
+                }
+                Op::FillRelaxed { line, write } => { llc.fill(line, false, write); }
+                Op::FillUpgraded { line, write } => { llc.fill(line, true, write); }
+                Op::Invalidate { line } => { llc.invalidate(line); }
+            }
+        }
+        let s = llc.stats();
+        prop_assert_eq!(s.hits + s.misses, accesses);
+        prop_assert!(s.paired_writebacks <= s.writebacks);
+    }
+
+    #[test]
+    fn clean_fills_never_write_back(lines in proptest::collection::vec(0u64..2048, 1..300)) {
+        // Only dirty data generates memory traffic.
+        let mut llc = PairedTagLlc::new(small_config());
+        for &l in &lines {
+            let wbs = llc.fill(l, false, false);
+            prop_assert!(wbs.is_empty(), "clean eviction produced writeback");
+        }
+        prop_assert_eq!(llc.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn dirty_data_is_never_silently_dropped(
+        dirty_lines in proptest::collection::vec(0u64..128, 1..40),
+        flood in proptest::collection::vec(128u64..4096, 100..300),
+    ) {
+        // Every dirtied line must either still be resident or have been
+        // written back by the end.
+        let mut llc = PairedTagLlc::new(small_config());
+        let mut dirtied = std::collections::HashSet::new();
+        for &l in &dirty_lines {
+            llc.fill(l, false, true);
+            dirtied.insert(l);
+        }
+        let mut written_back = std::collections::HashSet::new();
+        for &l in &flood {
+            for wb in llc.fill(l, false, false) {
+                written_back.insert(wb.line);
+            }
+        }
+        for &l in &dirtied {
+            prop_assert!(
+                llc.contains(l) || written_back.contains(&l),
+                "dirty line {} vanished",
+                l
+            );
+        }
+    }
+
+    #[test]
+    fn sectored_and_paired_agree_on_hit_after_upgraded_fill(
+        base in (0u64..2048).prop_map(|b| b * 2),
+    ) {
+        let mut a = PairedTagLlc::new(small_config());
+        let mut b = SectoredLlc::new(small_config());
+        a.fill(base, true, false);
+        b.fill(base, true, false);
+        for sub in [base, base + 1] {
+            prop_assert!(a.contains(sub));
+            prop_assert!(b.contains(sub));
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! LOT-ECC (ISCA'12) — localisation + tiered reliability from commodity
+//! codes, and the paper's 18-device extension that buys double chip
+//! sparing (§5.2).
+//!
+//! LOT-ECC protects each line with two tiers:
+//!
+//! * **detection/localisation** — a one's-complement checksum over the
+//!   chunk each device contributes, stored *in the same device*;
+//! * **correction** — the XOR of all data chunks, stored in a dedicated
+//!   parity device; once a checksum localises a bad device, its chunk is
+//!   reconstructed from the XOR of the others.
+//!
+//! The 9-device organisation stores a 64 B line as eight 8-byte chunks
+//! plus parity. The 18-device extension of §5.2 spreads the line over 16
+//! devices (4-byte chunks) with a parity device and a **spare** device for
+//! remapping — double chip sparing — but pays checksums in a *different
+//! line* (an extra read per read) on top of twice the devices per access.
+//!
+//! The known weakness the paper calls out is modelled faithfully: a device
+//! that returns a *consistent* wrong (chunk, checksum) pair — e.g. a bad
+//! row decoder reading the wrong location — defeats checksum detection.
+
+/// One's-complement 16-bit checksum over a byte chunk (the LOT-ECC T1EC).
+pub fn ones_complement_checksum(chunk: &[u8]) -> u16 {
+    let mut acc: u32 = 0;
+    for pair in chunk.chunks(2) {
+        let word = u16::from_be_bytes([pair[0], *pair.get(1).unwrap_or(&0)]) as u32;
+        acc += word;
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Outcome of a LOT-ECC line read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LotReadOutcome {
+    /// All checksums verified.
+    Clean,
+    /// One device's checksum failed; its chunk was reconstructed from
+    /// parity. Payload is the device index.
+    Reconstructed(u32),
+    /// More than one device failed checksum verification: uncorrectable.
+    Uncorrectable,
+}
+
+/// A stored LOT-ECC line over `D` data devices with `CHUNK`-byte chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LotLine {
+    chunks: Vec<Vec<u8>>,
+    checksums: Vec<u16>,
+    parity: Vec<u8>,
+    /// Device remapped to the spare (18-device organisation only).
+    spared: Option<u32>,
+    spare: Vec<u8>,
+}
+
+/// A LOT-ECC codec for one organisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LotCodec {
+    data_devices: usize,
+    chunk_bytes: usize,
+    has_spare: bool,
+}
+
+impl LotCodec {
+    /// The 9-device organisation: 8 data devices x 8 B chunks + parity.
+    pub fn nine_device() -> Self {
+        Self {
+            data_devices: 8,
+            chunk_bytes: 8,
+            has_spare: false,
+        }
+    }
+
+    /// The paper's 18-device organisation (§5.2): 16 data devices x 4 B
+    /// chunks + parity + spare; checksums live in a different line, so
+    /// every read needs a second access (see
+    /// [`SchemeKind::LotEcc18`](crate::schemes::SchemeKind)).
+    pub fn eighteen_device() -> Self {
+        Self {
+            data_devices: 16,
+            chunk_bytes: 4,
+            has_spare: true,
+        }
+    }
+
+    /// Devices per access (data + parity + spare).
+    pub fn rank_size(&self) -> usize {
+        self.data_devices + 1 + usize::from(self.has_spare)
+    }
+
+    /// Whether this organisation can remap a known-bad device (double chip
+    /// sparing).
+    pub fn supports_sparing(&self) -> bool {
+        self.has_spare
+    }
+
+    /// Encodes a 64 B line.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data` is 64 bytes.
+    pub fn encode(&self, data: &[u8]) -> LotLine {
+        assert_eq!(data.len(), 64, "LOT-ECC lines are 64 bytes");
+        let chunks: Vec<Vec<u8>> = data
+            .chunks(self.chunk_bytes)
+            .map(|c| c.to_vec())
+            .collect();
+        debug_assert_eq!(chunks.len(), self.data_devices);
+        let checksums = chunks.iter().map(|c| ones_complement_checksum(c)).collect();
+        let mut parity = vec![0u8; self.chunk_bytes];
+        for c in &chunks {
+            for (p, &b) in parity.iter_mut().zip(c) {
+                *p ^= b;
+            }
+        }
+        LotLine {
+            chunks,
+            checksums,
+            parity,
+            spared: None,
+            spare: vec![0u8; self.chunk_bytes],
+        }
+    }
+
+    /// Corrupts device `d`'s stored chunk with an XOR pattern *without*
+    /// touching its checksum — the detectable fault case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn corrupt_chunk(&self, line: &mut LotLine, d: usize, xor: u8) {
+        assert!(d < self.data_devices);
+        for b in line.chunks[d].iter_mut() {
+            *b ^= xor;
+        }
+    }
+
+    /// Flips one byte of device `d`'s chunk — a single-byte corruption is
+    /// always caught by the one's-complement checksum (multi-byte patterns
+    /// can cancel under end-around-carry folding; see
+    /// [`Self::corrupt_chunk`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` or `byte` is out of range, or `xor` is zero.
+    pub fn corrupt_byte(&self, line: &mut LotLine, d: usize, byte: usize, xor: u8) {
+        assert!(d < self.data_devices && byte < self.chunk_bytes);
+        assert_ne!(xor, 0, "zero XOR is not a corruption");
+        line.chunks[d][byte] ^= xor;
+    }
+
+    /// Simulates a *consistent* corruption: the device returns a different
+    /// but internally checksum-consistent (chunk, checksum) pair, the
+    /// wrong-row/wrong-column failure the paper notes LOT-ECC cannot
+    /// guarantee to detect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn corrupt_consistently(&self, line: &mut LotLine, d: usize, wrong_data: &[u8]) {
+        assert!(d < self.data_devices);
+        assert_eq!(wrong_data.len(), self.chunk_bytes);
+        line.chunks[d] = wrong_data.to_vec();
+        line.checksums[d] = ones_complement_checksum(wrong_data);
+    }
+
+    /// Reads the line: verifies every device checksum, reconstructs at
+    /// most one bad chunk from parity, and returns the data.
+    pub fn read(&self, line: &LotLine) -> (Vec<u8>, LotReadOutcome) {
+        let mut bad: Vec<usize> = Vec::new();
+        for d in 0..self.data_devices {
+            if Some(d as u32) == line.spared {
+                continue; // remapped to spare; its own storage is ignored
+            }
+            if ones_complement_checksum(&line.chunks[d]) != line.checksums[d] {
+                bad.push(d);
+            }
+        }
+        let effective_chunk = |d: usize| -> &[u8] {
+            if Some(d as u32) == line.spared {
+                &line.spare
+            } else {
+                &line.chunks[d]
+            }
+        };
+        match bad.len() {
+            0 => {
+                let mut data = Vec::with_capacity(64);
+                for d in 0..self.data_devices {
+                    data.extend_from_slice(effective_chunk(d));
+                }
+                (data, LotReadOutcome::Clean)
+            }
+            1 => {
+                let victim = bad[0];
+                // Reconstruct from XOR of the others + parity.
+                let mut rec = line.parity.clone();
+                for d in 0..self.data_devices {
+                    if d == victim {
+                        continue;
+                    }
+                    for (r, &b) in rec.iter_mut().zip(effective_chunk(d)) {
+                        *r ^= b;
+                    }
+                }
+                let mut data = Vec::with_capacity(64);
+                for d in 0..self.data_devices {
+                    if d == victim {
+                        data.extend_from_slice(&rec);
+                    } else {
+                        data.extend_from_slice(effective_chunk(d));
+                    }
+                }
+                (data, LotReadOutcome::Reconstructed(victim as u32))
+            }
+            _ => (Vec::new(), LotReadOutcome::Uncorrectable),
+        }
+    }
+
+    /// Remaps a (detected-bad) device to the spare, writing the correct
+    /// chunk value there — the double-chip-sparing step enabled by the
+    /// 18-device organisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the organisation has no spare or `d` is out of range.
+    pub fn spare_out(&self, line: &mut LotLine, d: u32, correct_chunk: &[u8]) {
+        assert!(self.has_spare, "9-device LOT-ECC has no spare");
+        assert!((d as usize) < self.data_devices);
+        assert_eq!(correct_chunk.len(), self.chunk_bytes);
+        line.spared = Some(d);
+        line.spare = correct_chunk.to_vec();
+        // Keep parity consistent with the *effective* data so later
+        // reconstructions work: recompute from effective chunks.
+        let mut parity = vec![0u8; self.chunk_bytes];
+        for dd in 0..self.data_devices {
+            let chunk = if dd as u32 == d {
+                correct_chunk
+            } else {
+                &line.chunks[dd][..]
+            };
+            for (p, &b) in parity.iter_mut().zip(chunk) {
+                *p ^= b;
+            }
+        }
+        line.parity = parity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<u8> {
+        (0..64).map(|i| (i * 7 + 11) as u8).collect()
+    }
+
+    #[test]
+    fn checksum_detects_any_single_bit_flip() {
+        let chunk = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let c = ones_complement_checksum(&chunk);
+        for byte in 0..8 {
+            for bit in 0..8 {
+                let mut bad = chunk;
+                bad[byte] ^= 1 << bit;
+                assert_ne!(ones_complement_checksum(&bad), c, "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn nine_device_roundtrip_and_geometry() {
+        let codec = LotCodec::nine_device();
+        assert_eq!(codec.rank_size(), 9);
+        assert!(!codec.supports_sparing());
+        let line = codec.encode(&data());
+        let (out, ev) = codec.read(&line);
+        assert_eq!(out, data());
+        assert_eq!(ev, LotReadOutcome::Clean);
+    }
+
+    #[test]
+    fn single_device_failure_reconstructed() {
+        for codec in [LotCodec::nine_device(), LotCodec::eighteen_device()] {
+            let mut line = codec.encode(&data());
+            codec.corrupt_chunk(&mut line, 3, 0xA5);
+            let (out, ev) = codec.read(&line);
+            assert_eq!(ev, LotReadOutcome::Reconstructed(3));
+            assert_eq!(out, data());
+        }
+    }
+
+    #[test]
+    fn double_device_failure_uncorrectable() {
+        let codec = LotCodec::nine_device();
+        let mut line = codec.encode(&data());
+        codec.corrupt_chunk(&mut line, 1, 0x0F);
+        codec.corrupt_chunk(&mut line, 6, 0xF0);
+        let (_, ev) = codec.read(&line);
+        assert_eq!(ev, LotReadOutcome::Uncorrectable);
+    }
+
+    #[test]
+    fn consistent_corruption_is_silent() {
+        // The paper's LOT-ECC criticism: faulty address decoders returning
+        // a valid-looking chunk evade the checksum entirely.
+        let codec = LotCodec::nine_device();
+        let mut line = codec.encode(&data());
+        codec.corrupt_consistently(&mut line, 2, &[9u8; 8]);
+        let (out, ev) = codec.read(&line);
+        assert_eq!(ev, LotReadOutcome::Clean, "undetected by design weakness");
+        assert_ne!(out, data(), "and the data is silently wrong");
+    }
+
+    #[test]
+    fn sparing_survives_a_second_failure() {
+        // Double chip sparing via the 18-device organisation: first
+        // failure detected and spared out; a second failure in another
+        // device is then reconstructable.
+        let codec = LotCodec::eighteen_device();
+        let mut line = codec.encode(&data());
+        codec.corrupt_chunk(&mut line, 5, 0x3C);
+        let (out, ev) = codec.read(&line);
+        assert_eq!(ev, LotReadOutcome::Reconstructed(5));
+        // Scrub detects it and remaps to the spare.
+        let correct5 = &out[5 * 4..6 * 4].to_vec();
+        codec.spare_out(&mut line, 5, correct5);
+        // Second, later failure:
+        codec.corrupt_chunk(&mut line, 11, 0x81);
+        let (out2, ev2) = codec.read(&line);
+        assert_eq!(ev2, LotReadOutcome::Reconstructed(11));
+        assert_eq!(out2, data());
+    }
+
+    #[test]
+    fn nine_device_cannot_spare() {
+        let codec = LotCodec::nine_device();
+        let mut line = codec.encode(&data());
+        codec.corrupt_byte(&mut line, 0, 2, 0x10);
+        let (out, _) = codec.read(&line);
+        assert_eq!(out, data()); // reconstructs once...
+        codec.corrupt_byte(&mut line, 4, 5, 0x20); // ...but a second fault kills it
+        let (_, ev) = codec.read(&line);
+        assert_eq!(ev, LotReadOutcome::Uncorrectable);
+    }
+
+    #[test]
+    fn multibyte_patterns_can_evade_checksum_folding() {
+        // Documents why corrupt_byte exists: an XOR applied across all
+        // bytes of a chunk can be one's-complement neutral. The specific
+        // pattern below was found to collide for this data.
+        let codec = LotCodec::nine_device();
+        let mut line = codec.encode(&data());
+        codec.corrupt_chunk(&mut line, 0, 0x10);
+        codec.corrupt_chunk(&mut line, 4, 0x20);
+        let (_, ev) = codec.read(&line);
+        // Either detected as uncorrectable (both caught) or silently
+        // mis-read (a checksum collision) — never a clean single repair of
+        // *both* devices.
+        assert_ne!(ev, LotReadOutcome::Clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "no spare")]
+    fn sparing_panics_without_spare_device() {
+        let codec = LotCodec::nine_device();
+        let mut line = codec.encode(&data());
+        codec.spare_out(&mut line, 0, &[0u8; 8]);
+    }
+}

@@ -1,0 +1,434 @@
+//! The chipkill-correct scheme zoo with uniform cost descriptors.
+//!
+//! Chapter 2 of the paper surveys the design space; these descriptors
+//! capture each scheme's per-access costs and guarantees so that the
+//! motivation experiment, Table 7.1, and the LOT-ECC/VECC applications of
+//! Chapter 5 can all be driven from one table.
+
+use arcc_gf::chipkill::LineCodec;
+
+/// Error-handling guarantees of a scheme, counted in bad *symbols* per
+/// codeword (a dead device contributes one bad symbol per codeword).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Guarantees {
+    /// Bad symbols guaranteed correctable.
+    pub correct: u32,
+    /// Bad symbols guaranteed detectable.
+    pub detect: u32,
+    /// Additional bad symbols correctable after earlier ones were detected
+    /// and spared/remapped (double chip sparing's second chip).
+    pub sequential_correct: u32,
+}
+
+/// Static cost/capability descriptor of one chipkill organisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeDescriptor {
+    /// Scheme name.
+    pub name: &'static str,
+    /// Devices per rank (devices driven per fault-free access).
+    pub rank_size: u32,
+    /// Check symbols per codeword.
+    pub check_symbols: u32,
+    /// ECC storage overhead (checks / data).
+    pub storage_overhead: f64,
+    /// Device accesses per fault-free read, as a multiple of one rank
+    /// access (LOT-ECC-18 needs 2: data line + checksum line).
+    pub reads_per_read: f64,
+    /// Device accesses per write, as a multiple of one rank access
+    /// (LOT-ECC needs ~1.8: 80 % of writes also update checksum lines;
+    /// VECC needs up to 2 when the virtualized checks miss in the LLC).
+    pub writes_per_write: f64,
+    /// Error-handling guarantees.
+    pub guarantees: Guarantees,
+}
+
+impl SchemeDescriptor {
+    /// Relative fault-free dynamic memory energy per read against a
+    /// 36-device single-access baseline (= rank_size * reads_per_read / 36).
+    pub fn relative_read_cost(&self) -> f64 {
+        self.rank_size as f64 * self.reads_per_read / 36.0
+    }
+
+    /// Relative fault-free dynamic memory energy per write against the
+    /// same baseline.
+    pub fn relative_write_cost(&self) -> f64 {
+        self.rank_size as f64 * self.writes_per_write / 36.0
+    }
+}
+
+/// The schemes discussed by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// 9-device SECDED ECC-DIMM (the non-chipkill reference point).
+    Secded,
+    /// Commercial single-chipkill-correct / double-chipkill-detect:
+    /// 36 devices, 4 check symbols, corrects 1 / detects 2 bad symbols.
+    Sccdcd,
+    /// Commercial double chip sparing: 36 devices, 4 check symbols of which
+    /// one acts as a spare; corrects a 2nd bad symbol if the 1st was
+    /// detected first.
+    DoubleChipSparing,
+    /// The weak 18-device code ARCC starts pages in: 2 check symbols,
+    /// correct-1 (which forfeits the detection guarantee for a 2nd bad
+    /// symbol).
+    RelaxedCk2,
+    /// VECC (ASPLOS'10): 18-device rank, in-rank detect-2, correction
+    /// symbols virtualised into data space of another rank.
+    Vecc,
+    /// LOT-ECC (ISCA'12), 9-device rank: per-device checksums for
+    /// detection/localisation + cross-device XOR for reconstruction.
+    LotEcc9,
+    /// The paper's 18-device LOT-ECC extension (§5.2) providing double chip
+    /// sparing: 16 data + parity + spare, checksums in a separate line.
+    LotEcc18,
+}
+
+impl SchemeKind {
+    /// All schemes, in the order the paper introduces them.
+    pub const ALL: [SchemeKind; 7] = [
+        SchemeKind::Secded,
+        SchemeKind::Sccdcd,
+        SchemeKind::DoubleChipSparing,
+        SchemeKind::RelaxedCk2,
+        SchemeKind::Vecc,
+        SchemeKind::LotEcc9,
+        SchemeKind::LotEcc18,
+    ];
+
+    /// The descriptor for this scheme.
+    pub fn descriptor(&self) -> SchemeDescriptor {
+        match self {
+            SchemeKind::Secded => SchemeDescriptor {
+                name: "SECDED (x8 ECC DIMM)",
+                rank_size: 9,
+                check_symbols: 1,
+                storage_overhead: 0.125,
+                reads_per_read: 1.0,
+                writes_per_write: 1.0,
+                guarantees: Guarantees {
+                    correct: 0, // corrects single bits, not symbols
+                    detect: 1,
+                    sequential_correct: 0,
+                },
+            },
+            SchemeKind::Sccdcd => SchemeDescriptor {
+                name: "Commercial SCCDCD",
+                rank_size: 36,
+                check_symbols: 4,
+                storage_overhead: 0.125,
+                reads_per_read: 1.0,
+                writes_per_write: 1.0,
+                guarantees: Guarantees {
+                    correct: 1,
+                    detect: 2,
+                    sequential_correct: 0,
+                },
+            },
+            SchemeKind::DoubleChipSparing => SchemeDescriptor {
+                name: "Double chip sparing",
+                rank_size: 36,
+                check_symbols: 4,
+                storage_overhead: 0.125,
+                reads_per_read: 1.0,
+                writes_per_write: 1.0,
+                guarantees: Guarantees {
+                    correct: 1,
+                    detect: 2,
+                    sequential_correct: 1,
+                },
+            },
+            SchemeKind::RelaxedCk2 => SchemeDescriptor {
+                name: "Relaxed chipkill (2 checks)",
+                rank_size: 18,
+                check_symbols: 2,
+                storage_overhead: 0.125,
+                reads_per_read: 1.0,
+                writes_per_write: 1.0,
+                guarantees: Guarantees {
+                    correct: 1,
+                    detect: 1,
+                    sequential_correct: 0,
+                },
+            },
+            SchemeKind::Vecc => SchemeDescriptor {
+                name: "VECC",
+                rank_size: 18,
+                check_symbols: 4, // 2 in-rank + 2 virtualised
+                storage_overhead: 0.1875,
+                reads_per_read: 1.0, // error-free reads touch one rank
+                // Writes update virtualised checks; LLC caching absorbs some
+                // (paper: 36 device-accesses when they miss).
+                writes_per_write: 1.5,
+                guarantees: Guarantees {
+                    correct: 1,
+                    detect: 2,
+                    sequential_correct: 0,
+                },
+            },
+            SchemeKind::LotEcc9 => SchemeDescriptor {
+                name: "LOT-ECC (9 devices)",
+                rank_size: 9,
+                check_symbols: 1, // XOR parity device; checksums in-data
+                storage_overhead: 0.265,
+                reads_per_read: 1.0,
+                // ~80 % of writes need an additional checksum-line write.
+                writes_per_write: 1.8,
+                guarantees: Guarantees {
+                    correct: 1,
+                    detect: 1, // checksum detection, weaker guarantee
+                    sequential_correct: 0,
+                },
+            },
+            SchemeKind::LotEcc18 => SchemeDescriptor {
+                name: "LOT-ECC (18 devices, double chip sparing)",
+                rank_size: 18,
+                check_symbols: 2, // parity device + spare device
+                storage_overhead: 0.265,
+                // Checksums live in a different line: extra read per read.
+                reads_per_read: 2.0,
+                writes_per_write: 2.0,
+                guarantees: Guarantees {
+                    correct: 1,
+                    detect: 1,
+                    sequential_correct: 1,
+                },
+            },
+        }
+    }
+}
+
+/// The ARCC optimisation applied over a base organisation: relaxed codec
+/// for fault-free pages, upgraded codec (joined codewords) for faulty ones.
+#[derive(Debug, Clone)]
+pub struct ArccScheme {
+    relaxed: LineCodec,
+    upgraded: LineCodec,
+    upgraded2: Option<LineCodec>,
+}
+
+impl ArccScheme {
+    /// ARCC applied to commercial chipkill (the paper's evaluation):
+    /// relaxed RS(18,16) x4 codewords per 64 B line, upgraded RS(36,32) x4
+    /// per 128 B line, and the optional second-level RS(72,64) across four
+    /// channels (§5.1).
+    pub fn commercial() -> Self {
+        Self {
+            relaxed: LineCodec::relaxed_x8(),
+            upgraded: LineCodec::upgraded_two_channel(),
+            upgraded2: Some(LineCodec::upgraded_four_channel()),
+        }
+    }
+
+    /// The relaxed-mode codec.
+    pub fn relaxed(&self) -> &LineCodec {
+        &self.relaxed
+    }
+
+    /// The upgraded-mode codec.
+    pub fn upgraded(&self) -> &LineCodec {
+        &self.upgraded
+    }
+
+    /// The second-level upgraded codec, when configured.
+    pub fn upgraded2(&self) -> Option<&LineCodec> {
+        self.upgraded2.as_ref()
+    }
+
+    /// Devices driven by a fault-free (relaxed) access.
+    pub fn relaxed_devices(&self) -> u32 {
+        self.relaxed.devices() as u32
+    }
+
+    /// Devices driven by an upgraded access.
+    pub fn upgraded_devices(&self) -> u32 {
+        self.upgraded.devices() as u32
+    }
+
+    /// Check symbols per codeword in each mode — the paper's headline
+    /// "2 → 4 without storage growth".
+    pub fn check_symbols(&self) -> (u32, u32) {
+        (
+            self.relaxed.check_symbols() as u32,
+            self.upgraded.check_symbols() as u32,
+        )
+    }
+
+    /// Storage overhead, which must be identical across modes (the whole
+    /// point of codeword joining).
+    pub fn storage_overhead(&self) -> f64 {
+        self.relaxed.storage_overhead()
+    }
+}
+
+impl Default for ArccScheme {
+    fn default() -> Self {
+        Self::commercial()
+    }
+}
+
+/// ARCC applied to a base chipkill solution (Chapter 5): the relaxed
+/// organisation fault-free pages run in, and the upgraded organisation
+/// faulty pages escalate to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArccApplication {
+    /// The base (always-strong) scheme being optimised.
+    pub base: SchemeKind,
+    /// The weak organisation used for fault-free pages.
+    pub relaxed: SchemeDescriptor,
+    /// The strong organisation used for faulty pages.
+    pub upgraded: SchemeDescriptor,
+}
+
+impl ArccApplication {
+    /// The paper's applications:
+    ///
+    /// * commercial SCCDCD / double chip sparing → relaxed 18-device
+    ///   2-check code, upgraded = the base itself (§4);
+    /// * VECC → relaxed 9-device rank (8 data + 1 detection check, the
+    ///   correction checks virtualised), upgraded 18-device VECC (§5.2);
+    /// * LOT-ECC → relaxed 9-device LOT-ECC, upgraded 18-device LOT-ECC
+    ///   with double chip sparing (§5.2).
+    ///
+    /// Returns `None` for schemes ARCC does not apply to (SECDED and the
+    /// already-relaxed organisations).
+    pub fn of(base: SchemeKind) -> Option<Self> {
+        match base {
+            SchemeKind::Sccdcd | SchemeKind::DoubleChipSparing => Some(Self {
+                base,
+                relaxed: SchemeKind::RelaxedCk2.descriptor(),
+                upgraded: base.descriptor(),
+            }),
+            SchemeKind::Vecc => Some(Self {
+                base,
+                relaxed: SchemeDescriptor {
+                    name: "ARCC+VECC relaxed (9 devices)",
+                    rank_size: 9,
+                    check_symbols: 2, // 1 in-rank detect + 1 virtualised
+                    storage_overhead: SchemeKind::Vecc.descriptor().storage_overhead,
+                    reads_per_read: 1.0,
+                    writes_per_write: 1.5,
+                    guarantees: Guarantees {
+                        correct: 1,
+                        detect: 1,
+                        sequential_correct: 0,
+                    },
+                },
+                upgraded: SchemeKind::Vecc.descriptor(),
+            }),
+            SchemeKind::LotEcc9 | SchemeKind::LotEcc18 => Some(Self {
+                base: SchemeKind::LotEcc18,
+                relaxed: SchemeKind::LotEcc9.descriptor(),
+                upgraded: SchemeKind::LotEcc18.descriptor(),
+            }),
+            SchemeKind::Secded | SchemeKind::RelaxedCk2 => None,
+        }
+    }
+
+    /// Fault-free read-energy ratio of ARCC vs. always running the base
+    /// scheme (< 1 is a win; 0.5 for the commercial application).
+    pub fn fault_free_read_ratio(&self) -> f64 {
+        self.relaxed.relative_read_cost() / self.upgraded.relative_read_cost()
+    }
+
+    /// Energy cost multiplier of an access to an *upgraded* page relative
+    /// to a relaxed one (reads): 2x for commercial, 4x for LOT-ECC (§7.2.1).
+    pub fn upgraded_access_cost_factor(&self) -> f64 {
+        self.upgraded.relative_read_cost() / self.relaxed.relative_read_cost()
+    }
+
+    /// Storage overhead must be preserved by the upgrade — the codeword
+    /// joining property.
+    pub fn preserves_storage_overhead(&self) -> bool {
+        (self.relaxed.storage_overhead - self.upgraded.storage_overhead).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_table_matches_chapter_2() {
+        let sccdcd = SchemeKind::Sccdcd.descriptor();
+        assert_eq!(sccdcd.rank_size, 36);
+        assert_eq!(sccdcd.check_symbols, 4);
+        assert_eq!(sccdcd.guarantees.detect, 2);
+        assert_eq!(sccdcd.storage_overhead, 0.125);
+
+        let relaxed = SchemeKind::RelaxedCk2.descriptor();
+        assert_eq!(relaxed.rank_size, 18);
+        assert_eq!(relaxed.guarantees.detect, 1);
+
+        let dcs = SchemeKind::DoubleChipSparing.descriptor();
+        assert_eq!(dcs.guarantees.sequential_correct, 1);
+
+        let lot9 = SchemeKind::LotEcc9.descriptor();
+        assert!((lot9.storage_overhead - 0.265).abs() < 1e-12);
+        assert!(lot9.writes_per_write > 1.5, "80% extra writes");
+
+        let lot18 = SchemeKind::LotEcc18.descriptor();
+        assert_eq!(lot18.reads_per_read, 2.0, "checksum line read per read");
+        assert_eq!(lot18.guarantees.sequential_correct, 1);
+    }
+
+    #[test]
+    fn relative_costs_rank_correctly() {
+        // Fault-free read cost: SECDED=LOT9 < relaxed=VECC < SCCDCD=DCS < LOT18.
+        let cost = |k: SchemeKind| k.descriptor().relative_read_cost();
+        assert!(cost(SchemeKind::Secded) < cost(SchemeKind::RelaxedCk2));
+        assert_eq!(cost(SchemeKind::RelaxedCk2), 0.5);
+        assert_eq!(cost(SchemeKind::Sccdcd), 1.0);
+        assert_eq!(cost(SchemeKind::LotEcc18), 1.0);
+        assert!(cost(SchemeKind::LotEcc9) < cost(SchemeKind::RelaxedCk2));
+    }
+
+    #[test]
+    fn arcc_scheme_preserves_storage_overhead() {
+        let arcc = ArccScheme::commercial();
+        assert_eq!(arcc.check_symbols(), (2, 4));
+        assert_eq!(arcc.relaxed_devices(), 18);
+        assert_eq!(arcc.upgraded_devices(), 36);
+        assert!((arcc.storage_overhead() - arcc.upgraded().storage_overhead()).abs() < 1e-12);
+        assert!((arcc.storage_overhead() - 0.125).abs() < 1e-12);
+        let up2 = arcc.upgraded2().unwrap();
+        assert_eq!(up2.check_symbols(), 8);
+        assert!((up2.storage_overhead() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_schemes_have_unique_names() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = SchemeKind::ALL
+            .iter()
+            .map(|k| k.descriptor().name)
+            .collect();
+        assert_eq!(names.len(), SchemeKind::ALL.len());
+    }
+
+    #[test]
+    fn arcc_applications_match_chapter_5() {
+        let commercial = ArccApplication::of(SchemeKind::Sccdcd).unwrap();
+        assert_eq!(commercial.relaxed.rank_size, 18);
+        assert_eq!(commercial.upgraded.rank_size, 36);
+        assert!((commercial.fault_free_read_ratio() - 0.5).abs() < 1e-12);
+        assert!((commercial.upgraded_access_cost_factor() - 2.0).abs() < 1e-12);
+        assert!(commercial.preserves_storage_overhead());
+
+        let vecc = ArccApplication::of(SchemeKind::Vecc).unwrap();
+        assert_eq!(vecc.relaxed.rank_size, 9);
+        assert_eq!(vecc.upgraded.rank_size, 18);
+        assert!(vecc.preserves_storage_overhead());
+
+        let lot = ArccApplication::of(SchemeKind::LotEcc9).unwrap();
+        assert_eq!(lot.relaxed.rank_size, 9);
+        assert_eq!(lot.upgraded.rank_size, 18);
+        // §7.2.1: upgraded LOT-ECC access costs 4x a relaxed one.
+        assert!((lot.upgraded_access_cost_factor() - 4.0).abs() < 1e-12);
+        assert!(lot.preserves_storage_overhead());
+        // Double chip sparing is what the upgrade buys.
+        assert_eq!(lot.upgraded.guarantees.sequential_correct, 1);
+
+        assert!(ArccApplication::of(SchemeKind::Secded).is_none());
+        assert!(ArccApplication::of(SchemeKind::RelaxedCk2).is_none());
+    }
+}

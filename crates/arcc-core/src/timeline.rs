@@ -1,0 +1,338 @@
+//! Lifetime maintenance timeline: scrub scheduling, fault arrivals, page
+//! upgrades, and (optionally) device sparing over a server's operational
+//! life — the end-to-end ARCC control loop of §4.2, driven against the
+//! functional memory image.
+//!
+//! Faults arrive at their sampled times between scrub ticks; every tick
+//! the test-pattern scrubber runs, the upgrade engine raises flagged
+//! pages, and (with [`TimelineConfig::sparing`]) devices the ECC located
+//! errors in are spared out, arming the double-chip-sparing sequence of
+//! Chapter 5.
+
+use crate::image::{FunctionalMemory, InjectedFault};
+use crate::scrub::{ScrubStrategy, Scrubber};
+use crate::upgrade::UpgradeEngine;
+
+/// A fault scheduled to arrive at a specific time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    /// Arrival time in hours.
+    pub time_h: f64,
+    /// The device fault to inject at that time.
+    pub fault: InjectedFault,
+}
+
+/// Timeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineConfig {
+    /// Scrub period in hours (the paper/field studies use 4).
+    pub scrub_interval_h: f64,
+    /// Simulated lifespan in hours.
+    pub lifespan_h: f64,
+    /// Scrubbing strategy.
+    pub strategy: ScrubStrategy,
+    /// Enable double chip sparing: persistently-bad devices are marked
+    /// known-bad and decoded as erasures from then on.
+    pub sparing: bool,
+    /// Consecutive scrubs a device must be located bad before it is spared
+    /// (>= 2 ensures the affected pages are upgraded first, so the erasure
+    /// fits the 4-check budget, and transient faults are never spared —
+    /// sparing on first sight would burn the relaxed code's whole error
+    /// budget on devices that may be healthy again next scrub).
+    pub spare_after_scrubs: u32,
+    /// Allow second-level upgrades (§5.1; requires a 4-channel image).
+    pub second_level: bool,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        Self {
+            scrub_interval_h: 4.0,
+            lifespan_h: 7.0 * 8760.0,
+            strategy: ScrubStrategy::TestPattern,
+            sparing: false,
+            spare_after_scrubs: 2,
+            second_level: false,
+        }
+    }
+}
+
+/// One entry in the lifetime log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelineEvent {
+    /// A fault became active.
+    FaultArrived {
+        /// Arrival time in hours.
+        time_h: f64,
+        /// Affected device.
+        device: u32,
+    },
+    /// A scrub detected errors and pages were upgraded.
+    ScrubUpgraded {
+        /// Scrub tick time in hours.
+        time_h: f64,
+        /// Pages flagged by the scrub.
+        pages_flagged: usize,
+        /// Pages whose mode was raised.
+        pages_upgraded: usize,
+    },
+    /// A device was spared out (marked known-bad).
+    DeviceSpared {
+        /// Scrub tick time in hours.
+        time_h: f64,
+        /// The device.
+        device: u32,
+    },
+    /// A page could not be read correctably during maintenance: data loss.
+    DataLoss {
+        /// Scrub tick time in hours.
+        time_h: f64,
+        /// Number of affected pages this tick.
+        pages: usize,
+    },
+}
+
+/// Result of a lifetime run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LifetimeReport {
+    /// Chronological event log (quiet scrubs are not logged).
+    pub events: Vec<TimelineEvent>,
+    /// Scrub ticks executed.
+    pub scrubs_run: u64,
+    /// Fraction of pages above relaxed mode at end of life.
+    pub final_upgraded_fraction: f64,
+    /// Devices spared over the lifetime.
+    pub devices_spared: Vec<u32>,
+    /// Total detected-uncorrectable pages encountered.
+    pub due_pages: u64,
+}
+
+/// Runs the maintenance loop over `mem` for the configured lifespan.
+///
+/// `faults` need not be sorted; they are injected in time order.
+pub fn run_timeline(
+    mem: &mut FunctionalMemory,
+    cfg: &TimelineConfig,
+    faults: &[ScheduledFault],
+) -> LifetimeReport {
+    let mut faults: Vec<ScheduledFault> = faults.to_vec();
+    faults.sort_by(|a, b| a.time_h.total_cmp(&b.time_h));
+    let scrubber = Scrubber::new(cfg.strategy);
+    let engine = UpgradeEngine {
+        enable_second_level: cfg.second_level,
+    };
+
+    let mut report = LifetimeReport::default();
+    let mut next_fault = 0usize;
+    // Consecutive-scrub bad streak per device (sparing candidacy).
+    let mut streak: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    // Pages already known to be uncorrectable (logged once).
+    let mut known_failed: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut t = cfg.scrub_interval_h;
+    while t <= cfg.lifespan_h {
+        // Inject faults that arrived before this tick.
+        while next_fault < faults.len() && faults[next_fault].time_h < t {
+            let f = faults[next_fault];
+            mem.inject_fault(f.fault);
+            report.events.push(TimelineEvent::FaultArrived {
+                time_h: f.time_h,
+                device: f.fault.device,
+            });
+            next_fault += 1;
+        }
+        // Maintenance tick.
+        let (outcome, upgrade) = engine.scrub_and_upgrade(mem, &scrubber);
+        report.scrubs_run += 1;
+        let mut tick_changed = false;
+        if !upgrade.pages_upgraded.is_empty() {
+            tick_changed = true;
+            report.events.push(TimelineEvent::ScrubUpgraded {
+                time_h: t,
+                pages_flagged: outcome.pages_with_errors.len(),
+                pages_upgraded: upgrade.pages_upgraded.len(),
+            });
+        }
+        let new_failures: Vec<u64> = upgrade
+            .failed_pages
+            .iter()
+            .chain(outcome.due_pages.iter())
+            .copied()
+            .filter(|p| known_failed.insert(*p))
+            .collect();
+        if !new_failures.is_empty() {
+            tick_changed = true;
+            report.due_pages += new_failures.len() as u64;
+            report.events.push(TimelineEvent::DataLoss {
+                time_h: t,
+                pages: new_failures.len(),
+            });
+        }
+        if cfg.sparing {
+            streak.retain(|d, _| outcome.bad_devices.contains(d));
+            for &d in &outcome.bad_devices {
+                if report.devices_spared.contains(&d) {
+                    continue;
+                }
+                let s = streak.entry(d).or_insert(0);
+                *s += 1;
+                if *s >= cfg.spare_after_scrubs.max(1) {
+                    tick_changed = true;
+                    mem.spare_device(d);
+                    report.devices_spared.push(d);
+                    report.events.push(TimelineEvent::DeviceSpared { time_h: t, device: d });
+                }
+            }
+        }
+        // Steady state (no pending faults, nothing changed this tick):
+        // remaining scrubs would all be identical — fast-forward.
+        let sparing_pending = cfg.sparing && !streak.is_empty() && !outcome.bad_devices.is_empty()
+            && outcome
+                .bad_devices
+                .iter()
+                .any(|d| !report.devices_spared.contains(d));
+        if next_fault >= faults.len() && !tick_changed && !sparing_pending {
+            let remaining = ((cfg.lifespan_h - t) / cfg.scrub_interval_h) as u64;
+            report.scrubs_run += remaining;
+            break;
+        }
+        t += cfg.scrub_interval_h;
+    }
+    report.final_upgraded_fraction = mem.page_table().upgraded_fraction();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::FaultBehavior;
+    use crate::page::ProtectionMode;
+
+    fn filled(pages: u64) -> FunctionalMemory {
+        let mut m = FunctionalMemory::new(pages);
+        for l in 0..m.lines() {
+            let data: Vec<u8> = (0..64).map(|i| (l as u8) ^ (i as u8)).collect();
+            m.write_line(l, &data).expect("in range");
+        }
+        m
+    }
+
+    fn fault_at(time_h: f64, device: u32, pages: std::ops::Range<u64>) -> ScheduledFault {
+        ScheduledFault {
+            time_h,
+            fault: InjectedFault {
+                device,
+                first_page: pages.start,
+                last_page: pages.end,
+                behavior: FaultBehavior::Stuck(0xFF),
+                transient: false,
+            },
+        }
+    }
+
+    #[test]
+    fn quiet_life_fast_forwards() {
+        let mut mem = filled(2);
+        let cfg = TimelineConfig::default();
+        let report = run_timeline(&mut mem, &cfg, &[]);
+        assert!(report.events.is_empty());
+        assert_eq!(report.final_upgraded_fraction, 0.0);
+        // All scheduled scrubs accounted for despite the fast-forward.
+        assert_eq!(report.scrubs_run, (cfg.lifespan_h / cfg.scrub_interval_h) as u64);
+    }
+
+    #[test]
+    fn fault_detected_at_next_tick_and_upgraded() {
+        let mut mem = filled(4);
+        let cfg = TimelineConfig {
+            lifespan_h: 100.0,
+            ..TimelineConfig::default()
+        };
+        let report = run_timeline(&mut mem, &cfg, &[fault_at(5.0, 7, 1..2)]);
+        // Fault at t=5 h; scrubs at 4, 8, ... -> detected at t=8.
+        let scrub_event = report
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TimelineEvent::ScrubUpgraded { time_h, pages_upgraded, .. } => {
+                    Some((*time_h, *pages_upgraded))
+                }
+                _ => None,
+            })
+            .expect("scrub event logged");
+        assert_eq!(scrub_event, (8.0, 1));
+        assert_eq!(mem.page_table().mode(1), ProtectionMode::Upgraded);
+        assert_eq!(mem.page_table().mode(0), ProtectionMode::Relaxed);
+        assert!(report.final_upgraded_fraction > 0.0);
+    }
+
+    #[test]
+    fn sparing_survives_sequential_double_fault() {
+        // Fault 1 at t=2 (device 3), spared at t=4; fault 2 at t=10
+        // (device 20, same pages): upgraded + spared pages survive.
+        let mut mem = filled(2);
+        let cfg = TimelineConfig {
+            lifespan_h: 50.0,
+            sparing: true,
+            ..TimelineConfig::default()
+        };
+        let report = run_timeline(
+            &mut mem,
+            &cfg,
+            &[fault_at(2.0, 3, 0..2), fault_at(10.0, 20, 0..2)],
+        );
+        assert_eq!(report.devices_spared, vec![3, 20]);
+        assert_eq!(report.due_pages, 0, "sparing must prevent data loss: {report:?}");
+        for l in 0..mem.lines() {
+            let (data, _) = mem.read_line(l).unwrap();
+            let expect: Vec<u8> = (0..64).map(|i| (l as u8) ^ (i as u8)).collect();
+            assert_eq!(data, expect);
+        }
+    }
+
+    #[test]
+    fn without_sparing_sequential_double_fault_loses_data() {
+        let mut mem = filled(2);
+        let cfg = TimelineConfig {
+            lifespan_h: 50.0,
+            sparing: false,
+            ..TimelineConfig::default()
+        };
+        let report = run_timeline(
+            &mut mem,
+            &cfg,
+            &[fault_at(2.0, 3, 0..2), fault_at(10.0, 20, 0..2)],
+        );
+        // The second fault makes upgraded codewords carry 2 bad symbols
+        // under a correct-1 policy: reads become DUEs.
+        assert!(report.due_pages > 0, "{report:?}");
+        assert!(mem.read_line(0).is_err());
+    }
+
+    #[test]
+    fn transient_fault_leaves_no_lasting_upgrade_pressure() {
+        let mut mem = filled(2);
+        let cfg = TimelineConfig {
+            lifespan_h: 40.0,
+            ..TimelineConfig::default()
+        };
+        let transient = ScheduledFault {
+            time_h: 1.0,
+            fault: InjectedFault {
+                device: 5,
+                first_page: 0,
+                last_page: 1,
+                behavior: FaultBehavior::Flip(0x04),
+                transient: true,
+            },
+        };
+        let report = run_timeline(&mut mem, &cfg, &[transient]);
+        // Detected once, upgraded once, then quiet (fast-forward kicks in).
+        let upgrades: usize = report
+            .events
+            .iter()
+            .filter(|e| matches!(e, TimelineEvent::ScrubUpgraded { .. }))
+            .count();
+        assert_eq!(upgrades, 1);
+        assert_eq!(mem.page_table().mode(0), ProtectionMode::Upgraded);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the functional memory image: data integrity under
+//! random write/read/fault/convert sequences — the invariant ARCC's whole
+//! value proposition rests on.
+
+use arcc_core::image::FaultBehavior;
+use arcc_core::{FunctionalMemory, InjectedFault, ProtectionMode, Scrubber, UpgradeEngine};
+use proptest::prelude::*;
+
+const PAGES: u64 = 2;
+const LINES: u64 = PAGES * 64;
+
+fn line_data(seed: u64, line: u64) -> Vec<u8> {
+    (0..64)
+        .map(|i| ((seed >> (i % 56)) as u8).wrapping_add((line as u8).wrapping_mul(29)))
+        .collect()
+}
+
+fn filled(seed: u64) -> FunctionalMemory {
+    let mut m = FunctionalMemory::new(PAGES);
+    for l in 0..LINES {
+        m.write_line(l, &line_data(seed, l)).expect("in range");
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_under_any_single_device_fault(
+        seed in any::<u64>(),
+        device in 0u32..36,
+        stuck in any::<u8>(),
+        upgrade_first in any::<bool>(),
+    ) {
+        let mut m = filled(seed);
+        if upgrade_first {
+            for p in 0..PAGES {
+                m.convert_page(p, ProtectionMode::Upgraded).expect("clean convert");
+            }
+        }
+        m.inject_fault(InjectedFault::stuck_everywhere(device, stuck));
+        for l in 0..LINES {
+            let (data, _) = m.read_line(l).expect("single fault is correctable");
+            prop_assert_eq!(data, line_data(seed, l), "line {}", l);
+        }
+    }
+
+    #[test]
+    fn writes_after_fault_still_roundtrip(
+        seed in any::<u64>(),
+        device in 0u32..36,
+        target_line in 0u64..LINES,
+        new_byte in any::<u8>(),
+    ) {
+        // Writing through a live fault must re-encode so the data is
+        // recoverable on the next read.
+        let mut m = filled(seed);
+        m.convert_page(target_line / 64, ProtectionMode::Upgraded).expect("clean convert");
+        m.inject_fault(InjectedFault::stuck_everywhere(device, 0x00));
+        let new_data = vec![new_byte; 64];
+        m.write_line(target_line, &new_data).expect("correctable RMW");
+        let (data, _) = m.read_line(target_line).expect("correctable read");
+        prop_assert_eq!(data, new_data);
+    }
+
+    #[test]
+    fn convert_roundtrip_preserves_data(seed in any::<u64>(), page in 0u64..PAGES) {
+        let mut m = filled(seed);
+        m.convert_page(page, ProtectionMode::Upgraded).expect("clean");
+        m.convert_page(page, ProtectionMode::Relaxed).expect("clean");
+        m.convert_page(page, ProtectionMode::Upgraded).expect("clean");
+        for l in page * 64..(page + 1) * 64 {
+            let (data, _) = m.read_line(l).expect("clean memory");
+            prop_assert_eq!(data, line_data(seed, l));
+        }
+    }
+
+    #[test]
+    fn scrub_is_idempotent_on_clean_memory(seed in any::<u64>()) {
+        let mut m = filled(seed);
+        let first = Scrubber::default().scrub(&mut m);
+        prop_assert!(first.is_clean());
+        let second = Scrubber::default().scrub(&mut m);
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn upgrade_flow_preserves_data_for_any_page_scoped_fault(
+        seed in any::<u64>(),
+        device in 0u32..36,
+        page in 0u64..PAGES,
+        flip in 1u8..=255,
+    ) {
+        let mut m = filled(seed);
+        m.inject_fault(InjectedFault {
+            device,
+            first_page: page,
+            last_page: page + 1,
+            behavior: FaultBehavior::Flip(flip),
+            transient: false,
+        });
+        let engine = UpgradeEngine::new();
+        let (outcome, report) = engine.scrub_and_upgrade(&mut m, &Scrubber::default());
+        prop_assert_eq!(outcome.pages_with_errors, vec![page]);
+        prop_assert_eq!(report.pages_upgraded, vec![page]);
+        prop_assert!(report.failed_pages.is_empty());
+        for l in 0..LINES {
+            let (data, _) = m.read_line(l).expect("correctable");
+            prop_assert_eq!(data, line_data(seed, l), "line {}", l);
+        }
+    }
+
+    #[test]
+    fn transient_faults_fully_heal(seed in any::<u64>(), device in 0u32..36, flip in 1u8..=255) {
+        let mut m = filled(seed);
+        m.inject_fault(InjectedFault {
+            device,
+            first_page: 0,
+            last_page: PAGES,
+            behavior: FaultBehavior::Flip(flip),
+            transient: true,
+        });
+        let _ = Scrubber::default().scrub(&mut m);
+        // Fault gone; a fresh scrub sees nothing; every read is clean.
+        let second = Scrubber::default().scrub(&mut m);
+        prop_assert!(second.is_clean(), "{:?}", second);
+        for l in 0..LINES {
+            let (data, ev) = m.read_line(l).expect("clean");
+            prop_assert_eq!(data, line_data(seed, l));
+            prop_assert_eq!(ev, arcc_core::ReadEvent::Clean);
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Fault geometry: where a fault lands, which pages it touches, and whether
+//! two faults can meet inside one codeword.
+//!
+//! The reliability chapters of the paper use one canonical organisation: a
+//! memory channel of **two ranks with 36 devices each** (72 devices). ARCC's
+//! relaxed codewords span half a rank (18 devices, one physical channel);
+//! its upgraded codewords and the SCCDCD baseline's codewords span the full
+//! 36-device width. This module encodes that organisation plus the
+//! worst-case assumption of Chapter 3: every location under the faulty
+//! circuitry is corrupted.
+
+use crate::modes::FaultMode;
+
+/// Selection along one address dimension of a fault's blast radius.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DimSel {
+    /// Entire dimension affected.
+    All,
+    /// A single index affected.
+    One(u64),
+    /// Half of the dimension (which half is the payload): used for column
+    /// faults, which hit one of the two 4 KB pages in every row of a bank.
+    Half(u64),
+}
+
+impl DimSel {
+    /// Does this selection intersect `other`?
+    pub fn intersects(&self, other: &DimSel) -> bool {
+        match (self, other) {
+            (DimSel::All, _) | (_, DimSel::All) => true,
+            (DimSel::One(a), DimSel::One(b)) => a == b,
+            (DimSel::Half(a), DimSel::Half(b)) => a == b,
+            // A single column index lies in exactly one half; without
+            // tracking the index-to-half mapping we resolve the ambiguity
+            // conservatively as overlapping when the halves could coincide.
+            (DimSel::One(a), DimSel::Half(h)) | (DimSel::Half(h), DimSel::One(a)) => {
+                (a & 1) == *h
+            }
+        }
+    }
+
+    /// Exact intersection of two selections, `None` when disjoint.
+    pub fn intersect(&self, other: &DimSel) -> Option<DimSel> {
+        match (self, other) {
+            (DimSel::All, x) | (x, DimSel::All) => Some(*x),
+            (DimSel::One(a), DimSel::One(b)) => (a == b).then_some(DimSel::One(*a)),
+            (DimSel::Half(a), DimSel::Half(b)) => (a == b).then_some(DimSel::Half(*a)),
+            (DimSel::One(a), DimSel::Half(h)) | (DimSel::Half(h), DimSel::One(a)) => {
+                ((a & 1) == *h).then_some(DimSel::One(*a))
+            }
+        }
+    }
+
+    /// Fraction of the dimension covered.
+    pub fn fraction(&self, size: u64) -> f64 {
+        match self {
+            DimSel::All => 1.0,
+            DimSel::One(_) => 1.0 / size as f64,
+            DimSel::Half(_) => 0.5,
+        }
+    }
+}
+
+/// The set of (bank, row, column) locations a fault corrupts within its
+/// device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressSet {
+    /// Banks affected.
+    pub banks: DimSel,
+    /// Rows affected (within each affected bank).
+    pub rows: DimSel,
+    /// Line-columns affected (within each affected row).
+    pub cols: DimSel,
+}
+
+impl AddressSet {
+    /// Whole-device blast radius.
+    pub fn all() -> Self {
+        Self {
+            banks: DimSel::All,
+            rows: DimSel::All,
+            cols: DimSel::All,
+        }
+    }
+
+    /// Do two address sets share at least one location?
+    pub fn intersects(&self, other: &AddressSet) -> bool {
+        self.banks.intersects(&other.banks)
+            && self.rows.intersects(&other.rows)
+            && self.cols.intersects(&other.cols)
+    }
+
+    /// Exact intersection, `None` when disjoint. Enables triple-overlap
+    /// checks (three faults meeting in one codeword) for the SDC model.
+    pub fn intersection(&self, other: &AddressSet) -> Option<AddressSet> {
+        Some(AddressSet {
+            banks: self.banks.intersect(&other.banks)?,
+            rows: self.rows.intersect(&other.rows)?,
+            cols: self.cols.intersect(&other.cols)?,
+        })
+    }
+}
+
+/// One sampled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Arrival time in hours since the channel entered service.
+    pub time_h: f64,
+    /// Fault mode.
+    pub mode: FaultMode,
+    /// Whether the fault is transient (cleared by the next scrub) or
+    /// permanent.
+    pub transient: bool,
+    /// Rank the fault lives in; `None` for lane faults, which hit the same
+    /// device position in every rank.
+    pub rank: Option<u32>,
+    /// Device position within the rank (0..36). Codeword symbol index.
+    pub device_pos: u32,
+    /// Corrupted locations within the device.
+    pub set: AddressSet,
+}
+
+impl FaultEvent {
+    /// Does this fault place a bad symbol in rank `r`?
+    pub fn hits_rank(&self, r: u32) -> bool {
+        self.rank.map(|fr| fr == r).unwrap_or(true)
+    }
+
+    /// Can `self` and `other` corrupt two different symbols of one codeword?
+    ///
+    /// Requirements: a common rank, different device positions, and
+    /// intersecting address sets. `half_width` restricts the codeword to
+    /// one 18-device half of the rank (ARCC relaxed mode); pass `false` for
+    /// full 36-device codewords.
+    pub fn codeword_overlap(&self, other: &FaultEvent, half_width: bool) -> bool {
+        if self.device_pos == other.device_pos {
+            return false; // same symbol: still a single bad symbol
+        }
+        let common_rank = match (self.rank, other.rank) {
+            (Some(a), Some(b)) => a == b,
+            _ => true, // a lane fault shares every rank
+        };
+        if !common_rank {
+            return false;
+        }
+        if half_width && (self.device_pos / 18) != (other.device_pos / 18) {
+            return false;
+        }
+        self.set.intersects(&other.set)
+    }
+}
+
+/// The reliability-model channel organisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultGeometry {
+    /// Ranks per channel.
+    pub ranks: u32,
+    /// Devices per rank (codeword width of the strong code).
+    pub devices_per_rank: u32,
+    /// Banks per device.
+    pub banks: u64,
+    /// Rows per bank.
+    pub rows: u64,
+    /// Line-columns per row.
+    pub cols: u64,
+    /// 4 KB pages per channel (data capacity / 4 KB).
+    pub pages: u64,
+}
+
+impl FaultGeometry {
+    /// The paper's channel: 2 ranks x 36 devices, 8 banks, two 4 KB pages
+    /// per 8 KB row, 4 GB of data => 1 Mi pages.
+    pub fn paper_channel() -> Self {
+        let pages = (4u64 << 30) / 4096;
+        let banks = 8;
+        let ranks = 2;
+        // pages = ranks * banks * rows * pages_per_row (2)
+        let rows = pages / (ranks as u64 * banks * 2);
+        Self {
+            ranks,
+            devices_per_rank: 36,
+            banks,
+            rows,
+            cols: 128,
+            pages,
+        }
+    }
+
+    /// Total devices on the channel.
+    pub fn total_devices(&self) -> u32 {
+        self.ranks * self.devices_per_rank
+    }
+
+    /// Draws the blast radius for a fault of `mode` (bank/row/col indices
+    /// must be pre-drawn uniformly by the caller; kept deterministic here
+    /// for testability).
+    pub fn address_set(&self, mode: FaultMode, bank: u64, row: u64, col: u64) -> AddressSet {
+        match mode {
+            FaultMode::SingleBit | FaultMode::SingleWord => AddressSet {
+                banks: DimSel::One(bank),
+                rows: DimSel::One(row),
+                cols: DimSel::One(col),
+            },
+            FaultMode::SingleColumn => AddressSet {
+                banks: DimSel::One(bank),
+                rows: DimSel::All,
+                // A device column lands in one of the two pages of each row.
+                cols: DimSel::Half(col & 1),
+            },
+            FaultMode::SingleRow => AddressSet {
+                banks: DimSel::One(bank),
+                rows: DimSel::One(row),
+                cols: DimSel::All,
+            },
+            FaultMode::SingleBank => AddressSet {
+                banks: DimSel::One(bank),
+                rows: DimSel::All,
+                cols: DimSel::All,
+            },
+            FaultMode::MultiBank | FaultMode::MultiRank => AddressSet::all(),
+        }
+    }
+
+    /// Fraction of the channel's 4 KB pages a fault of `mode` touches under
+    /// the paper's worst-case assumption — reproduces Table 7.4:
+    /// lane → 100 %, device → 1/2, subbank → 1/16, column → 1/32.
+    pub fn affected_page_fraction(&self, mode: FaultMode) -> f64 {
+        let ranks = self.ranks as f64;
+        let banks = self.banks as f64;
+        match mode {
+            // A lane takes out both ranks: every page has a bad symbol.
+            FaultMode::MultiRank => 1.0,
+            // A device takes out its rank: half the pages (2 ranks).
+            FaultMode::MultiBank => 1.0 / ranks,
+            // One bank of one rank.
+            FaultMode::SingleBank => 1.0 / (ranks * banks),
+            // Half the pages of one bank (one of the 2 pages per row).
+            FaultMode::SingleColumn => 0.5 / (ranks * banks),
+            // A row fault spans a full row = 2 pages.
+            FaultMode::SingleRow => 2.0 / self.pages as f64,
+            // Bit/word faults hit a single page.
+            FaultMode::SingleBit | FaultMode::SingleWord => 1.0 / self.pages as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_7_4_fractions() {
+        let g = FaultGeometry::paper_channel();
+        assert_eq!(g.affected_page_fraction(FaultMode::MultiRank), 1.0);
+        assert_eq!(g.affected_page_fraction(FaultMode::MultiBank), 0.5);
+        assert!((g.affected_page_fraction(FaultMode::SingleBank) - 1.0 / 16.0).abs() < 1e-12);
+        assert!((g.affected_page_fraction(FaultMode::SingleColumn) - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_channel_has_a_mebi_pages() {
+        let g = FaultGeometry::paper_channel();
+        assert_eq!(g.pages, 1 << 20);
+        assert_eq!(g.total_devices(), 72);
+        assert_eq!(g.ranks as u64 * g.banks * g.rows * 2, g.pages);
+    }
+
+    #[test]
+    fn dimsel_intersections() {
+        assert!(DimSel::All.intersects(&DimSel::One(3)));
+        assert!(DimSel::One(3).intersects(&DimSel::One(3)));
+        assert!(!DimSel::One(3).intersects(&DimSel::One(4)));
+        assert!(DimSel::Half(0).intersects(&DimSel::Half(0)));
+        assert!(!DimSel::Half(0).intersects(&DimSel::Half(1)));
+        assert!(DimSel::One(2).intersects(&DimSel::Half(0)));
+        assert!(!DimSel::One(3).intersects(&DimSel::Half(0)));
+    }
+
+    #[test]
+    fn dimsel_fractions() {
+        assert_eq!(DimSel::All.fraction(8), 1.0);
+        assert_eq!(DimSel::Half(1).fraction(8), 0.5);
+        assert_eq!(DimSel::One(0).fraction(8), 0.125);
+    }
+
+    fn ev(mode: FaultMode, rank: Option<u32>, pos: u32, set: AddressSet) -> FaultEvent {
+        FaultEvent {
+            time_h: 0.0,
+            mode,
+            transient: false,
+            rank,
+            device_pos: pos,
+            set,
+        }
+    }
+
+    #[test]
+    fn overlap_requires_distinct_devices_same_rank() {
+        let g = FaultGeometry::paper_channel();
+        let all = AddressSet::all();
+        let a = ev(FaultMode::MultiBank, Some(0), 3, all);
+        // Same device: never a double-symbol event.
+        assert!(!a.codeword_overlap(&ev(FaultMode::SingleBank, Some(0), 3, all), false));
+        // Different ranks: different codewords.
+        assert!(!a.codeword_overlap(&ev(FaultMode::MultiBank, Some(1), 5, all), false));
+        // Same rank, different devices, overlapping sets: yes.
+        assert!(a.codeword_overlap(&ev(FaultMode::MultiBank, Some(0), 5, all), false));
+        // Lane faults share every rank.
+        assert!(a.codeword_overlap(&ev(FaultMode::MultiRank, None, 7, all), false));
+        let _ = g;
+    }
+
+    #[test]
+    fn relaxed_half_width_partitions_devices() {
+        let all = AddressSet::all();
+        let a = ev(FaultMode::MultiBank, Some(0), 3, all);
+        let b_same_half = ev(FaultMode::MultiBank, Some(0), 17, all);
+        let b_other_half = ev(FaultMode::MultiBank, Some(0), 18, all);
+        assert!(a.codeword_overlap(&b_same_half, true));
+        assert!(!a.codeword_overlap(&b_other_half, true));
+        // Full-width codewords see both.
+        assert!(a.codeword_overlap(&b_other_half, false));
+    }
+
+    #[test]
+    fn address_scoped_overlap() {
+        let g = FaultGeometry::paper_channel();
+        let row_f = g.address_set(FaultMode::SingleRow, 2, 100, 0);
+        let col_f = g.address_set(FaultMode::SingleColumn, 2, 0, 0);
+        let col_f_other_bank = g.address_set(FaultMode::SingleColumn, 3, 0, 0);
+        let a = ev(FaultMode::SingleRow, Some(0), 1, row_f);
+        // Row fault and column fault in the same bank intersect (the row
+        // crosses every column half).
+        assert!(a.codeword_overlap(&ev(FaultMode::SingleColumn, Some(0), 2, col_f), false));
+        // Different bank: no.
+        assert!(!a.codeword_overlap(&ev(
+            FaultMode::SingleColumn,
+            Some(0),
+            2,
+            col_f_other_bank
+        ), false));
+        // Two bit faults at different rows don't meet.
+        let bit1 = g.address_set(FaultMode::SingleBit, 2, 100, 5);
+        let bit2 = g.address_set(FaultMode::SingleBit, 2, 101, 5);
+        assert!(!ev(FaultMode::SingleBit, Some(0), 1, bit1)
+            .codeword_overlap(&ev(FaultMode::SingleBit, Some(0), 2, bit2), false));
+    }
+
+    #[test]
+    fn small_fault_page_fractions() {
+        let g = FaultGeometry::paper_channel();
+        assert!((g.affected_page_fraction(FaultMode::SingleBit) - 1.0 / g.pages as f64).abs() < 1e-18);
+        assert!(
+            (g.affected_page_fraction(FaultMode::SingleRow) - 2.0 / g.pages as f64).abs() < 1e-18
+        );
+    }
+}

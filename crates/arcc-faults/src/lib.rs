@@ -1,0 +1,39 @@
+//! DRAM fault modelling for chipkill-correct reliability studies.
+//!
+//! Implements the fault substrate of the ARCC paper:
+//!
+//! * the seven device-level **fault modes** observed in the field and their
+//!   per-device FIT rates from the Sridharan & Liberty SC'12 study the
+//!   paper takes all of its rates from ([`FitRates::sridharan_sc12`]);
+//! * the **channel geometry** used by the paper's reliability chapters
+//!   (two ranks of 36 devices) and the mapping from a fault's physical
+//!   scope to the fraction of 4 KB pages it touches — Table 7.4 and
+//!   Figure 3.1 both fall out of this ([`FaultGeometry`]);
+//! * a **Monte-Carlo lifetime sampler** that draws Poisson fault arrivals
+//!   per device per mode over a multi-year lifespan
+//!   ([`montecarlo::FaultSampler`]), the engine behind Figures 3.1, 6.1,
+//!   and 7.4–7.6.
+//!
+//! ```
+//! use arcc_faults::{FaultGeometry, FitRates, montecarlo::FaultSampler};
+//! use rand::SeedableRng;
+//!
+//! let rates = FitRates::sridharan_sc12();
+//! let geom = FaultGeometry::paper_channel();
+//! let sampler = FaultSampler::new(geom, rates);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let faults = sampler.sample_lifetime(&mut rng, 7.0 * 8760.0);
+//! // Expected: ~0.26 faults per channel over 7 years at 1x rates.
+//! assert!(faults.len() < 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod geometry;
+mod modes;
+
+pub mod montecarlo;
+
+pub use geometry::{AddressSet, DimSel, FaultEvent, FaultGeometry};
+pub use modes::{FaultMode, FitRates};

@@ -1,0 +1,228 @@
+//! Monte-Carlo lifetime fault sampling.
+//!
+//! Faults arrive as independent Poisson processes, one per (device, mode)
+//! pair, at the field-study rates. For a whole channel the superposition is
+//! a single Poisson process with rate `devices * total_fit`; each arrival
+//! is then attributed to a mode (proportional to rate) and a uniformly
+//! drawn location. This mirrors step 2 of the paper's §7.1 methodology
+//! (10 000 channels x 7 simulated years).
+
+use rand::Rng;
+
+use crate::geometry::{FaultEvent, FaultGeometry};
+use crate::modes::{FaultMode, FitRates};
+
+/// Hours per (365-day) year, the unit the paper's lifetime axes use.
+pub const HOURS_PER_YEAR: f64 = 8760.0;
+
+/// Draws fault timelines for one channel organisation at one rate point.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSampler {
+    geometry: FaultGeometry,
+    rates: FitRates,
+}
+
+impl FaultSampler {
+    /// Creates a sampler for `geometry` at `rates`.
+    pub fn new(geometry: FaultGeometry, rates: FitRates) -> Self {
+        Self { geometry, rates }
+    }
+
+    /// The channel organisation being sampled.
+    pub fn geometry(&self) -> FaultGeometry {
+        self.geometry
+    }
+
+    /// The rates in force.
+    pub fn rates(&self) -> FitRates {
+        self.rates
+    }
+
+    /// Expected faults per channel over `hours`.
+    pub fn expected_faults(&self, hours: f64) -> f64 {
+        self.geometry.total_devices() as f64 * self.rates.total_fit() * 1e-9 * hours
+    }
+
+    /// Samples every fault arriving in `[0, hours)` for one channel,
+    /// time-ordered.
+    pub fn sample_lifetime<R: Rng + ?Sized>(&self, rng: &mut R, hours: f64) -> Vec<FaultEvent> {
+        let channel_rate = self.geometry.total_devices() as f64 * self.rates.total_fit() * 1e-9;
+        let mut events = Vec::new();
+        if channel_rate <= 0.0 {
+            return events;
+        }
+        let mut t = 0.0f64;
+        loop {
+            // Exponential inter-arrival via inverse CDF.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / channel_rate;
+            if t >= hours {
+                break;
+            }
+            events.push(self.draw_fault(rng, t));
+        }
+        events
+    }
+
+    /// Draws the mode and location of one fault arriving at `time_h`.
+    pub fn draw_fault<R: Rng + ?Sized>(&self, rng: &mut R, time_h: f64) -> FaultEvent {
+        let total = self.rates.total_fit();
+        let mut pick = rng.gen_range(0.0..total);
+        let mut mode = FaultMode::SingleBit;
+        for m in FaultMode::ALL {
+            let r = self.rates.fit(m);
+            if pick < r {
+                mode = m;
+                break;
+            }
+            pick -= r;
+        }
+        let g = &self.geometry;
+        let bank = rng.gen_range(0..g.banks);
+        let row = rng.gen_range(0..g.rows);
+        let col = rng.gen_range(0..g.cols);
+        let device_pos = rng.gen_range(0..g.devices_per_rank);
+        let rank = match mode {
+            FaultMode::MultiRank => None,
+            _ => Some(rng.gen_range(0..g.ranks)),
+        };
+        let transient = rng.gen_bool(mode.transient_fraction());
+        FaultEvent {
+            time_h,
+            mode,
+            transient,
+            rank,
+            device_pos,
+            set: g.address_set(mode, bank, row, col),
+        }
+    }
+
+    /// Expected fraction of pages affected by at least one fault after
+    /// `hours`, assuming independent placements (union bound with the
+    /// product form) — the closed-form curve behind Figure 3.1.
+    pub fn expected_faulty_page_fraction(&self, hours: f64) -> f64 {
+        let devices = self.geometry.total_devices() as f64;
+        let mut product = 1.0f64;
+        for m in FaultMode::ALL {
+            let lam = self.rates.per_hour(m) * devices * hours;
+            let frac = self.geometry.affected_page_fraction(m);
+            // Each fault independently spares a page w.p. (1 - frac);
+            // Poisson-many faults spare it w.p. exp(-lam * frac).
+            product *= (-lam * frac).exp();
+        }
+        1.0 - product
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sampler(mult: f64) -> FaultSampler {
+        FaultSampler::new(
+            FaultGeometry::paper_channel(),
+            FitRates::sridharan_sc12().scaled(mult),
+        )
+    }
+
+    #[test]
+    fn expected_fault_count_matches_hand_calc() {
+        // 72 devices x 58.8 FIT x 7 years = 0.265 faults.
+        let s = sampler(1.0);
+        let e = s.expected_faults(7.0 * HOURS_PER_YEAR);
+        assert!((e - 0.2596).abs() < 0.01, "expected {e}");
+    }
+
+    #[test]
+    fn sampled_count_tracks_expectation() {
+        let s = sampler(4.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let hours = 7.0 * HOURS_PER_YEAR;
+        let n_channels = 4000;
+        let total: usize = (0..n_channels)
+            .map(|_| s.sample_lifetime(&mut rng, hours).len())
+            .sum();
+        let mean = total as f64 / n_channels as f64;
+        let expect = s.expected_faults(hours);
+        assert!(
+            (mean - expect).abs() < 0.1 * expect + 0.02,
+            "mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_in_range() {
+        let s = sampler(8.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let hours = 10.0 * HOURS_PER_YEAR;
+        let ev = s.sample_lifetime(&mut rng, hours);
+        for w in ev.windows(2) {
+            assert!(w[0].time_h <= w[1].time_h);
+        }
+        for e in &ev {
+            assert!(e.time_h >= 0.0 && e.time_h < hours);
+            assert!(e.device_pos < 36);
+            if let Some(r) = e.rank {
+                assert!(r < 2);
+            } else {
+                assert_eq!(e.mode, FaultMode::MultiRank);
+            }
+        }
+    }
+
+    #[test]
+    fn mode_mix_tracks_rates() {
+        let s = sampler(1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut bit = 0usize;
+        let mut lane = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            let f = s.draw_fault(&mut rng, 0.0);
+            match f.mode {
+                FaultMode::SingleBit => bit += 1,
+                FaultMode::MultiRank => lane += 1,
+                _ => {}
+            }
+        }
+        let bit_frac = bit as f64 / n as f64;
+        let lane_frac = lane as f64 / n as f64;
+        // 29.8/58.8 = 0.507, 2.8/58.8 = 0.0476.
+        assert!((bit_frac - 0.507).abs() < 0.02, "bit {bit_frac}");
+        assert!((lane_frac - 0.0476).abs() < 0.01, "lane {lane_frac}");
+    }
+
+    #[test]
+    fn faulty_page_fraction_is_a_few_percent_by_year_seven() {
+        // The Figure 3.1 sanity anchor: a few percent at 1x/7y, roughly 4x
+        // that at 4x.
+        let one = sampler(1.0).expected_faulty_page_fraction(7.0 * HOURS_PER_YEAR);
+        let four = sampler(4.0).expected_faulty_page_fraction(7.0 * HOURS_PER_YEAR);
+        assert!((0.005..0.06).contains(&one), "1x fraction {one}");
+        assert!(four > 2.5 * one && four < 4.5 * one, "4x {four} vs 1x {one}");
+    }
+
+    #[test]
+    fn faulty_fraction_monotonic_in_time() {
+        let s = sampler(2.0);
+        let mut prev = 0.0;
+        for y in 1..=7 {
+            let f = s.expected_faulty_page_fraction(y as f64 * HOURS_PER_YEAR);
+            assert!(f > prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn zero_rates_produce_no_faults() {
+        let s = FaultSampler::new(
+            FaultGeometry::paper_channel(),
+            FitRates::sridharan_sc12().scaled(0.0),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(s.sample_lifetime(&mut rng, 1e6).is_empty());
+        assert_eq!(s.expected_faulty_page_fraction(1e6), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for fault geometry: address-set algebra and sampler
+//! soundness — what the SDC Monte Carlo's correctness rests on.
+
+use arcc_faults::montecarlo::FaultSampler;
+use arcc_faults::{AddressSet, DimSel, FaultGeometry, FaultMode, FitRates};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dimsel() -> impl Strategy<Value = DimSel> {
+    prop_oneof![
+        Just(DimSel::All),
+        (0u64..16).prop_map(DimSel::One),
+        (0u64..2).prop_map(DimSel::Half),
+    ]
+}
+
+fn addr_set() -> impl Strategy<Value = AddressSet> {
+    (dimsel(), dimsel(), dimsel()).prop_map(|(banks, rows, cols)| AddressSet { banks, rows, cols })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn intersects_is_symmetric(a in addr_set(), b in addr_set()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn intersection_agrees_with_intersects(a in addr_set(), b in addr_set()) {
+        prop_assert_eq!(a.intersection(&b).is_some(), a.intersects(&b));
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_shrinking(a in addr_set(), b in addr_set()) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(&ab, &ba);
+        if let Some(c) = ab {
+            // The intersection is contained in both operands.
+            prop_assert!(c.intersects(&a));
+            prop_assert!(c.intersects(&b));
+            // Intersecting again is a no-op (idempotence against a).
+            prop_assert_eq!(c.intersection(&a), Some(c));
+        }
+    }
+
+    #[test]
+    fn self_intersection_is_identity(a in addr_set()) {
+        prop_assert_eq!(a.intersection(&a), Some(a));
+        prop_assert!(a.intersects(&a));
+    }
+
+    #[test]
+    fn dim_fractions_bounded(d in dimsel(), size in 2u64..1024) {
+        let f = d.fraction(size);
+        prop_assert!(f > 0.0 && f <= 1.0);
+    }
+
+    #[test]
+    fn sampled_faults_are_well_formed(seed in any::<u64>(), mult in 1u32..8) {
+        let g = FaultGeometry::paper_channel();
+        let sampler = FaultSampler::new(g, FitRates::sridharan_sc12().scaled(mult as f64));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for f in sampler.sample_lifetime(&mut rng, 50_000.0) {
+            prop_assert!(f.device_pos < g.devices_per_rank);
+            match f.rank {
+                None => prop_assert_eq!(f.mode, FaultMode::MultiRank),
+                Some(r) => prop_assert!(r < g.ranks),
+            }
+            // A fault always overlaps itself-shaped sets.
+            prop_assert!(f.set.intersects(&f.set));
+            // The blast radius fraction is consistent with the mode.
+            let frac = g.affected_page_fraction(f.mode);
+            prop_assert!(frac > 0.0 && frac <= 1.0);
+        }
+    }
+
+    #[test]
+    fn blast_radius_ordering_holds(_x in 0..1) {
+        // Larger physical scope can never touch fewer pages.
+        let g = FaultGeometry::paper_channel();
+        let f = |m| g.affected_page_fraction(m);
+        prop_assert!(f(FaultMode::MultiRank) >= f(FaultMode::MultiBank));
+        prop_assert!(f(FaultMode::MultiBank) >= f(FaultMode::SingleBank));
+        prop_assert!(f(FaultMode::SingleBank) >= f(FaultMode::SingleColumn));
+        prop_assert!(f(FaultMode::SingleColumn) >= f(FaultMode::SingleRow));
+        prop_assert!(f(FaultMode::SingleRow) >= f(FaultMode::SingleBit));
+    }
+
+    #[test]
+    fn codeword_overlap_requires_shared_scope(
+        seed in any::<u64>(),
+    ) {
+        // Two faults drawn in different ranks never overlap; same-device
+        // faults never overlap (still one bad symbol).
+        let g = FaultGeometry::paper_channel();
+        let sampler = FaultSampler::new(g, FitRates::sridharan_sc12());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = sampler.draw_fault(&mut rng, 0.0);
+        let b = sampler.draw_fault(&mut rng, 1.0);
+        if let (Some(ra), Some(rb)) = (a.rank, b.rank) {
+            if ra != rb {
+                prop_assert!(!a.codeword_overlap(&b, false));
+            }
+        }
+        if a.device_pos == b.device_pos {
+            prop_assert!(!a.codeword_overlap(&b, false));
+        }
+        // Half-width overlap implies full-width overlap.
+        if a.codeword_overlap(&b, true) {
+            prop_assert!(a.codeword_overlap(&b, false));
+        }
+    }
+}

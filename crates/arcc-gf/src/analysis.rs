@@ -1,0 +1,156 @@
+//! Empirical code-strength analysis: measuring what happens *beyond* the
+//! guarantee region.
+//!
+//! Chapter 6 of the ARCC paper reasons about silent data corruption in
+//! terms of guaranteed detection counts, but the residual risk when a
+//! pattern exceeds the guarantee is a *miscorrection* — the decoder maps
+//! the corrupted word onto a different valid codeword. For an RS code with
+//! `r` check symbols run at correction radius `t`, a random overload
+//! pattern escapes detection with probability roughly
+//! `sum_{e<=t} C(n,e) * (q-1)^e / q^r` — a few percent for the relaxed
+//! RS(18,16) code at `t = 1`. These functions measure the real rate so the
+//! reliability model's assumptions can be checked against the actual
+//! decoder rather than folklore.
+
+use rand::Rng;
+
+use crate::field::GaloisField;
+use crate::rs::ReedSolomon;
+
+/// Result of a miscorrection measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiscorrectionRate {
+    /// Trials run.
+    pub trials: u64,
+    /// Patterns flagged detected-uncorrectable (the safe outcome).
+    pub detected: u64,
+    /// Patterns silently decoded to a *wrong* codeword.
+    pub miscorrected: u64,
+}
+
+impl MiscorrectionRate {
+    /// Fraction of overload patterns that escape detection.
+    pub fn escape_probability(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.miscorrected as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Injects `errors` random distinct-position, non-zero-magnitude symbol
+/// errors into random codewords `trials` times and counts how often the
+/// decoder (at policy limit `max_errors`) silently miscorrects.
+///
+/// # Panics
+///
+/// Panics if `errors` is 0 or exceeds the code length.
+pub fn measure_miscorrection_rate<F: GaloisField, R: Rng + ?Sized>(
+    rs: &ReedSolomon<F>,
+    errors: usize,
+    max_errors: usize,
+    trials: u64,
+    rng: &mut R,
+) -> MiscorrectionRate {
+    assert!(errors > 0 && errors <= rs.n(), "error count out of range");
+    let mut out = MiscorrectionRate {
+        trials,
+        detected: 0,
+        miscorrected: 0,
+    };
+    let max_sym = (F::ORDER - 1) as u8;
+    for _ in 0..trials {
+        let data: Vec<u8> = (0..rs.k()).map(|_| rng.gen_range(0..=max_sym)).collect();
+        let clean = rs.encode_to_codeword(&data).expect("valid length");
+        let mut cw = clean.clone();
+        // Distinct positions, non-zero magnitudes.
+        let mut positions = Vec::with_capacity(errors);
+        while positions.len() < errors {
+            let p = rng.gen_range(0..rs.n());
+            if !positions.contains(&p) {
+                positions.push(p);
+            }
+        }
+        for &p in &positions {
+            cw[p] ^= rng.gen_range(1..=max_sym);
+        }
+        match rs.decode_with_limit(&mut cw, &[], max_errors) {
+            Err(_) => out.detected += 1,
+            Ok(_) => {
+                debug_assert_ne!(cw, clean, "overload cannot decode to the original");
+                out.miscorrected += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Gf256;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn relaxed_code_overload_escape_rate() {
+        // RS(18,16) at t=1 with 2 errors: escape probability is about
+        // n * (q-1) / q^2 ~ 18 * 255 / 65536 ~ 7% — the residual SDC risk
+        // the relaxed mode carries, and why the paper keeps scrub windows
+        // short.
+        let rs = ReedSolomon::<Gf256>::new(18, 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = measure_miscorrection_rate(&rs, 2, 1, 20_000, &mut rng);
+        let p = m.escape_probability();
+        assert!((0.03..0.12).contains(&p), "escape rate {p}");
+        assert_eq!(m.detected + m.miscorrected, m.trials);
+    }
+
+    #[test]
+    fn sccdcd_policy_overload_is_much_safer() {
+        // RS(36,32) at t=1 with 2 errors is *guaranteed* detected (the
+        // SCCDCD design point): zero escapes.
+        let rs = ReedSolomon::<Gf256>::new(36, 32).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = measure_miscorrection_rate(&rs, 2, 1, 5_000, &mut rng);
+        assert_eq!(m.miscorrected, 0, "guaranteed detection violated");
+    }
+
+    #[test]
+    fn sccdcd_triple_overload_has_small_escape_rate() {
+        // 3 errors against detect-2: escapes become possible but stay
+        // small (~ C(36,1)(q-1)/q^4 scale per radius-1 ball — well under
+        // a percent).
+        let rs = ReedSolomon::<Gf256>::new(36, 32).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = measure_miscorrection_rate(&rs, 3, 1, 20_000, &mut rng);
+        let p = m.escape_probability();
+        assert!(p < 0.01, "triple-error escape rate {p}");
+    }
+
+    #[test]
+    fn full_power_decoding_raises_escape_risk() {
+        // The same RS(36,32) decoded at full t=2 with 3 errors escapes
+        // MORE often than at t=1 — the quantitative reason SCCDCD
+        // deliberately under-decodes.
+        let rs = ReedSolomon::<Gf256>::new(36, 32).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let limited = measure_miscorrection_rate(&rs, 3, 1, 20_000, &mut rng);
+        let full = measure_miscorrection_rate(&rs, 3, 2, 20_000, &mut rng);
+        assert!(
+            full.escape_probability() > limited.escape_probability(),
+            "full {} vs limited {}",
+            full.escape_probability(),
+            limited.escape_probability()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "error count out of range")]
+    fn zero_errors_rejected() {
+        let rs = ReedSolomon::<Gf256>::new(18, 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = measure_miscorrection_rate(&rs, 0, 1, 10, &mut rng);
+    }
+}

@@ -1,0 +1,584 @@
+//! Chipkill codeword layouts: striping memory lines across DRAM devices so
+//! that each codeword holds at most one symbol per device.
+//!
+//! A *line* (64 B relaxed, 128 B upgraded, 256 B doubly-upgraded) is split
+//! into `beats` codewords of one data symbol per data device plus one check
+//! symbol per redundant device (Figure 2.1 / Figure 4.1 of the paper). A
+//! whole-device failure therefore corrupts exactly one symbol in each
+//! codeword of the line — the property that makes chipkill work.
+//!
+//! ```
+//! use arcc_gf::chipkill::LineCodec;
+//!
+//! // ARCC relaxed mode: 18 x8 devices, 4 beats, 64-byte lines.
+//! let codec = LineCodec::relaxed_x8();
+//! let line = vec![0xA5u8; codec.data_bytes()];
+//! let mut enc = codec.encode_line(&line).unwrap();
+//! enc.kill_device(7, 0x00); // device 7 goes silent (stuck-at-0)
+//! let outcome = codec.decode_line(&mut enc, &[], 1).unwrap();
+//! assert_eq!(outcome.corrected_devices, vec![7]);
+//! assert_eq!(codec.extract_data(&enc), line);
+//! ```
+
+use std::fmt;
+
+use crate::field::Gf256;
+use crate::rs::{DecodeError, ReedSolomon, RsError};
+
+/// An encoded line: one symbol per (device, beat).
+///
+/// Symbols are stored device-major (`symbol(d, b)` at `d * beats + b`) so a
+/// device failure is a contiguous stripe — mirroring the physical layout
+/// where each device owns its own data pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedLine {
+    symbols: Vec<u8>,
+    devices: usize,
+    beats: usize,
+}
+
+impl EncodedLine {
+    /// Symbol held by `device` at `beat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn symbol(&self, device: usize, beat: usize) -> u8 {
+        assert!(device < self.devices && beat < self.beats);
+        self.symbols[device * self.beats + beat]
+    }
+
+    /// Overwrites the symbol held by `device` at `beat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn set_symbol(&mut self, device: usize, beat: usize, value: u8) {
+        assert!(device < self.devices && beat < self.beats);
+        self.symbols[device * self.beats + beat] = value;
+    }
+
+    /// XORs an error pattern into one symbol (models a transient flip).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn corrupt_symbol(&mut self, device: usize, beat: usize, xor: u8) {
+        let v = self.symbol(device, beat);
+        self.set_symbol(device, beat, v ^ xor);
+    }
+
+    /// Forces every beat of `device` to `value` — a whole-device (chipkill)
+    /// failure such as a dead chip driving its output stuck-at.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `device` is out of range.
+    pub fn kill_device(&mut self, device: usize, value: u8) {
+        assert!(device < self.devices);
+        for b in 0..self.beats {
+            self.symbols[device * self.beats + b] = value;
+        }
+    }
+
+    /// XORs a pattern into every beat of `device` (address-decoder style
+    /// corruption where the chip returns wrong but live data).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `device` is out of range.
+    pub fn corrupt_device(&mut self, device: usize, xor: u8) {
+        assert!(device < self.devices);
+        for b in 0..self.beats {
+            self.symbols[device * self.beats + b] ^= xor;
+        }
+    }
+
+    /// Number of devices holding this line.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Codewords (beats) per line.
+    pub fn beats(&self) -> usize {
+        self.beats
+    }
+
+    /// Raw symbol storage, device-major.
+    pub fn raw_symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+}
+
+/// Outcome of decoding all codewords of a line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LineOutcome {
+    /// Devices that had at least one symbol corrected, ascending.
+    pub corrected_devices: Vec<usize>,
+    /// Total symbols corrected across all beats.
+    pub symbols_corrected: usize,
+}
+
+impl LineOutcome {
+    /// True when the line decoded without any correction.
+    pub fn is_clean(&self) -> bool {
+        self.symbols_corrected == 0
+    }
+}
+
+/// Error from [`LineCodec::decode_line`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineError {
+    /// A codeword in the line was detected-uncorrectable: a DUE for this
+    /// line. `beat` is the first failing codeword.
+    Due {
+        /// Index of the first uncorrectable codeword.
+        beat: usize,
+        /// Underlying decoder error.
+        source: DecodeError,
+    },
+}
+
+impl fmt::Display for LineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LineError::Due { beat, source } => {
+                write!(f, "detected uncorrectable error in codeword {beat}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LineError::Due { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Encoder/decoder for a whole line under one chipkill organisation.
+#[derive(Debug, Clone)]
+pub struct LineCodec {
+    rs: ReedSolomon<Gf256>,
+    devices: usize,
+    data_devices: usize,
+    beats: usize,
+}
+
+impl LineCodec {
+    /// Creates a codec striping `beats` codewords across `devices` devices,
+    /// of which `data_devices` carry data (the rest carry check symbols).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::InvalidParams`] when the implied `RS(devices,
+    /// data_devices)` code is invalid or `beats == 0`.
+    pub fn new(devices: usize, data_devices: usize, beats: usize) -> Result<Self, RsError> {
+        if beats == 0 {
+            return Err(RsError::InvalidParams {
+                n: devices,
+                k: data_devices,
+                max_n: 0,
+            });
+        }
+        let rs = ReedSolomon::new(devices, data_devices)?;
+        Ok(Self {
+            rs,
+            devices,
+            data_devices,
+            beats,
+        })
+    }
+
+    /// ARCC relaxed mode: 18 x8 devices (16 data + 2 check), 4 beats —
+    /// 64-byte lines, corrects 1 bad symbol per codeword.
+    pub fn relaxed_x8() -> Self {
+        Self::new(18, 16, 4).expect("static parameters are valid")
+    }
+
+    /// ARCC upgraded mode: two 18-device ranks on two channels in lockstep,
+    /// 36 symbols per codeword (32 data + 4 check), 4 beats — 128-byte
+    /// upgraded lines.
+    pub fn upgraded_two_channel() -> Self {
+        Self::new(36, 32, 4).expect("static parameters are valid")
+    }
+
+    /// Commercial SCCDCD: 36 x4 devices in a lockstep logical rank. An 8-bit
+    /// symbol gathers two 4-bit beats of one device, so a 64-byte line is 2
+    /// codewords.
+    pub fn sccdcd_x4() -> Self {
+        Self::new(36, 32, 2).expect("static parameters are valid")
+    }
+
+    /// Second-level upgrade (§5.1): four channels in lockstep, 72 symbols
+    /// per codeword (64 data + 8 check), 256-byte lines.
+    pub fn upgraded_four_channel() -> Self {
+        Self::new(72, 64, 4).expect("static parameters are valid")
+    }
+
+    /// Devices per codeword (`n`).
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Data devices per codeword (`k`).
+    pub fn data_devices(&self) -> usize {
+        self.data_devices
+    }
+
+    /// Check symbols per codeword.
+    pub fn check_symbols(&self) -> usize {
+        self.devices - self.data_devices
+    }
+
+    /// Codewords per line.
+    pub fn beats(&self) -> usize {
+        self.beats
+    }
+
+    /// Data payload of one line in bytes.
+    pub fn data_bytes(&self) -> usize {
+        self.data_devices * self.beats
+    }
+
+    /// Storage overhead of the organisation (check/data ratio), e.g. `0.125`
+    /// for 32+4 chipkill.
+    pub fn storage_overhead(&self) -> f64 {
+        self.check_symbols() as f64 / self.data_devices as f64
+    }
+
+    /// The underlying Reed–Solomon code.
+    pub fn code(&self) -> &ReedSolomon<Gf256> {
+        &self.rs
+    }
+
+    /// Encodes a data line into per-device symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::LengthMismatch`] when `data.len()` differs from
+    /// [`data_bytes`](Self::data_bytes).
+    pub fn encode_line(&self, data: &[u8]) -> Result<EncodedLine, RsError> {
+        if data.len() != self.data_bytes() {
+            return Err(RsError::LengthMismatch {
+                expected: self.data_bytes(),
+                got: data.len(),
+            });
+        }
+        let mut symbols = vec![0u8; self.devices * self.beats];
+        let mut cw_data = vec![0u8; self.data_devices];
+        for beat in 0..self.beats {
+            // Beat b carries data bytes [b*k, (b+1)*k): consecutive bytes map
+            // to consecutive devices, matching the bus interleaving.
+            cw_data.copy_from_slice(&data[beat * self.data_devices..(beat + 1) * self.data_devices]);
+            let parity = self.rs.encode(&cw_data).expect("length checked above");
+            for d in 0..self.data_devices {
+                symbols[d * self.beats + beat] = cw_data[d];
+            }
+            for (i, &p) in parity.iter().enumerate() {
+                symbols[(self.data_devices + i) * self.beats + beat] = p;
+            }
+        }
+        Ok(EncodedLine {
+            symbols,
+            devices: self.devices,
+            beats: self.beats,
+        })
+    }
+
+    /// Decodes every codeword of the line in place.
+    ///
+    /// `erased_devices` are devices known bad (e.g. spared-out chips); their
+    /// symbols are treated as erasures in every beat. `max_errors_per_cw`
+    /// is the correction policy limit (see
+    /// [`ReedSolomon::decode_with_limit`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LineError::Due`] when any codeword is uncorrectable; symbols of
+    /// *earlier* beats may already be corrected (they were independently
+    /// valid corrections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded line's geometry does not match this codec.
+    pub fn decode_line(
+        &self,
+        line: &mut EncodedLine,
+        erased_devices: &[usize],
+        max_errors_per_cw: usize,
+    ) -> Result<LineOutcome, LineError> {
+        assert_eq!(line.devices, self.devices, "device count mismatch");
+        assert_eq!(line.beats, self.beats, "beat count mismatch");
+        let mut corrected_devices = Vec::new();
+        let mut symbols_corrected = 0usize;
+        let mut cw = vec![0u8; self.devices];
+        for beat in 0..self.beats {
+            for d in 0..self.devices {
+                cw[d] = line.symbols[d * self.beats + beat];
+            }
+            match self.rs.decode_with_limit(&mut cw, erased_devices, max_errors_per_cw) {
+                Ok(outcome) => {
+                    for c in outcome.corrections() {
+                        if !corrected_devices.contains(&c.position) {
+                            corrected_devices.push(c.position);
+                        }
+                        symbols_corrected += 1;
+                        line.symbols[c.position * self.beats + beat] = cw[c.position];
+                    }
+                }
+                Err(source) => return Err(LineError::Due { beat, source }),
+            }
+        }
+        corrected_devices.sort_unstable();
+        Ok(LineOutcome {
+            corrected_devices,
+            symbols_corrected,
+        })
+    }
+
+    /// Detect-only scan: returns `true` when any codeword has a non-zero
+    /// syndrome (used by the scrubber's cheap first pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded line's geometry does not match this codec.
+    pub fn detect_line(&self, line: &EncodedLine) -> bool {
+        assert_eq!(line.devices, self.devices, "device count mismatch");
+        assert_eq!(line.beats, self.beats, "beat count mismatch");
+        let mut cw = vec![0u8; self.devices];
+        for beat in 0..self.beats {
+            for d in 0..self.devices {
+                cw[d] = line.symbols[d * self.beats + beat];
+            }
+            if self.rs.detect(&cw) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Extracts the data payload from an encoded line (no checking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded line's geometry does not match this codec.
+    pub fn extract_data(&self, line: &EncodedLine) -> Vec<u8> {
+        assert_eq!(line.devices, self.devices, "device count mismatch");
+        assert_eq!(line.beats, self.beats, "beat count mismatch");
+        let mut out = vec![0u8; self.data_bytes()];
+        for beat in 0..self.beats {
+            for d in 0..self.data_devices {
+                out[beat * self.data_devices + d] = line.symbols[d * self.beats + beat];
+            }
+        }
+        out
+    }
+
+    /// Joins two relaxed lines (each encoded under `self`) into one line
+    /// under `wider`, re-encoding the concatenated data — the ARCC upgrade
+    /// operation of Figure 4.1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RsError`] when the geometries are incompatible (the
+    /// wider codec must carry exactly twice the data of `self`).
+    pub fn join_upgrade(
+        &self,
+        a: &EncodedLine,
+        b: &EncodedLine,
+        wider: &LineCodec,
+    ) -> Result<EncodedLine, RsError> {
+        let mut data = self.extract_data(a);
+        data.extend(self.extract_data(b));
+        wider.encode_line(&data)
+    }
+
+    /// Splits an upgraded line's payload back into two relaxed lines
+    /// (downgrade / page release path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RsError`] when geometries are incompatible.
+    pub fn split_downgrade(
+        &self,
+        upgraded: &EncodedLine,
+        narrow: &LineCodec,
+    ) -> Result<(EncodedLine, EncodedLine), RsError> {
+        let data = self.extract_data(upgraded);
+        let half = data.len() / 2;
+        let a = narrow.encode_line(&data[..half])?;
+        let b = narrow.encode_line(&data[half..])?;
+        Ok((a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_geometries() {
+        let relaxed = LineCodec::relaxed_x8();
+        assert_eq!(relaxed.data_bytes(), 64);
+        assert_eq!(relaxed.check_symbols(), 2);
+        assert!((relaxed.storage_overhead() - 0.125).abs() < 1e-12);
+
+        let up = LineCodec::upgraded_two_channel();
+        assert_eq!(up.data_bytes(), 128);
+        assert_eq!(up.check_symbols(), 4);
+        assert!((up.storage_overhead() - 0.125).abs() < 1e-12);
+
+        let base = LineCodec::sccdcd_x4();
+        assert_eq!(base.data_bytes(), 64);
+        assert_eq!(base.check_symbols(), 4);
+
+        let up2 = LineCodec::upgraded_four_channel();
+        assert_eq!(up2.data_bytes(), 256);
+        assert_eq!(up2.check_symbols(), 8);
+        assert!((up2.storage_overhead() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_extract_roundtrip() {
+        let codec = LineCodec::relaxed_x8();
+        let data: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        let enc = codec.encode_line(&data).unwrap();
+        assert_eq!(codec.extract_data(&enc), data);
+        assert!(!codec.detect_line(&enc));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let codec = LineCodec::relaxed_x8();
+        assert!(codec.encode_line(&[0u8; 63]).is_err());
+    }
+
+    #[test]
+    fn whole_device_failure_corrected_in_every_organisation() {
+        for codec in [
+            LineCodec::relaxed_x8(),
+            LineCodec::upgraded_two_channel(),
+            LineCodec::sccdcd_x4(),
+            LineCodec::upgraded_four_channel(),
+        ] {
+            let data: Vec<u8> = (0..codec.data_bytes()).map(|i| (i * 31 + 7) as u8).collect();
+            let clean = codec.encode_line(&data).unwrap();
+            for victim in [0, codec.data_devices() - 1, codec.devices() - 1] {
+                let mut enc = clean.clone();
+                enc.kill_device(victim, 0xff);
+                let out = codec.decode_line(&mut enc, &[], 1).unwrap();
+                assert!(out.corrected_devices == vec![victim] || out.is_clean());
+                assert_eq!(codec.extract_data(&enc), data, "device {victim}");
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_mode_double_device_failure_is_not_guaranteed() {
+        // Two bad devices exceed the relaxed code entirely.
+        let codec = LineCodec::relaxed_x8();
+        let data = vec![0x77u8; 64];
+        let mut enc = codec.encode_line(&data).unwrap();
+        enc.corrupt_device(2, 0x18);
+        enc.corrupt_device(11, 0xc3);
+        match codec.decode_line(&mut enc, &[], 1) {
+            Err(LineError::Due { .. }) => {}
+            Ok(_) => {
+                // Miscorrection is possible in theory, but data must differ.
+                assert_ne!(codec.extract_data(&enc), data);
+            }
+        }
+    }
+
+    #[test]
+    fn upgraded_mode_corrects_double_device_failure_with_full_power() {
+        let codec = LineCodec::upgraded_two_channel();
+        let data: Vec<u8> = (0..128).map(|i| (i ^ 0x5a) as u8).collect();
+        let mut enc = codec.encode_line(&data).unwrap();
+        enc.corrupt_device(4, 0x21);
+        enc.corrupt_device(22, 0x84);
+        let out = codec.decode_line(&mut enc, &[], 2).unwrap();
+        assert_eq!(out.corrected_devices, vec![4, 22]);
+        assert_eq!(codec.extract_data(&enc), data);
+    }
+
+    #[test]
+    fn upgraded_mode_policy_one_detects_double_failure() {
+        // SCCDCD-style policy: correct 1, report 2 as DUE.
+        let codec = LineCodec::upgraded_two_channel();
+        let data = vec![0u8; 128];
+        let mut enc = codec.encode_line(&data).unwrap();
+        enc.corrupt_device(4, 0x21);
+        enc.corrupt_device(22, 0x84);
+        assert!(matches!(
+            codec.decode_line(&mut enc, &[], 1),
+            Err(LineError::Due { .. })
+        ));
+    }
+
+    #[test]
+    fn sparing_decodes_known_bad_device_as_erasure() {
+        // Double chip sparing: first bad chip is known; a second new error
+        // is still correctable (erasure + 1 error <= 4 check symbols needs
+        // 2e + nu <= 4).
+        let codec = LineCodec::sccdcd_x4();
+        let data: Vec<u8> = (0..64).map(|i| (200 - i) as u8).collect();
+        let mut enc = codec.encode_line(&data).unwrap();
+        enc.kill_device(9, 0x00); // known-bad (detected earlier)
+        enc.corrupt_device(30, 0x42); // fresh failure
+        let out = codec.decode_line(&mut enc, &[9], 1).unwrap();
+        assert!(out.corrected_devices.contains(&30));
+        assert_eq!(codec.extract_data(&enc), data);
+    }
+
+    #[test]
+    fn join_upgrade_preserves_data_and_strengthens() {
+        let relaxed = LineCodec::relaxed_x8();
+        let upgraded = LineCodec::upgraded_two_channel();
+        let a_data: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        let b_data: Vec<u8> = (64..128).map(|i| i as u8).collect();
+        let a = relaxed.encode_line(&a_data).unwrap();
+        let b = relaxed.encode_line(&b_data).unwrap();
+        let mut joined = relaxed.join_upgrade(&a, &b, &upgraded).unwrap();
+        // Joined payload is the concatenation.
+        let all = upgraded.extract_data(&joined);
+        assert_eq!(&all[..64], &a_data[..]);
+        assert_eq!(&all[64..], &b_data[..]);
+        // And it now survives a double-device failure.
+        joined.corrupt_device(0, 0x11);
+        joined.corrupt_device(35, 0x99);
+        upgraded.decode_line(&mut joined, &[], 2).unwrap();
+        assert_eq!(upgraded.extract_data(&joined), all);
+    }
+
+    #[test]
+    fn split_downgrade_roundtrips() {
+        let relaxed = LineCodec::relaxed_x8();
+        let upgraded = LineCodec::upgraded_two_channel();
+        let data: Vec<u8> = (0..128).map(|i| (i * 3) as u8).collect();
+        let joined = upgraded.encode_line(&data).unwrap();
+        let (a, b) = upgraded.split_downgrade(&joined, &relaxed).unwrap();
+        assert_eq!(relaxed.extract_data(&a), &data[..64]);
+        assert_eq!(relaxed.extract_data(&b), &data[64..]);
+        assert!(!relaxed.detect_line(&a));
+        assert!(!relaxed.detect_line(&b));
+    }
+
+    #[test]
+    fn detect_line_sees_single_symbol_corruption() {
+        let codec = LineCodec::relaxed_x8();
+        let clean = codec.encode_line(&vec![9u8; 64]).unwrap();
+        for beat in 0..4 {
+            let mut enc = clean.clone();
+            enc.corrupt_symbol(17, beat, 0x01);
+            assert!(codec.detect_line(&enc), "beat {beat}");
+        }
+    }
+
+    #[test]
+    fn zero_beats_rejected() {
+        assert!(LineCodec::new(18, 16, 0).is_err());
+    }
+}

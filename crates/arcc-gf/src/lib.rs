@@ -1,0 +1,50 @@
+//! Galois-field arithmetic and Reed–Solomon symbol codes for chipkill-correct
+//! memory ECC.
+//!
+//! This crate is the mathematical substrate of the ARCC reproduction. Every
+//! chipkill-correct scheme in the paper — commercial SCCDCD, double chip
+//! sparing, the relaxed 2-check-symbol code ARCC starts pages in, and the
+//! joined 4- and 8-check-symbol codewords ARCC upgrades to — is a shortened
+//! symbol-based linear block code. We implement them all as shortened
+//! Reed–Solomon codes over GF(2^8) (with GF(2^4) also provided for narrow
+//! codes and tests), with a full errors-and-erasures decoder.
+//!
+//! # Layout conventions
+//!
+//! A codeword is a slice of `n` symbols, `data[0..k]` followed by
+//! `check[0..n-k]`. Symbol `j` corresponds to the coefficient of
+//! `x^(n-1-j)`, i.e. symbols are in transmission order, highest power first.
+//! In a chipkill organisation each symbol of a codeword is stored in a
+//! different DRAM device (see [`chipkill`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use arcc_gf::{Gf256, ReedSolomon};
+//!
+//! // The ARCC "relaxed" code: 18 symbols, 2 of them checks (one per device
+//! // in an 18-device rank). Corrects any single bad symbol.
+//! let rs = ReedSolomon::<Gf256>::new(18, 16).unwrap();
+//! let mut cw = rs.encode_to_codeword(&[7u8; 16]).unwrap();
+//! cw[3] ^= 0x5a; // a device returns garbage
+//! let outcome = rs.decode(&mut cw, &[]).unwrap();
+//! assert_eq!(outcome.corrected_positions(), &[3]);
+//! assert_eq!(&cw[..16], &[7u8; 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod poly;
+mod rs;
+
+pub mod analysis;
+pub mod chipkill;
+
+pub use field::{GaloisField, Gf16, Gf256};
+pub use poly::Poly;
+pub use rs::{DecodeError, DecodeOutcome, ReedSolomon, RsError};
+
+/// Crate-level result alias.
+pub type Result<T, E = RsError> = std::result::Result<T, E>;

@@ -1,0 +1,294 @@
+//! Dense polynomials over a [`GaloisField`].
+//!
+//! Coefficients are stored little-endian: `coeffs[i]` is the coefficient of
+//! `x^i`. The zero polynomial is represented by an empty coefficient vector
+//! (or all-zero, which `normalize` trims).
+
+use std::marker::PhantomData;
+
+use crate::field::GaloisField;
+
+/// A polynomial over the field `F` with `u8`-packed coefficients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly<F: GaloisField> {
+    coeffs: Vec<u8>,
+    _field: PhantomData<F>,
+}
+
+impl<F: GaloisField> Default for Poly<F> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<F: GaloisField> Poly<F> {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self {
+            coeffs: Vec::new(),
+            _field: PhantomData,
+        }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Self::from_coeffs(vec![1])
+    }
+
+    /// Builds a polynomial from little-endian coefficients (`c[i]` multiplies
+    /// `x^i`), trimming high zero terms.
+    pub fn from_coeffs(coeffs: Vec<u8>) -> Self {
+        let mut p = Self {
+            coeffs,
+            _field: PhantomData,
+        };
+        p.normalize();
+        p
+    }
+
+    /// The monomial `c * x^d`.
+    pub fn monomial(c: u8, d: usize) -> Self {
+        if c == 0 {
+            return Self::zero();
+        }
+        let mut coeffs = vec![0u8; d + 1];
+        coeffs[d] = c;
+        Self {
+            coeffs,
+            _field: PhantomData,
+        }
+    }
+
+    /// Degree of the polynomial; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// Coefficient of `x^i` (zero beyond the stored degree).
+    #[inline]
+    pub fn coeff(&self, i: usize) -> u8 {
+        self.coeffs.get(i).copied().unwrap_or(0)
+    }
+
+    /// Little-endian coefficient slice (highest stored term is non-zero).
+    pub fn coeffs(&self) -> &[u8] {
+        &self.coeffs
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    fn normalize(&mut self) {
+        while self.coeffs.last() == Some(&0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Polynomial addition (== subtraction in characteristic 2).
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0u8; n];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = F::add(self.coeff(i), other.coeff(i));
+        }
+        Self::from_coeffs(out)
+    }
+
+    /// Polynomial multiplication (schoolbook; degrees here are tiny).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u8; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] = F::add(out[i + j], F::mul(a, b));
+            }
+        }
+        Self::from_coeffs(out)
+    }
+
+    /// Multiplies every coefficient by the scalar `s`.
+    pub fn scale(&self, s: u8) -> Self {
+        Self::from_coeffs(self.coeffs.iter().map(|&c| F::mul(c, s)).collect())
+    }
+
+    /// `self mod x^k` — truncates to the low `k` coefficients.
+    pub fn truncate(&self, k: usize) -> Self {
+        Self::from_coeffs(self.coeffs.iter().copied().take(k).collect())
+    }
+
+    /// Horner evaluation at the point `x`.
+    pub fn eval(&self, x: u8) -> u8 {
+        let mut acc = 0u8;
+        for &c in self.coeffs.iter().rev() {
+            acc = F::add(F::mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Formal derivative. In characteristic 2 only odd-power terms survive:
+    /// `d/dx x^i = i * x^(i-1)` and `i` is taken mod 2.
+    pub fn derivative(&self) -> Self {
+        if self.coeffs.len() <= 1 {
+            return Self::zero();
+        }
+        let mut out = vec![0u8; self.coeffs.len() - 1];
+        for i in (1..self.coeffs.len()).step_by(2) {
+            out[i - 1] = self.coeffs[i];
+        }
+        Self::from_coeffs(out)
+    }
+
+    /// Polynomial long division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is the zero polynomial.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero polynomial");
+        let dd = divisor.degree().expect("non-zero divisor");
+        let lead_inv = F::inv(divisor.coeff(dd)).expect("non-zero leading coefficient");
+        let mut rem = self.coeffs.clone();
+        if rem.len() <= dd {
+            return (Self::zero(), self.clone());
+        }
+        let qlen = rem.len() - dd;
+        let mut quot = vec![0u8; qlen];
+        for qi in (0..qlen).rev() {
+            let lead = rem[qi + dd];
+            if lead == 0 {
+                continue;
+            }
+            let q = F::mul(lead, lead_inv);
+            quot[qi] = q;
+            for (di, &dc) in divisor.coeffs.iter().enumerate() {
+                rem[qi + di] = F::add(rem[qi + di], F::mul(q, dc));
+            }
+        }
+        (Self::from_coeffs(quot), Self::from_coeffs(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{Gf16, Gf256};
+
+    type P = Poly<Gf256>;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(P::zero().is_zero());
+        assert_eq!(P::one().degree(), Some(0));
+        assert_eq!(P::zero().degree(), None);
+        assert_eq!(P::default(), P::zero());
+    }
+
+    #[test]
+    fn from_coeffs_trims_leading_zeros() {
+        let p = P::from_coeffs(vec![1, 2, 0, 0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coeffs(), &[1, 2]);
+    }
+
+    #[test]
+    fn add_is_self_inverse() {
+        let p = P::from_coeffs(vec![3, 1, 4, 1, 5]);
+        assert!(p.add(&p).is_zero());
+        assert_eq!(p.add(&P::zero()), p);
+    }
+
+    #[test]
+    fn mul_degree_adds() {
+        let a = P::from_coeffs(vec![1, 1]); // x + 1
+        let b = P::from_coeffs(vec![2, 0, 1]); // x^2 + 2
+        assert_eq!(a.mul(&b).degree(), Some(3));
+        assert_eq!(a.mul(&P::zero()), P::zero());
+        assert_eq!(a.mul(&P::one()), a);
+    }
+
+    #[test]
+    fn eval_horner_matches_sum() {
+        let p = P::from_coeffs(vec![7, 2, 0, 9]);
+        for x in [0u8, 1, 2, 55, 200] {
+            let direct = {
+                use crate::field::GaloisField;
+                let mut acc = 0u8;
+                for (i, &c) in p.coeffs().iter().enumerate() {
+                    acc = Gf256::add(acc, Gf256::mul(c, Gf256::pow(x, i as u32)));
+                }
+                acc
+            };
+            assert_eq!(p.eval(x), direct, "x={x}");
+        }
+    }
+
+    #[test]
+    fn derivative_keeps_odd_terms() {
+        // p = 3 + 5x + 7x^2 + 9x^3 -> p' = 5 + 9x^2 (char 2)
+        let p = P::from_coeffs(vec![3, 5, 7, 9]);
+        assert_eq!(p.derivative().coeffs(), &[5, 0, 9]);
+        assert!(P::one().derivative().is_zero());
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let a = P::from_coeffs(vec![1, 2, 3, 4, 5, 6]);
+        let d = P::from_coeffs(vec![7, 0, 1]);
+        let (q, r) = a.div_rem(&d);
+        let back = q.mul(&d).add(&r);
+        assert_eq!(back, a);
+        assert!(r.degree().unwrap_or(0) < d.degree().unwrap());
+    }
+
+    #[test]
+    fn div_rem_small_by_large() {
+        let a = P::from_coeffs(vec![1, 2]);
+        let d = P::from_coeffs(vec![1, 2, 3, 4]);
+        let (q, r) = a.div_rem(&d);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero polynomial")]
+    fn div_by_zero_panics() {
+        let a = P::from_coeffs(vec![1, 2]);
+        let _ = a.div_rem(&P::zero());
+    }
+
+    #[test]
+    fn works_over_gf16() {
+        let a = Poly::<Gf16>::from_coeffs(vec![1, 2, 3]);
+        let b = Poly::<Gf16>::from_coeffs(vec![5, 1]);
+        let (q, r) = a.mul(&b).div_rem(&b);
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn truncate_mod_xk() {
+        let p = P::from_coeffs(vec![1, 2, 3, 4]);
+        assert_eq!(p.truncate(2).coeffs(), &[1, 2]);
+        assert_eq!(p.truncate(0), P::zero());
+        assert_eq!(p.truncate(10), p);
+    }
+
+    #[test]
+    fn monomial_basics() {
+        let m = P::monomial(5, 3);
+        assert_eq!(m.degree(), Some(3));
+        assert_eq!(m.coeff(3), 5);
+        assert!(P::monomial(0, 3).is_zero());
+    }
+}

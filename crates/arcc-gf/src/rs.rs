@@ -1,0 +1,716 @@
+//! Shortened Reed–Solomon codes with an errors-and-erasures decoder.
+//!
+//! This is the machinery behind every chipkill organisation in the ARCC
+//! paper:
+//!
+//! * the **relaxed** code ARCC starts every page in — `RS(18, 16)`, one
+//!   symbol per device of an 18-device rank, corrects any 1 bad symbol;
+//! * the **upgraded** code after a fault is detected — `RS(36, 32)` spanning
+//!   two lockstep channels, corrects 2 / detects up to 4 bad symbols;
+//! * the commercial **SCCDCD** code — `RS(36, 32)` with a correct-1 policy;
+//! * **double chip sparing** — `RS(36, 32)` decoding known-bad devices as
+//!   erasures;
+//! * the **second-level upgrade** of §5.1 — `RS(72, 64)` across four
+//!   channels.
+//!
+//! The decoder implements Berlekamp–Massey with erasure initialisation,
+//! Chien search, and Forney's algorithm, plus a *policy limit* on the number
+//! of corrected errors so that schemes which deliberately under-use a code's
+//! correction power (e.g. SCCDCD's correct-1/detect-2) can be expressed.
+
+use std::fmt;
+
+use crate::field::GaloisField;
+use crate::poly::Poly;
+
+/// Configuration or usage error for a Reed–Solomon code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// `n`/`k` do not describe a valid code over this field.
+    InvalidParams {
+        /// Requested codeword length.
+        n: usize,
+        /// Requested data length.
+        k: usize,
+        /// Longest codeword the field supports (`ORDER - 1`).
+        max_n: usize,
+    },
+    /// A data or codeword slice had the wrong length.
+    LengthMismatch {
+        /// Length the code expected.
+        expected: usize,
+        /// Length the caller supplied.
+        got: usize,
+    },
+    /// An erasure position was out of range or repeated.
+    BadErasure {
+        /// The offending position.
+        position: usize,
+        /// Codeword length.
+        n: usize,
+    },
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::InvalidParams { n, k, max_n } => write!(
+                f,
+                "invalid RS parameters n={n}, k={k} (need 0 < k < n <= {max_n})"
+            ),
+            RsError::LengthMismatch { expected, got } => {
+                write!(f, "slice length {got} does not match code length {expected}")
+            }
+            RsError::BadErasure { position, n } => {
+                write!(f, "erasure position {position} invalid for codeword length {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// Decoding failed: the codeword is corrupted beyond the code's (or the
+/// policy's) correction capability, but the corruption was *detected*.
+///
+/// In memory-reliability terms this is a DUE (detected uncorrectable error);
+/// the silent failure mode — miscorrection — is when `decode` succeeds but
+/// returns wrong data, which is only possible when the number of bad symbols
+/// exceeds the code's guarantees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The error pattern is outside the correctable region.
+    Uncorrectable {
+        /// Number of erasures the caller declared.
+        erasures: usize,
+    },
+    /// The pattern was correctable by the code, but correcting it would
+    /// exceed the caller's policy limit (`max_errors`), so it is reported as
+    /// detected-uncorrectable instead.
+    PolicyLimited {
+        /// Errors the decoder would have had to correct.
+        needed: usize,
+        /// The policy limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Uncorrectable { erasures } => {
+                write!(f, "detected uncorrectable error ({erasures} declared erasures)")
+            }
+            DecodeError::PolicyLimited { needed, limit } => write!(
+                f,
+                "correctable pattern of {needed} errors exceeds policy limit {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One corrected symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Correction {
+    /// Symbol index within the codeword (0-based, data-first order).
+    pub position: usize,
+    /// XOR pattern applied to restore the symbol.
+    pub magnitude: u8,
+    /// Whether this position was declared as an erasure by the caller.
+    pub was_erasure: bool,
+}
+
+/// Result of a successful decode.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecodeOutcome {
+    corrections: Vec<Correction>,
+}
+
+impl DecodeOutcome {
+    /// True when the codeword was already valid (no symbols were changed).
+    pub fn is_clean(&self) -> bool {
+        self.corrections.is_empty()
+    }
+
+    /// The corrected symbols, in ascending position order.
+    pub fn corrections(&self) -> &[Correction] {
+        &self.corrections
+    }
+
+    /// Positions of corrected symbols, in ascending order.
+    pub fn corrected_positions(&self) -> Vec<usize> {
+        self.corrections.iter().map(|c| c.position).collect()
+    }
+
+    /// Number of corrections that were *not* declared erasures, i.e. errors
+    /// the decoder located by itself.
+    pub fn located_errors(&self) -> usize {
+        self.corrections.iter().filter(|c| !c.was_erasure).count()
+    }
+}
+
+/// A systematic shortened Reed–Solomon code `RS(n, k)` over the field `F`.
+///
+/// The first `k` symbols of a codeword are the data symbols, the trailing
+/// `n - k` are check symbols. First consecutive root is `alpha^1`.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon<F: GaloisField> {
+    n: usize,
+    k: usize,
+    genpoly: Poly<F>,
+}
+
+const FCR: i64 = 1;
+
+impl<F: GaloisField> ReedSolomon<F> {
+    /// Creates an `RS(n, k)` code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::InvalidParams`] unless `0 < k < n <= ORDER - 1`.
+    pub fn new(n: usize, k: usize) -> Result<Self, RsError> {
+        let max_n = F::ORDER - 1;
+        if k == 0 || k >= n || n > max_n {
+            return Err(RsError::InvalidParams { n, k, max_n });
+        }
+        let nroots = n - k;
+        // g(x) = prod_{i=0}^{nroots-1} (x - alpha^(FCR+i))
+        let mut genpoly = Poly::<F>::one();
+        for i in 0..nroots {
+            let root = F::alpha_pow(FCR + i as i64);
+            genpoly = genpoly.mul(&Poly::from_coeffs(vec![root, 1]));
+        }
+        Ok(Self { n, k, genpoly })
+    }
+
+    /// Codeword length in symbols.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Data symbols per codeword.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of check symbols (`n - k`).
+    pub fn nroots(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Maximum number of errors correctable with no erasures
+    /// (`floor((n-k)/2)`).
+    pub fn max_correctable(&self) -> usize {
+        self.nroots() / 2
+    }
+
+    /// Minimum Hamming distance of the code (`n - k + 1`).
+    pub fn min_distance(&self) -> usize {
+        self.nroots() + 1
+    }
+
+    /// Location value `X_j = alpha^(n-1-j)` for codeword position `j`.
+    #[inline]
+    fn loc(&self, j: usize) -> u8 {
+        F::alpha_pow((self.n - 1 - j) as i64)
+    }
+
+    /// Computes the `n - k` check symbols for `data` (length `k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::LengthMismatch`] if `data.len() != k`.
+    pub fn encode(&self, data: &[u8]) -> Result<Vec<u8>, RsError> {
+        if data.len() != self.k {
+            return Err(RsError::LengthMismatch {
+                expected: self.k,
+                got: data.len(),
+            });
+        }
+        let nroots = self.nroots();
+        // Systematic encoding: remainder of m(x) * x^nroots by g(x), done
+        // with an LFSR-style loop (what the EDAC controller implements).
+        let mut parity = vec![0u8; nroots];
+        for &d in data {
+            let feedback = F::add(d, parity[0]);
+            // Shift left by one symbol while accumulating feedback * g.
+            for i in 0..nroots - 1 {
+                parity[i] = F::add(
+                    parity[i + 1],
+                    F::mul(feedback, self.genpoly.coeff(nroots - 1 - i)),
+                );
+            }
+            parity[nroots - 1] = F::mul(feedback, self.genpoly.coeff(0));
+        }
+        Ok(parity)
+    }
+
+    /// Encodes `data` into a fresh `n`-symbol codeword (data then checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::LengthMismatch`] if `data.len() != k`.
+    pub fn encode_to_codeword(&self, data: &[u8]) -> Result<Vec<u8>, RsError> {
+        let parity = self.encode(data)?;
+        let mut cw = Vec::with_capacity(self.n);
+        cw.extend_from_slice(data);
+        cw.extend_from_slice(&parity);
+        Ok(cw)
+    }
+
+    /// Computes the `n - k` syndromes of a codeword. All-zero syndromes mean
+    /// the word is a valid codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != n` (programming error in the caller).
+    pub fn syndromes(&self, cw: &[u8]) -> Vec<u8> {
+        assert_eq!(cw.len(), self.n, "codeword length mismatch");
+        let nroots = self.nroots();
+        let mut out = vec![0u8; nroots];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let x = F::alpha_pow(FCR + i as i64);
+            // Horner over transmission order: cw[0] is the highest power.
+            let mut acc = 0u8;
+            for &c in cw {
+                acc = F::add(F::mul(acc, x), c);
+            }
+            *slot = acc;
+        }
+        out
+    }
+
+    /// True when `cw` is a valid codeword (no detectable error).
+    pub fn is_valid(&self, cw: &[u8]) -> bool {
+        self.syndromes(cw).iter().all(|&s| s == 0)
+    }
+
+    /// Detect-only check: returns `true` when an error is present.
+    ///
+    /// A code with `r` check symbols running detect-only is guaranteed to
+    /// flag any pattern of up to `r` bad symbols.
+    pub fn detect(&self, cw: &[u8]) -> bool {
+        !self.is_valid(cw)
+    }
+
+    /// Full-power errors-and-erasures decode, correcting in place.
+    ///
+    /// Corrects any pattern with `2 * errors + erasures <= n - k`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Uncorrectable`] when the pattern is outside the
+    /// correctable region (the codeword is left unmodified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != n` or an erasure position is out of range or
+    /// duplicated.
+    pub fn decode(
+        &self,
+        cw: &mut [u8],
+        erasures: &[usize],
+    ) -> Result<DecodeOutcome, DecodeError> {
+        self.decode_with_limit(cw, erasures, self.max_correctable())
+    }
+
+    /// Like [`decode`](Self::decode), but refuses to apply a correction that
+    /// fixes more than `max_errors` non-erasure errors, reporting
+    /// [`DecodeError::PolicyLimited`] instead.
+    ///
+    /// This expresses deliberately weakened policies such as commercial
+    /// SCCDCD, which owns 4 check symbols but corrects only 1 bad symbol so
+    /// that 2 bad symbols remain guaranteed-detectable.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Uncorrectable`] or [`DecodeError::PolicyLimited`]; the
+    /// codeword is left unmodified in both cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != n` or an erasure position is invalid.
+    pub fn decode_with_limit(
+        &self,
+        cw: &mut [u8],
+        erasures: &[usize],
+        max_errors: usize,
+    ) -> Result<DecodeOutcome, DecodeError> {
+        assert_eq!(cw.len(), self.n, "codeword length mismatch");
+        let nroots = self.nroots();
+        let nu = erasures.len();
+        {
+            let mut seen = vec![false; self.n];
+            for &p in erasures {
+                assert!(p < self.n, "erasure position {p} out of range");
+                assert!(!seen[p], "duplicate erasure position {p}");
+                seen[p] = true;
+            }
+        }
+        if nu > nroots {
+            return Err(DecodeError::Uncorrectable { erasures: nu });
+        }
+
+        let synd = self.syndromes(cw);
+        if synd.iter().all(|&s| s == 0) {
+            // Valid codeword. Any declared erasures turned out intact.
+            return Ok(DecodeOutcome::default());
+        }
+
+        // Erasure locator Gamma(x) = prod (1 - X_j x).
+        let mut lambda = Poly::<F>::one();
+        for &p in erasures {
+            let term = Poly::from_coeffs(vec![1, self.loc(p)]);
+            lambda = lambda.mul(&term);
+        }
+
+        // Berlekamp–Massey seeded with the erasure locator (Karn's
+        // formulation: run on raw syndromes starting at step nu).
+        let mut b = lambda.clone();
+        let mut el = nu;
+        for r in nu + 1..=nroots {
+            let mut discr = 0u8;
+            let deg = lambda.degree().unwrap_or(0);
+            for i in 0..=deg.min(r - 1) {
+                discr = F::add(discr, F::mul(lambda.coeff(i), synd[r - 1 - i]));
+            }
+            if discr == 0 {
+                b = b.mul(&Poly::monomial(1, 1));
+            } else {
+                let t = lambda.add(&b.mul(&Poly::monomial(discr, 1)));
+                if 2 * el <= r + nu - 1 {
+                    el = r + nu - el;
+                    let dinv = F::inv(discr).expect("non-zero discrepancy");
+                    b = lambda.scale(dinv);
+                } else {
+                    b = b.mul(&Poly::monomial(1, 1));
+                }
+                lambda = t;
+            }
+        }
+
+        let deg_lambda = match lambda.degree() {
+            Some(d) => d,
+            None => return Err(DecodeError::Uncorrectable { erasures: nu }),
+        };
+        if deg_lambda > nroots {
+            return Err(DecodeError::Uncorrectable { erasures: nu });
+        }
+
+        // Chien search restricted to the n real positions of the shortened
+        // code. Roots landing in the virtual padding mean a bogus locator.
+        let mut root_positions = Vec::with_capacity(deg_lambda);
+        for j in 0..self.n {
+            let xinv = F::inv(self.loc(j)).expect("location values are non-zero");
+            if lambda.eval(xinv) == 0 {
+                root_positions.push(j);
+            }
+        }
+        if root_positions.len() != deg_lambda {
+            return Err(DecodeError::Uncorrectable { erasures: nu });
+        }
+
+        // Omega(x) = S(x) * Lambda(x) mod x^nroots.
+        let spoly = Poly::<F>::from_coeffs(synd.clone());
+        let omega = spoly.mul(&lambda).truncate(nroots);
+        let lambda_deriv = lambda.derivative();
+
+        // Forney: magnitude at position j with X = loc(j) is
+        //   e_j = X^(1-FCR) * Omega(X^-1) / Lambda'(X^-1);  FCR = 1 makes the
+        // leading factor 1.
+        let mut corrections = Vec::with_capacity(root_positions.len());
+        for &j in &root_positions {
+            let xinv = F::inv(self.loc(j)).expect("non-zero location");
+            let denom = lambda_deriv.eval(xinv);
+            let num = omega.eval(xinv);
+            let mag = match F::div(num, denom) {
+                Some(m) => m,
+                None => return Err(DecodeError::Uncorrectable { erasures: nu }),
+            };
+            if mag == 0 && !erasures.contains(&j) {
+                // A located error with zero magnitude is inconsistent.
+                return Err(DecodeError::Uncorrectable { erasures: nu });
+            }
+            corrections.push(Correction {
+                position: j,
+                magnitude: mag,
+                was_erasure: erasures.contains(&j),
+            });
+        }
+
+        let located = corrections.iter().filter(|c| !c.was_erasure).count();
+        if located > max_errors {
+            return Err(DecodeError::PolicyLimited {
+                needed: located,
+                limit: max_errors,
+            });
+        }
+
+        // Apply, then verify. A consistent correction must produce a valid
+        // codeword; if not, roll back and report uncorrectable.
+        for c in &corrections {
+            cw[c.position] = F::add(cw[c.position], c.magnitude);
+        }
+        if !self.is_valid(cw) {
+            for c in &corrections {
+                cw[c.position] = F::add(cw[c.position], c.magnitude);
+            }
+            return Err(DecodeError::Uncorrectable { erasures: nu });
+        }
+
+        corrections.retain(|c| c.magnitude != 0);
+        corrections.sort_by_key(|c| c.position);
+        Ok(DecodeOutcome { corrections })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{Gf16, Gf256};
+
+    fn rs(n: usize, k: usize) -> ReedSolomon<Gf256> {
+        ReedSolomon::new(n, k).unwrap()
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(ReedSolomon::<Gf256>::new(18, 16).is_ok());
+        assert!(ReedSolomon::<Gf256>::new(256, 250).is_err());
+        assert!(ReedSolomon::<Gf256>::new(10, 10).is_err());
+        assert!(ReedSolomon::<Gf256>::new(10, 0).is_err());
+        assert!(ReedSolomon::<Gf16>::new(15, 11).is_ok());
+        assert!(ReedSolomon::<Gf16>::new(16, 11).is_err());
+    }
+
+    #[test]
+    fn encode_roundtrip_clean() {
+        let code = rs(36, 32);
+        let data: Vec<u8> = (0..32).map(|i| (i * 7 + 3) as u8).collect();
+        let mut cw = code.encode_to_codeword(&data).unwrap();
+        assert!(code.is_valid(&cw));
+        let out = code.decode(&mut cw, &[]).unwrap();
+        assert!(out.is_clean());
+        assert_eq!(&cw[..32], &data[..]);
+    }
+
+    #[test]
+    fn encode_wrong_length_errors() {
+        let code = rs(18, 16);
+        assert!(matches!(
+            code.encode(&[0u8; 15]),
+            Err(RsError::LengthMismatch { expected: 16, got: 15 })
+        ));
+    }
+
+    #[test]
+    fn single_error_corrected_everywhere() {
+        let code = rs(18, 16);
+        let data: Vec<u8> = (0..16).map(|i| (i * 13 + 1) as u8).collect();
+        let clean = code.encode_to_codeword(&data).unwrap();
+        for pos in 0..18 {
+            for mag in [1u8, 0x80, 0xff] {
+                let mut cw = clean.clone();
+                cw[pos] ^= mag;
+                let out = code.decode(&mut cw, &[]).unwrap();
+                assert_eq!(out.corrected_positions(), vec![pos]);
+                assert_eq!(cw, clean);
+            }
+        }
+    }
+
+    #[test]
+    fn two_errors_uncorrectable_with_two_checks() {
+        // RS(18,16): d=3, corrects 1. Two errors must never be "corrected"
+        // into the original codeword; they are either detected or (allowed by
+        // theory) miscorrected into a *different* valid codeword.
+        let code = rs(18, 16);
+        let data = [0x55u8; 16];
+        let clean = code.encode_to_codeword(&data).unwrap();
+        let mut detected = 0;
+        let mut miscorrected = 0;
+        for p1 in 0..17 {
+            let mut cw = clean.clone();
+            cw[p1] ^= 0xa5;
+            cw[p1 + 1] ^= 0x3c;
+            match code.decode(&mut cw, &[]) {
+                Err(DecodeError::Uncorrectable { .. }) => detected += 1,
+                Ok(_) => {
+                    assert_ne!(cw, clean, "two errors silently reverted?");
+                    miscorrected += 1;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(detected + miscorrected == 17);
+        assert!(detected > 0, "at least some double errors must be detected");
+    }
+
+    #[test]
+    fn double_error_corrected_with_four_checks() {
+        let code = rs(36, 32);
+        let data: Vec<u8> = (0..32).map(|i| (i * 3) as u8).collect();
+        let clean = code.encode_to_codeword(&data).unwrap();
+        for (p1, p2) in [(0usize, 35usize), (3, 4), (10, 20), (31, 32)] {
+            let mut cw = clean.clone();
+            cw[p1] ^= 0x11;
+            cw[p2] ^= 0xee;
+            let out = code.decode(&mut cw, &[]).unwrap();
+            assert_eq!(out.corrected_positions(), vec![p1.min(p2), p1.max(p2)]);
+            assert_eq!(cw, clean);
+        }
+    }
+
+    #[test]
+    fn triple_error_detected_with_four_checks() {
+        // d=5, correction radius 2: three errors are never closer to another
+        // codeword than 2, so they must be flagged uncorrectable.
+        let code = rs(36, 32);
+        let clean = code.encode_to_codeword(&[9u8; 32]).unwrap();
+        let mut cw = clean.clone();
+        cw[1] ^= 1;
+        cw[7] ^= 2;
+        cw[30] ^= 3;
+        assert!(matches!(
+            code.decode(&mut cw, &[]),
+            Err(DecodeError::Uncorrectable { .. })
+        ));
+        // Unmodified on failure.
+        let mut expect = clean;
+        expect[1] ^= 1;
+        expect[7] ^= 2;
+        expect[30] ^= 3;
+        assert_eq!(cw, expect);
+    }
+
+    #[test]
+    fn erasures_double_capability() {
+        // RS(36,32) corrects 4 erasures (known positions) outright.
+        let code = rs(36, 32);
+        let clean = code.encode_to_codeword(&[0xabu8; 32]).unwrap();
+        let mut cw = clean.clone();
+        for &p in &[2usize, 9, 17, 33] {
+            cw[p] ^= 0x77;
+        }
+        let out = code.decode(&mut cw, &[2, 9, 17, 33]).unwrap();
+        assert_eq!(out.corrections().len(), 4);
+        assert!(out.corrections().iter().all(|c| c.was_erasure));
+        assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn erasure_plus_error_mix() {
+        // 2e + nu <= 4: one erasure plus one located error.
+        let code = rs(36, 32);
+        let clean = code.encode_to_codeword(&[1u8; 32]).unwrap();
+        let mut cw = clean.clone();
+        cw[5] ^= 0xf0; // declared erasure
+        cw[20] ^= 0x0f; // unknown error
+        let out = code.decode(&mut cw, &[5]).unwrap();
+        assert_eq!(cw, clean);
+        assert_eq!(out.located_errors(), 1);
+    }
+
+    #[test]
+    fn erasure_that_was_actually_intact() {
+        // Declaring an erasure on an intact symbol must still decode other
+        // errors (magnitude 0 corrections are dropped from the report).
+        let code = rs(36, 32);
+        let clean = code.encode_to_codeword(&[4u8; 32]).unwrap();
+        let mut cw = clean.clone();
+        cw[8] ^= 0x42;
+        let out = code.decode(&mut cw, &[0, 1]).unwrap();
+        assert_eq!(cw, clean);
+        assert_eq!(out.located_errors(), 1);
+    }
+
+    #[test]
+    fn too_many_erasures() {
+        let code = rs(18, 16);
+        let mut cw = code.encode_to_codeword(&[0u8; 16]).unwrap();
+        cw[0] ^= 1;
+        assert!(matches!(
+            code.decode(&mut cw, &[0, 1, 2]),
+            Err(DecodeError::Uncorrectable { erasures: 3 })
+        ));
+    }
+
+    #[test]
+    fn policy_limit_reports_due() {
+        // SCCDCD: RS(36,32) with a correct-1 policy. Two bad symbols are a
+        // DUE, not a correction.
+        let code = rs(36, 32);
+        let clean = code.encode_to_codeword(&[7u8; 32]).unwrap();
+        let mut cw = clean.clone();
+        cw[3] ^= 0x10;
+        cw[21] ^= 0x99;
+        let err = code.decode_with_limit(&mut cw, &[], 1).unwrap_err();
+        assert_eq!(err, DecodeError::PolicyLimited { needed: 2, limit: 1 });
+        // Single error still corrected under the policy.
+        let mut cw2 = clean.clone();
+        cw2[3] ^= 0x10;
+        assert!(code.decode_with_limit(&mut cw2, &[], 1).is_ok());
+        assert_eq!(cw2, clean);
+    }
+
+    #[test]
+    fn detect_only_flags_any_small_corruption() {
+        let code = rs(18, 16);
+        let clean = code.encode_to_codeword(&[3u8; 16]).unwrap();
+        assert!(!code.detect(&clean));
+        for p in 0..18 {
+            let mut cw = clean.clone();
+            cw[p] ^= 0x01;
+            assert!(code.detect(&cw), "single corruption at {p} not detected");
+        }
+        // Two bad symbols are also always detected in detect-only mode
+        // (min distance 3).
+        let mut cw = clean.clone();
+        cw[0] ^= 0xff;
+        cw[17] ^= 0xff;
+        assert!(code.detect(&cw));
+    }
+
+    #[test]
+    fn gf16_code_roundtrip() {
+        let code = ReedSolomon::<Gf16>::new(15, 11).unwrap();
+        let data: Vec<u8> = (0..11).map(|i| (i % 16) as u8).collect();
+        let clean = code.encode_to_codeword(&data).unwrap();
+        let mut cw = clean.clone();
+        cw[4] ^= 0x9;
+        cw[12] ^= 0x3;
+        let out = code.decode(&mut cw, &[]).unwrap();
+        assert_eq!(out.corrections().len(), 2);
+        assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn eight_check_symbol_code_for_second_upgrade() {
+        // §5.1: joined codeword over four channels, 8 check symbols.
+        let code = rs(72, 64);
+        assert_eq!(code.max_correctable(), 4);
+        let clean = code.encode_to_codeword(&vec![0x5a; 64]).unwrap();
+        let mut cw = clean.clone();
+        for &p in &[1usize, 18, 36, 54] {
+            cw[p] ^= 0x81;
+        }
+        let out = code.decode(&mut cw, &[]).unwrap();
+        assert_eq!(out.corrections().len(), 4);
+        assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let code = rs(18, 16);
+        let mut cw = code.encode_to_codeword(&[1u8; 16]).unwrap();
+        cw[9] ^= 5;
+        let out = code.decode(&mut cw, &[]).unwrap();
+        assert!(!out.is_clean());
+        assert_eq!(out.corrections()[0].position, 9);
+        assert_eq!(out.corrections()[0].magnitude, 5);
+        assert!(!out.corrections()[0].was_erasure);
+        assert_eq!(out.located_errors(), 1);
+    }
+}

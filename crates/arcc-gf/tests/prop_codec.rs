@@ -1,0 +1,224 @@
+//! Property-based tests for the Reed–Solomon codec and chipkill layouts.
+//!
+//! These pin down the code-theoretic invariants the reliability analysis of
+//! the paper leans on: everything inside the guarantee region decodes back
+//! to the original data; everything outside is either flagged or lands on a
+//! *different* valid codeword (miscorrection), never silently on the right
+//! one with wrong corrections.
+
+use arcc_gf::chipkill::LineCodec;
+use arcc_gf::{DecodeError, Gf16, Gf256, GaloisField, ReedSolomon};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Code parameter space: all the organisations the paper uses, plus odd
+/// sizes to shake out indexing bugs.
+fn nk() -> impl Strategy<Value = (usize, usize)> {
+    prop_oneof![
+        Just((18usize, 16usize)),
+        Just((36, 32)),
+        Just((72, 64)),
+        Just((9, 8)),
+        Just((15, 9)),
+        Just((255, 223)),
+        (4usize..=60).prop_flat_map(|n| (Just(n), 1..n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn roundtrip_clean((n, k) in nk(), seed in any::<u64>()) {
+        let rs = ReedSolomon::<Gf256>::new(n, k).unwrap();
+        let data: Vec<u8> = (0..k).map(|i| ((seed >> (i % 56)) as u8).wrapping_mul(i as u8 | 1)).collect();
+        let mut cw = rs.encode_to_codeword(&data).unwrap();
+        prop_assert!(rs.is_valid(&cw));
+        let out = rs.decode(&mut cw, &[]).unwrap();
+        prop_assert!(out.is_clean());
+        prop_assert_eq!(&cw[..k], &data[..]);
+    }
+
+    #[test]
+    fn within_capability_always_corrected(
+        (n, k) in nk(),
+        data_seed in any::<u64>(),
+        err_positions in vec(0usize..512, 0..8),
+        err_mags in vec(1u8..=255, 8),
+    ) {
+        let rs = ReedSolomon::<Gf256>::new(n, k).unwrap();
+        let t = rs.max_correctable();
+        let data: Vec<u8> = (0..k).map(|i| (data_seed >> (i % 57)) as u8).collect();
+        let clean = rs.encode_to_codeword(&data).unwrap();
+        let mut cw = clean.clone();
+        // Inject up to t errors at distinct positions.
+        let mut used = Vec::new();
+        for (raw, &mag) in err_positions.iter().zip(&err_mags) {
+            if used.len() == t { break; }
+            let pos = raw % n;
+            if used.contains(&pos) { continue; }
+            used.push(pos);
+            cw[pos] ^= mag;
+        }
+        let out = rs.decode(&mut cw, &[]).unwrap();
+        prop_assert_eq!(cw, clean);
+        prop_assert_eq!(out.corrections().len(), used.len());
+    }
+
+    #[test]
+    fn erasures_and_errors_within_budget(
+        data_seed in any::<u64>(),
+        erasure_raw in vec(0usize..512, 0..4),
+        err_raw in vec((0usize..512, 1u8..=255), 0..2),
+    ) {
+        // RS(36,32): 2e + nu <= 4.
+        let rs = ReedSolomon::<Gf256>::new(36, 32).unwrap();
+        let data: Vec<u8> = (0..32).map(|i| (data_seed >> (i % 55)) as u8).collect();
+        let clean = rs.encode_to_codeword(&data).unwrap();
+        let mut cw = clean.clone();
+
+        let mut erasures: Vec<usize> = Vec::new();
+        for raw in erasure_raw {
+            let p = raw % 36;
+            if !erasures.contains(&p) { erasures.push(p); }
+        }
+        let mut errors: Vec<(usize, u8)> = Vec::new();
+        for (raw, mag) in err_raw {
+            let p = raw % 36;
+            if !erasures.contains(&p) && !errors.iter().any(|&(q, _)| q == p) {
+                errors.push((p, mag));
+            }
+        }
+        prop_assume!(2 * errors.len() + erasures.len() <= 4);
+
+        for &p in &erasures { cw[p] ^= 0x6d; }
+        for &(p, m) in &errors { cw[p] ^= m; }
+
+        rs.decode(&mut cw, &erasures).unwrap();
+        prop_assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn beyond_capability_never_silently_wrong(
+        data_seed in any::<u64>(),
+        err_raw in vec((0usize..512, 1u8..=255), 3..10),
+    ) {
+        // RS(18,16) corrects 1; inject >= 2 distinct errors. The decoder may
+        // flag a DUE or miscorrect to another codeword — but the result must
+        // never equal the clean codeword while reporting success with fewer
+        // corrections than injected errors, and any accepted result must be
+        // a valid codeword.
+        let rs = ReedSolomon::<Gf256>::new(18, 16).unwrap();
+        let data: Vec<u8> = (0..16).map(|i| (data_seed >> (i % 53)) as u8).collect();
+        let clean = rs.encode_to_codeword(&data).unwrap();
+        let mut cw = clean.clone();
+        let mut positions = Vec::new();
+        for (raw, mag) in err_raw {
+            let p = raw % 18;
+            if !positions.contains(&p) {
+                positions.push(p);
+                cw[p] ^= mag;
+            }
+        }
+        prop_assume!(positions.len() >= 2);
+        match rs.decode(&mut cw, &[]) {
+            Err(DecodeError::Uncorrectable { .. }) => {}
+            Err(DecodeError::PolicyLimited { .. }) => {}
+            Ok(_) => {
+                // Miscorrection: must be a valid codeword but not the original.
+                prop_assert!(rs.is_valid(&cw));
+                prop_assert_ne!(cw, clean);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_limit_is_monotonic(
+        data_seed in any::<u64>(),
+        p1 in 0usize..36,
+        p2 in 0usize..36,
+        m1 in 1u8..=255,
+        m2 in 1u8..=255,
+    ) {
+        prop_assume!(p1 != p2);
+        let rs = ReedSolomon::<Gf256>::new(36, 32).unwrap();
+        let data: Vec<u8> = (0..32).map(|i| (data_seed >> (i % 51)) as u8).collect();
+        let clean = rs.encode_to_codeword(&data).unwrap();
+        let mut two_err = clean.clone();
+        two_err[p1] ^= m1;
+        two_err[p2] ^= m2;
+
+        // Limit 1 -> policy DUE; limit 2 -> corrected.
+        let mut a = two_err.clone();
+        let limited = rs.decode_with_limit(&mut a, &[], 1);
+        let is_policy_due = matches!(
+            limited,
+            Err(DecodeError::PolicyLimited { needed: 2, limit: 1 })
+        );
+        prop_assert!(is_policy_due, "expected policy DUE, got {:?}", limited);
+        prop_assert_eq!(&a, &two_err); // untouched on failure
+        let mut b = two_err.clone();
+        rs.decode_with_limit(&mut b, &[], 2).unwrap();
+        prop_assert_eq!(b, clean);
+    }
+
+    #[test]
+    fn gf16_within_capability(
+        (n, k) in prop_oneof![Just((15usize, 11usize)), Just((15, 13)), Just((10, 6))],
+        data_seed in any::<u64>(),
+        err_raw in vec((0usize..64, 1u8..=15), 0..3),
+    ) {
+        let rs = ReedSolomon::<Gf16>::new(n, k).unwrap();
+        let t = rs.max_correctable();
+        let data: Vec<u8> = (0..k).map(|i| ((data_seed >> (i % 60)) & 0xf) as u8).collect();
+        let clean = rs.encode_to_codeword(&data).unwrap();
+        let mut cw = clean.clone();
+        let mut used = Vec::new();
+        for (raw, mag) in err_raw {
+            if used.len() == t { break; }
+            let p = raw % n;
+            if used.contains(&p) { continue; }
+            used.push(p);
+            cw[p] ^= mag;
+        }
+        rs.decode(&mut cw, &[]).unwrap();
+        prop_assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn line_codec_roundtrip_with_device_failure(
+        codec_idx in 0usize..4,
+        victim_raw in any::<usize>(),
+        stuck in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let codec = match codec_idx {
+            0 => LineCodec::relaxed_x8(),
+            1 => LineCodec::upgraded_two_channel(),
+            2 => LineCodec::sccdcd_x4(),
+            _ => LineCodec::upgraded_four_channel(),
+        };
+        let data: Vec<u8> = (0..codec.data_bytes()).map(|i| (seed >> (i % 59)) as u8).collect();
+        let mut enc = codec.encode_line(&data).unwrap();
+        let victim = victim_raw % codec.devices();
+        enc.kill_device(victim, stuck);
+        codec.decode_line(&mut enc, &[], 1).unwrap();
+        prop_assert_eq!(codec.extract_data(&enc), data);
+    }
+
+    #[test]
+    fn field_inverse_roundtrip(a in 1u8..=255) {
+        let inv = Gf256::inv(a).unwrap();
+        prop_assert_eq!(Gf256::mul(a, inv), 1);
+        prop_assert_eq!(Gf256::inv(inv).unwrap(), a);
+    }
+
+    #[test]
+    fn field_mul_commutative_associative(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(Gf256::mul(a, b), Gf256::mul(b, a));
+        prop_assert_eq!(
+            Gf256::mul(a, Gf256::mul(b, c)),
+            Gf256::mul(Gf256::mul(a, b), c)
+        );
+    }
+}

@@ -1,0 +1,589 @@
+//! Per-channel closed-page memory controller timing engine.
+//!
+//! Each channel owns its ranks and banks, a shared command bus and a shared
+//! data bus. The row policy is closed-page with auto-precharge (the paper's
+//! DRAMsim configuration): every access is an ACTIVATE followed by a
+//! READ/WRITE-with-autoprecharge, so per-access service obligations are
+//! fully described by a handful of timing windows:
+//!
+//! * `tRC` same-bank ACT→ACT, `tRCD` ACT→CAS, `tRP` precharge;
+//! * `tRRD` and `tFAW` inter-ACT constraints per rank;
+//! * CAS latency (`CL`/`CWL`) and burst occupancy (`BL/2`) on the data bus,
+//!   with turnaround penalties for direction and rank switches;
+//! * periodic per-rank refresh blackouts (`tREFI`/`tRFC`), modelled as
+//!   fixed windows (closed-page traffic never holds a row across one).
+//!
+//! The engine is *timetable-based*: [`Channel::feasible`] computes the
+//! earliest cycle an access could issue without violating any window, and
+//! [`Channel::issue_at`] commits it. The memory system layer serialises
+//! issues in global time order, so feasibility never goes stale.
+
+use crate::geometry::{ChannelGeometry, LineTarget};
+use crate::params::TimingParams;
+use crate::system::AccessKind;
+
+/// How upgraded-line sub-accesses on two channels are kept in lockstep
+/// (§4.2.4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PairingPolicy {
+    /// Each controller keeps a dedicated strict-FIFO queue for sub-lines;
+    /// queue heads always correspond across the channel pair, and the
+    /// controller alternates between the sub-line queue and the regular
+    /// queue.
+    StrictFifo,
+    /// A single queue per controller; a sub-line reaching the head stalls
+    /// until its partner — found via a queue-entry pointer — is promoted to
+    /// the head of the partner channel's queue, then both issue together.
+    #[default]
+    PointerPromotion,
+}
+
+/// Row-buffer management policy.
+///
+/// The paper's configuration is closed-page (every access auto-precharges),
+/// which suits the high-performance map's bank interleaving; open-page is
+/// provided as the classic alternative for ablation — it wins only when
+/// consecutive accesses hit the same row, which the line-interleaved maps
+/// make rare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RowPolicy {
+    /// ACTIVATE + READ/WRITE-with-autoprecharge per access.
+    #[default]
+    ClosedPage,
+    /// Rows stay open; row hits skip the ACTIVATE, row conflicts pay an
+    /// explicit PRECHARGE first.
+    OpenPage,
+}
+
+/// Outcome of issuing one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Issue {
+    /// Cycle the first command of the access was placed (the ACTIVATE, or
+    /// the CAS for an open-page row hit).
+    pub act_cycle: u64,
+    /// Cycle the last data beat transfers (read data available / write
+    /// data absorbed).
+    pub completion: u64,
+}
+
+/// Running per-channel statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// ACTIVATE commands issued.
+    pub acts: u64,
+    /// Read bursts.
+    pub reads: u64,
+    /// Write bursts.
+    pub writes: u64,
+    /// Data-bus busy cycles.
+    pub bus_busy_cycles: u64,
+    /// Cycles any bank of each rank was active, summed over ranks
+    /// (feeds active-standby power).
+    pub rank_active_cycles: u64,
+    /// Cycle of the last completion on this channel.
+    pub last_completion: u64,
+    /// Open-page row-buffer hits (always 0 under the closed-page policy).
+    pub row_hits: u64,
+    /// Open-page row conflicts (a different row was open).
+    pub row_conflicts: u64,
+}
+
+/// Per-bank open-page state.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpenBank {
+    /// Row currently held open, if any.
+    row: Option<u64>,
+    /// ACT cycle of the open row.
+    act_at: u64,
+    /// Earliest cycle a PRECHARGE may issue (tRAS + read/write recovery).
+    pre_allowed: u64,
+    /// Earliest cycle a CAS to the open row may issue (ACT + tRCD, then
+    /// serialised behind previous CAS recovery).
+    cas_ready: u64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Channel {
+    timing: TimingParams,
+    geometry: ChannelGeometry,
+    row_policy: RowPolicy,
+    /// Earliest next ACT per (rank, bank) — closed-page bookkeeping.
+    bank_free: Vec<u64>,
+    /// Open-page bookkeeping per (rank, bank).
+    open: Vec<OpenBank>,
+    /// Last up-to-4 ACT cycles per rank (tFAW window).
+    faw: Vec<[u64; 4]>,
+    /// Last ACT cycle per rank (tRRD).
+    rank_last_act: Vec<u64>,
+    /// Monotonic command-slot cursor (two command slots per access).
+    cmd_free: u64,
+    /// Data-bus availability.
+    bus_free: u64,
+    bus_last_kind: Option<AccessKind>,
+    bus_last_rank: u32,
+    /// Active-standby interval merging per rank.
+    rank_active_until: Vec<u64>,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Closed-page channel (tests and default configurations).
+    #[cfg(test)]
+    pub(crate) fn new(timing: TimingParams, geometry: ChannelGeometry) -> Self {
+        Self::with_policy(timing, geometry, RowPolicy::ClosedPage)
+    }
+
+    pub(crate) fn with_policy(
+        timing: TimingParams,
+        geometry: ChannelGeometry,
+        row_policy: RowPolicy,
+    ) -> Self {
+        let nbanks = (geometry.ranks * geometry.banks) as usize;
+        let nranks = geometry.ranks as usize;
+        Self {
+            timing,
+            geometry,
+            row_policy,
+            bank_free: vec![0; nbanks],
+            open: vec![OpenBank::default(); nbanks],
+            faw: vec![[0; 4]; nranks],
+            rank_last_act: vec![0; nranks],
+            cmd_free: 0,
+            bus_free: 0,
+            bus_last_kind: None,
+            bus_last_rank: 0,
+            rank_active_until: vec![0; nranks],
+            stats: ChannelStats::default(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    fn bank_index(&self, t: &LineTarget) -> usize {
+        (t.rank as u64 * self.geometry.banks + t.bank as u64) as usize
+    }
+
+    /// Shifts `t` past any refresh blackout of `rank`. Blackouts are fixed
+    /// periodic windows `[k*tREFI + offset, +tRFC)` staggered per rank.
+    fn adjust_for_refresh(&self, rank: u32, t: u64) -> u64 {
+        let ti = &self.timing;
+        let offset = rank as u64 * (ti.t_refi / self.geometry.ranks.max(1));
+        let rel = t.saturating_sub(offset) % ti.t_refi;
+        if t >= offset && rel < ti.t_rfc {
+            t + (ti.t_rfc - rel)
+        } else {
+            t
+        }
+    }
+
+    /// Earliest ACT placement honouring rank-level constraints (tRRD,
+    /// tFAW, refresh blackouts).
+    fn act_constraints(&self, target: &LineTarget, t: u64) -> u64 {
+        let ti = &self.timing;
+        let rank = target.rank as usize;
+        let mut t = t.max(self.rank_last_act[rank] + ti.t_rrd);
+        t = t.max(self.faw[rank][0] + ti.t_faw);
+        self.adjust_for_refresh(target.rank, t)
+    }
+
+    /// Earliest cycle `>= t0` at which this access could place its first
+    /// command (ACT, or CAS for an open-page row hit).
+    pub(crate) fn feasible(&self, target: &LineTarget, t0: u64) -> u64 {
+        match self.row_policy {
+            RowPolicy::ClosedPage => {
+                let t = t0
+                    .max(self.cmd_free)
+                    .max(self.bank_free[self.bank_index(target)]);
+                self.act_constraints(target, t)
+            }
+            RowPolicy::OpenPage => {
+                let bi = self.bank_index(target);
+                let bank = self.open[bi];
+                let base = t0.max(self.cmd_free);
+                match bank.row {
+                    Some(row) if row == target.row => base.max(bank.cas_ready),
+                    Some(_) => {
+                        // Conflict: PRE first; the ACT lands tRP later.
+                        base.max(bank.pre_allowed)
+                    }
+                    None => self.act_constraints(target, base.max(bank.pre_allowed)),
+                }
+            }
+        }
+    }
+
+    /// Schedules the CAS + data burst: applies bus turnaround and
+    /// occupancy, updates bus state, returns `(cas, data_end)`.
+    fn schedule_burst(&mut self, kind: AccessKind, rank: u32, cas_min: u64) -> (u64, u64) {
+        let ti = self.timing;
+        let cas_latency = match kind {
+            AccessKind::Read => ti.cl,
+            AccessKind::Write => ti.cwl,
+        };
+        let turnaround = match (self.bus_last_kind, kind) {
+            (Some(prev), k) if prev != k => 2,
+            (Some(_), _) if self.bus_last_rank != rank => 1,
+            _ => 0,
+        };
+        let bus_ready = self.bus_free + turnaround;
+        let mut cas = cas_min;
+        let mut data_start = cas + cas_latency;
+        if data_start < bus_ready {
+            let push = bus_ready - data_start;
+            cas += push;
+            data_start += push;
+        }
+        let data_end = data_start + ti.burst_cycles();
+        self.bus_free = data_end;
+        self.bus_last_kind = Some(kind);
+        self.bus_last_rank = rank;
+        self.stats.bus_busy_cycles += ti.burst_cycles();
+        (cas, data_end)
+    }
+
+    /// Records an ACT for rank-level constraint tracking.
+    fn record_act(&mut self, rank: usize, act: u64) {
+        let w = &mut self.faw[rank];
+        w.rotate_left(1);
+        w[3] = act;
+        self.rank_last_act[rank] = act;
+        self.stats.acts += 1;
+    }
+
+    /// Merges `[begin, end)` into the rank's active-standby accounting.
+    fn account_active(&mut self, rank: usize, begin: u64, end: u64) {
+        let active_until = &mut self.rank_active_until[rank];
+        let b = begin.max(*active_until);
+        if end > b {
+            self.stats.rank_active_cycles += end - b;
+        }
+        *active_until = (*active_until).max(end);
+    }
+
+    fn count_kind(&mut self, kind: AccessKind, data_end: u64) {
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        self.stats.last_completion = self.stats.last_completion.max(data_end);
+    }
+
+    /// Commits an access whose first command is placed at (or after) `t`
+    /// (callers pass a value >= `feasible(target, t0)`); returns the issue
+    /// record.
+    pub(crate) fn issue_at(&mut self, kind: AccessKind, target: &LineTarget, t: u64) -> Issue {
+        match self.row_policy {
+            RowPolicy::ClosedPage => self.issue_closed(kind, target, t),
+            RowPolicy::OpenPage => self.issue_open(kind, target, t),
+        }
+    }
+
+    fn issue_closed(&mut self, kind: AccessKind, target: &LineTarget, act: u64) -> Issue {
+        let ti = self.timing;
+        let rank = target.rank as usize;
+        let (cas, data_end) = self.schedule_burst(kind, target.rank, act + ti.t_rcd);
+
+        // Bank busy until auto-precharge completes.
+        let bank_next = match kind {
+            AccessKind::Read => {
+                // tRTP (read-to-precharge) ~ tRRD for DDR2-667; fold into the
+                // max with tRC which dominates in practice.
+                (act + ti.t_rc).max(cas + ti.burst_cycles() + ti.t_rrd + ti.t_rp)
+            }
+            AccessKind::Write => {
+                (act + ti.t_rc).max(cas + ti.cwl + ti.burst_cycles() + ti.t_wr + ti.t_rp)
+            }
+        };
+        let bi = self.bank_index(target);
+        self.bank_free[bi] = bank_next;
+        self.record_act(rank, act);
+        // Command bus: ACT + CAS take two slots.
+        self.cmd_free = act + 2;
+        self.account_active(rank, act, bank_next);
+        self.count_kind(kind, data_end);
+        Issue {
+            act_cycle: act,
+            completion: data_end,
+        }
+    }
+
+    fn issue_open(&mut self, kind: AccessKind, target: &LineTarget, t: u64) -> Issue {
+        let ti = self.timing;
+        let rank = target.rank as usize;
+        let bi = self.bank_index(target);
+        let bank = self.open[bi];
+        let base = t.max(self.cmd_free);
+
+        // Resolve the row situation into an ACT placement (or none).
+        let (first_cmd, cas_min, act_placed) = match bank.row {
+            Some(row) if row == target.row => {
+                self.stats.row_hits += 1;
+                let c = base.max(bank.cas_ready);
+                (c, c, None)
+            }
+            Some(_) => {
+                self.stats.row_conflicts += 1;
+                let pre = base.max(bank.pre_allowed);
+                let act = self.act_constraints(target, pre + ti.t_rp);
+                (pre, act + ti.t_rcd, Some(act))
+            }
+            None => {
+                let act = self.act_constraints(target, base.max(bank.pre_allowed));
+                (act, act + ti.t_rcd, Some(act))
+            }
+        };
+        let (cas, data_end) = self.schedule_burst(kind, target.rank, cas_min);
+
+        // Row stays open: update per-bank obligations.
+        let recovery = match kind {
+            AccessKind::Read => cas + ti.burst_cycles() + ti.t_rrd, // ~tRTP
+            AccessKind::Write => cas + ti.cwl + ti.burst_cycles() + ti.t_wr,
+        };
+        let act_at = act_placed.unwrap_or(bank.act_at);
+        self.open[bi] = OpenBank {
+            row: Some(target.row),
+            act_at,
+            pre_allowed: recovery.max(act_at + ti.t_ras),
+            cas_ready: cas + ti.burst_cycles(),
+        };
+        if let Some(act) = act_placed {
+            self.record_act(rank, act);
+            self.cmd_free = act + 2;
+        } else {
+            self.cmd_free = first_cmd + 1;
+        }
+        // Active residency: from the (re)activation to the earliest moment
+        // the row could be closed after this access. Long idle-open windows
+        // between accesses are not charged (clock-stopped open standby).
+        self.account_active(rank, first_cmd, recovery.max(act_at + ti.t_ras) + ti.t_rp);
+        self.count_kind(kind, data_end);
+        Issue {
+            act_cycle: first_cmd,
+            completion: data_end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::ChannelGeometry;
+
+    fn chan() -> Channel {
+        Channel::new(TimingParams::ddr2_667(), ChannelGeometry::paper_channel(2))
+    }
+
+    fn target(rank: u32, bank: u32, row: u64) -> LineTarget {
+        LineTarget {
+            channel: 0,
+            rank,
+            bank,
+            row,
+            col: 0,
+        }
+    }
+
+    #[test]
+    fn unloaded_read_latency_is_rcd_plus_cl_plus_burst() {
+        let mut c = chan();
+        let t = target(0, 0, 0);
+        let f = c.feasible(&t, 100);
+        // Refresh blackout at cycle 0..tRFC for rank 0; 100 is past it.
+        assert_eq!(f, 100);
+        let iss = c.issue_at(AccessKind::Read, &t, f);
+        let ti = TimingParams::ddr2_667();
+        assert_eq!(iss.completion, 100 + ti.t_rcd + ti.cl + ti.burst_cycles());
+    }
+
+    #[test]
+    fn same_bank_back_to_back_pays_trc() {
+        let mut c = chan();
+        let t = target(0, 0, 0);
+        let a = c.issue_at(AccessKind::Read, &t, c.feasible(&t, 100));
+        let f2 = c.feasible(&t, a.act_cycle + 1);
+        assert!(
+            f2 >= a.act_cycle + TimingParams::ddr2_667().t_rc,
+            "second ACT to the same bank must wait tRC ({f2} vs {})",
+            a.act_cycle
+        );
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut c = chan();
+        let a = c.issue_at(AccessKind::Read, &target(0, 0, 0), 100);
+        let f2 = c.feasible(&target(0, 1, 0), a.act_cycle + 1);
+        // Only tRRD apart, far less than tRC.
+        assert_eq!(f2, a.act_cycle + TimingParams::ddr2_667().t_rrd);
+    }
+
+    #[test]
+    fn different_ranks_do_not_share_faw_or_rrd() {
+        let mut c = chan();
+        c.issue_at(AccessKind::Read, &target(0, 0, 0), 100);
+        let f = c.feasible(&target(1, 0, 0), 101);
+        // Rank 1's constraints are its own; only the command bus (2 slots)
+        // can intervene.
+        assert_eq!(f, 102);
+    }
+
+    #[test]
+    fn faw_limits_fifth_act() {
+        let mut c = chan();
+        let ti = TimingParams::ddr2_667();
+        let mut t_last = 100;
+        for b in 0..4 {
+            let t = target(0, b, 0);
+            let f = c.feasible(&t, t_last);
+            t_last = c.issue_at(AccessKind::Read, &t, f).act_cycle;
+        }
+        // Four ACTs done; the fifth must respect tFAW from the first.
+        let f5 = c.feasible(&target(0, 4, 0), t_last + ti.t_rrd);
+        assert!(f5 >= 100 + ti.t_faw, "fifth ACT at {f5} inside tFAW window");
+    }
+
+    #[test]
+    fn data_bus_serialises_bursts() {
+        let mut c = chan();
+        let a = c.issue_at(AccessKind::Read, &target(0, 0, 0), 100);
+        let b = c.issue_at(
+            AccessKind::Read,
+            &target(0, 1, 0),
+            c.feasible(&target(0, 1, 0), 100),
+        );
+        assert!(b.completion >= a.completion + TimingParams::ddr2_667().burst_cycles());
+    }
+
+    #[test]
+    fn write_to_read_turnaround_penalty() {
+        let mut c = chan();
+        let w = c.issue_at(AccessKind::Write, &target(0, 0, 0), 100);
+        let t = target(0, 1, 0);
+        let r = c.issue_at(AccessKind::Read, &t, c.feasible(&t, 100));
+        // Read data cannot start before the write burst ends + turnaround.
+        let read_data_start = r.completion - TimingParams::ddr2_667().burst_cycles();
+        assert!(read_data_start >= w.completion + 2);
+    }
+
+    #[test]
+    fn refresh_blackout_delays_act() {
+        let c = chan();
+        let ti = TimingParams::ddr2_667();
+        // Rank 0's blackout occupies [k*tREFI, k*tREFI + tRFC).
+        let f = c.feasible(&target(0, 0, 0), ti.t_refi + 1);
+        assert_eq!(f, ti.t_refi + ti.t_rfc);
+        // Just past the blackout is untouched.
+        let f2 = c.feasible(&target(0, 0, 0), ti.t_refi + ti.t_rfc);
+        assert_eq!(f2, ti.t_refi + ti.t_rfc);
+    }
+
+    #[test]
+    fn rank_active_cycles_merge_overlaps() {
+        let mut c = chan();
+        c.issue_at(AccessKind::Read, &target(0, 0, 0), 100);
+        let before = c.stats().rank_active_cycles;
+        // Overlapping activate on another bank of the same rank adds only
+        // the non-overlapped tail.
+        c.issue_at(AccessKind::Read, &target(0, 1, 0), 103);
+        let after = c.stats().rank_active_cycles;
+        assert!(after - before < 2 * TimingParams::ddr2_667().t_rc);
+        assert!(after > before);
+    }
+
+    #[test]
+    fn stats_count_kinds() {
+        let mut c = chan();
+        c.issue_at(AccessKind::Read, &target(0, 0, 0), 100);
+        c.issue_at(AccessKind::Write, &target(0, 1, 0), 130);
+        let s = c.stats();
+        assert_eq!(s.acts, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bus_busy_cycles, 4);
+    }
+
+    fn open_chan() -> Channel {
+        Channel::with_policy(
+            TimingParams::ddr2_667(),
+            ChannelGeometry::paper_channel(2),
+            RowPolicy::OpenPage,
+        )
+    }
+
+    #[test]
+    fn open_page_row_hit_skips_activate() {
+        let mut c = open_chan();
+        let ti = TimingParams::ddr2_667();
+        let t = target(0, 0, 5);
+        let a = c.issue_at(AccessKind::Read, &t, c.feasible(&t, 100));
+        // Second access to the same row: no ACT, CAS-only latency.
+        let t2 = LineTarget { col: 1, ..t };
+        let f = c.feasible(&t2, a.completion);
+        let b = c.issue_at(AccessKind::Read, &t2, f);
+        assert_eq!(c.stats().row_hits, 1);
+        assert_eq!(c.stats().acts, 1, "row hit must not re-activate");
+        // CAS-to-data only: completion - first command ≈ CL + BL/2.
+        assert!(
+            b.completion - b.act_cycle <= ti.cl + ti.burst_cycles() + 1,
+            "hit latency {} too high",
+            b.completion - b.act_cycle
+        );
+    }
+
+    #[test]
+    fn open_page_row_conflict_pays_precharge() {
+        let mut c = open_chan();
+        let ti = TimingParams::ddr2_667();
+        let t = target(0, 0, 5);
+        c.issue_at(AccessKind::Read, &t, c.feasible(&t, 100));
+        // Different row, same bank: PRE + ACT + CAS.
+        let t2 = target(0, 0, 9);
+        let f = c.feasible(&t2, 101);
+        let b = c.issue_at(AccessKind::Read, &t2, f);
+        assert_eq!(c.stats().row_conflicts, 1);
+        let service = b.completion - b.act_cycle;
+        assert!(
+            service >= ti.t_rp + ti.t_rcd + ti.cl + ti.burst_cycles(),
+            "conflict service {service} shorter than PRE+ACT+CAS"
+        );
+    }
+
+    #[test]
+    fn open_page_hit_faster_than_closed_page_same_row() {
+        // Streaming a row: open page amortises the ACT.
+        let stream = |mut c: Channel| {
+            let mut t_end = 0;
+            for col in 0..16 {
+                let t = target(0, 0, 3);
+                let tt = LineTarget { col, ..t };
+                let f = c.feasible(&tt, t_end);
+                t_end = c.issue_at(AccessKind::Read, &tt, f).completion;
+            }
+            t_end
+        };
+        let open_end = stream(open_chan());
+        let closed_end = stream(chan());
+        assert!(
+            open_end <= closed_end,
+            "open-page streaming ({open_end}) should not lose to closed ({closed_end})"
+        );
+    }
+
+    #[test]
+    fn open_page_respects_tras_before_conflict_precharge() {
+        let mut c = open_chan();
+        let ti = TimingParams::ddr2_667();
+        let t = target(0, 0, 5);
+        let a = c.issue_at(AccessKind::Read, &t, c.feasible(&t, 100));
+        // Immediate conflict: the precharge cannot issue before ACT + tRAS.
+        let t2 = target(0, 0, 6);
+        let f = c.feasible(&t2, a.act_cycle + 1);
+        assert!(
+            f >= a.act_cycle + ti.t_ras,
+            "precharge at {f} violates tRAS from ACT {}",
+            a.act_cycle
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Channel geometry and physical-address mapping.
+//!
+//! The mapper turns a line address (byte address >> 6) into a
+//! (channel, rank, bank, row, column) target. Three policies mirror the
+//! DRAMsim address maps named in the paper (`SDRAM_BASE_MAP`,
+//! `SDRAM_HIPERF_MAP`, `SDRAM_CLOSE_PAGE_MAP`); all interleave adjacent
+//! lines across channels, which is the property ARCC's upgraded-line
+//! pairing relies on (the two halves of a 128 B line always live on
+//! different channels).
+
+/// Geometry of one memory channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelGeometry {
+    /// Ranks on this channel.
+    pub ranks: u64,
+    /// Banks per rank.
+    pub banks: u64,
+    /// Rows per bank.
+    pub rows: u64,
+    /// Line-sized columns per row (row size / 64 B).
+    pub cols: u64,
+}
+
+impl ChannelGeometry {
+    /// Geometry used by both paper configurations per channel: 8 banks,
+    /// 8 KB rows (128 lines = two 4 KB pages per row).
+    ///
+    /// `ranks` is 1 for the SCCDCD baseline and 2 for ARCC (Table 7.1);
+    /// rows are sized so each channel holds 2 GB of data
+    /// (2 GB = ranks * banks * rows * cols * 64 B).
+    pub fn paper_channel(ranks: u64) -> Self {
+        let total_lines = (2u64 << 30) / 64; // 2 GB of data per channel
+        let cols = 128;
+        let banks = 8;
+        let rows = total_lines / (ranks * banks * cols);
+        Self {
+            ranks,
+            banks,
+            rows,
+            cols,
+        }
+    }
+
+    /// Total 64 B lines on the channel.
+    pub fn total_lines(&self) -> u64 {
+        self.ranks * self.banks * self.rows * self.cols
+    }
+
+    /// Total data bytes on the channel.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_lines() * 64
+    }
+}
+
+/// Physical location of one 64 B line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineTarget {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Bank within the rank.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u64,
+    /// Line-column within the row.
+    pub col: u32,
+}
+
+/// Address-interleaving policy (field order above the channel bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MappingPolicy {
+    /// `row : rank : bank : col : chan` — consecutive lines walk columns of
+    /// one row first; poor bank parallelism under a closed-page policy.
+    BaseMap,
+    /// `row : col : rank : bank : chan` — consecutive lines hit different
+    /// banks then ranks; maximises parallelism. The paper's configuration.
+    #[default]
+    HighPerformance,
+    /// `row : rank : col : bank : chan` — banks fastest, ranks slow;
+    /// DRAMsim's close-page map.
+    ClosePageMap,
+}
+
+/// Maps line addresses onto channel/rank/bank/row/col coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct AddressMapper {
+    channels: u64,
+    geometry: ChannelGeometry,
+    policy: MappingPolicy,
+}
+
+impl AddressMapper {
+    /// Creates a mapper over `channels` identical channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `channels` and every geometry field are powers of two
+    /// (hardware address slicing is bit-field extraction).
+    pub fn new(channels: u64, geometry: ChannelGeometry, policy: MappingPolicy) -> Self {
+        for (name, v) in [
+            ("channels", channels),
+            ("ranks", geometry.ranks),
+            ("banks", geometry.banks),
+            ("rows", geometry.rows),
+            ("cols", geometry.cols),
+        ] {
+            assert!(v.is_power_of_two(), "{name} ({v}) must be a power of two");
+        }
+        Self {
+            channels,
+            geometry,
+            policy,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> u64 {
+        self.channels
+    }
+
+    /// Per-channel geometry.
+    pub fn geometry(&self) -> ChannelGeometry {
+        self.geometry
+    }
+
+    /// Mapping policy in use.
+    pub fn policy(&self) -> MappingPolicy {
+        self.policy
+    }
+
+    /// Total addressable 64 B lines across all channels.
+    pub fn total_lines(&self) -> u64 {
+        self.channels * self.geometry.total_lines()
+    }
+
+    /// Maps a line address to its physical target. The address wraps at the
+    /// installed capacity (simulated traces may run past it).
+    pub fn map(&self, line_addr: u64) -> LineTarget {
+        let la = line_addr % self.total_lines();
+        let g = &self.geometry;
+        let channel = la & (self.channels - 1);
+        let mut x = la >> self.channels.trailing_zeros();
+        let mut take = |n: u64| -> u64 {
+            let v = x & (n - 1);
+            x >>= n.trailing_zeros();
+            v
+        };
+        let (rank, bank, row, col) = match self.policy {
+            MappingPolicy::BaseMap => {
+                let col = take(g.cols);
+                let bank = take(g.banks);
+                let rank = take(g.ranks);
+                let row = take(g.rows);
+                (rank, bank, row, col)
+            }
+            MappingPolicy::HighPerformance => {
+                let bank = take(g.banks);
+                let rank = take(g.ranks);
+                let col = take(g.cols);
+                let row = take(g.rows);
+                (rank, bank, row, col)
+            }
+            MappingPolicy::ClosePageMap => {
+                let bank = take(g.banks);
+                let col = take(g.cols);
+                let rank = take(g.ranks);
+                let row = take(g.rows);
+                (rank, bank, row, col)
+            }
+        };
+        LineTarget {
+            channel: channel as u32,
+            rank: rank as u32,
+            bank: bank as u32,
+            row,
+            col: col as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_channel_capacity() {
+        let g1 = ChannelGeometry::paper_channel(1);
+        assert_eq!(g1.total_bytes(), 2 << 30);
+        let g2 = ChannelGeometry::paper_channel(2);
+        assert_eq!(g2.total_bytes(), 2 << 30);
+        assert_eq!(g2.rows * 2, g1.rows);
+    }
+
+    #[test]
+    fn adjacent_lines_alternate_channels() {
+        for policy in [
+            MappingPolicy::BaseMap,
+            MappingPolicy::HighPerformance,
+            MappingPolicy::ClosePageMap,
+        ] {
+            let m = AddressMapper::new(2, ChannelGeometry::paper_channel(2), policy);
+            for la in 0..256u64 {
+                assert_eq!(m.map(la).channel as u64, la % 2, "{policy:?} line {la}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_perf_map_spreads_banks_first() {
+        let m = AddressMapper::new(
+            2,
+            ChannelGeometry::paper_channel(2),
+            MappingPolicy::HighPerformance,
+        );
+        // Same-channel consecutive lines (stride 2) should walk banks.
+        let banks: Vec<u32> = (0..8).map(|i| m.map(i * 2).bank).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // After banks, the rank toggles.
+        assert_eq!(m.map(16).rank, 1);
+    }
+
+    #[test]
+    fn base_map_keeps_bank_constant_within_row() {
+        let m = AddressMapper::new(2, ChannelGeometry::paper_channel(2), MappingPolicy::BaseMap);
+        let g = m.geometry();
+        for i in 0..g.cols {
+            assert_eq!(m.map(i * 2).bank, 0);
+            assert_eq!(m.map(i * 2).row, 0);
+        }
+        assert_eq!(m.map(g.cols * 2).bank, 1);
+    }
+
+    #[test]
+    fn mapping_is_injective_over_a_window() {
+        use std::collections::HashSet;
+        for policy in [
+            MappingPolicy::BaseMap,
+            MappingPolicy::HighPerformance,
+            MappingPolicy::ClosePageMap,
+        ] {
+            let m = AddressMapper::new(2, ChannelGeometry::paper_channel(2), policy);
+            let mut seen = HashSet::new();
+            for la in 0..(1u64 << 16) {
+                assert!(seen.insert(m.map(la)), "collision under {policy:?} at {la}");
+            }
+        }
+    }
+
+    #[test]
+    fn wraps_at_capacity() {
+        let m = AddressMapper::new(
+            2,
+            ChannelGeometry::paper_channel(2),
+            MappingPolicy::HighPerformance,
+        );
+        let n = m.total_lines();
+        assert_eq!(m.map(n + 5), m.map(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut g = ChannelGeometry::paper_channel(2);
+        g.banks = 6;
+        let _ = AddressMapper::new(2, g, MappingPolicy::HighPerformance);
+    }
+}

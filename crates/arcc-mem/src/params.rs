@@ -1,0 +1,198 @@
+//! DDR2 device timing and current parameters.
+//!
+//! Values follow the Micron 512 Mb DDR2 SDRAM datasheet [13] at the -3
+//! (DDR2-667) speed grade, the devices the paper simulates (Table 7.1).
+//! Timing is expressed in memory-clock cycles (tCK = 3 ns at 667 MT/s).
+
+/// DRAM timing parameters in memory-clock cycles (except `t_ck_ns`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// Clock period in nanoseconds (3.0 for DDR2-667).
+    pub t_ck_ns: f64,
+    /// CAS latency (READ command to first data).
+    pub cl: u64,
+    /// CAS write latency (CL - 1 for DDR2).
+    pub cwl: u64,
+    /// ACTIVATE to READ/WRITE delay.
+    pub t_rcd: u64,
+    /// PRECHARGE period.
+    pub t_rp: u64,
+    /// ACTIVATE to PRECHARGE minimum.
+    pub t_ras: u64,
+    /// ACTIVATE to ACTIVATE, same bank (tRAS + tRP).
+    pub t_rc: u64,
+    /// ACTIVATE to ACTIVATE, different banks of one rank.
+    pub t_rrd: u64,
+    /// Four-activate window per rank.
+    pub t_faw: u64,
+    /// Burst length in beats (4 for the paper's 64 B lines on 144-bit
+    /// channels).
+    pub bl: u64,
+    /// Write recovery time.
+    pub t_wr: u64,
+    /// Write-to-read turnaround, same rank.
+    pub t_wtr: u64,
+    /// Refresh cycle time (per REFRESH command).
+    pub t_rfc: u64,
+    /// Average refresh interval.
+    pub t_refi: u64,
+}
+
+impl TimingParams {
+    /// DDR2-667 timing from the Micron 512 Mb datasheet: CL5-5-5,
+    /// tRAS 45 ns, tRC 60 ns, tRFC 105 ns.
+    pub fn ddr2_667() -> Self {
+        Self {
+            t_ck_ns: 3.0,
+            cl: 5,
+            cwl: 4,
+            t_rcd: 5,
+            t_rp: 5,
+            t_ras: 15,
+            t_rc: 20,
+            t_rrd: 3,
+            t_faw: 13,
+            bl: 4,
+            t_wr: 5,
+            t_wtr: 3,
+            t_rfc: 35,
+            t_refi: 2600,
+        }
+    }
+
+    /// Cycles the data bus is busy for one burst (`bl / 2` in a DDR
+    /// interface).
+    pub fn burst_cycles(&self) -> u64 {
+        self.bl / 2
+    }
+}
+
+/// Per-device current draws in milliamps, plus supply voltage, from the
+/// device datasheet. These feed the Micron power-calculation methodology
+/// (see the [`PowerReport`](crate::PowerReport) output type).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Supply voltage in volts (1.8 V for DDR2).
+    pub vdd: f64,
+    /// One-bank activate-precharge current (mA).
+    pub idd0: f64,
+    /// Precharge standby current (mA).
+    pub idd2n: f64,
+    /// Precharge power-down current (mA). Idle ranks drop into CKE
+    /// power-down (fast-exit, tXP = 2 cycles, latency impact negligible
+    /// under a closed-page policy), the DRAMsim default the paper's
+    /// configuration uses.
+    pub idd2p: f64,
+    /// Active standby current (mA).
+    pub idd3n: f64,
+    /// Burst read current (mA).
+    pub idd4r: f64,
+    /// Burst write current (mA).
+    pub idd4w: f64,
+    /// Burst refresh current (mA).
+    pub idd5: f64,
+    /// I/O + termination energy per device per data beat (picojoules).
+    /// Covers output driver and ODT power for reads and writes; a single
+    /// lumped constant because both configurations compared in the paper
+    /// move the same number of data pins per channel.
+    pub io_pj_per_beat: f64,
+}
+
+impl PowerParams {
+    /// Micron 512 Mb DDR2-667 **x4** device (baseline SCCDCD ranks).
+    pub fn ddr2_667_x4_512mb() -> Self {
+        Self {
+            vdd: 1.8,
+            idd0: 100.0,
+            idd2n: 35.0,
+            idd2p: 7.0,
+            idd3n: 40.0,
+            idd4r: 165.0,
+            idd4w: 180.0,
+            idd5: 180.0,
+            io_pj_per_beat: 18.0,
+        }
+    }
+
+    /// Micron 512 Mb DDR2-667 **x8** device (ARCC's 18-device ranks; wider
+    /// I/O raises burst currents slightly).
+    pub fn ddr2_667_x8_512mb() -> Self {
+        Self {
+            vdd: 1.8,
+            idd0: 100.0,
+            idd2n: 35.0,
+            idd2p: 7.0,
+            idd3n: 40.0,
+            idd4r: 180.0,
+            idd4w: 195.0,
+            idd5: 180.0,
+            io_pj_per_beat: 36.0,
+        }
+    }
+}
+
+/// A named (timing, power, width) bundle for one device model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DevicePreset {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Data pins per device (4 or 8 here).
+    pub io_width: u32,
+    /// Device capacity in megabits.
+    pub capacity_mbit: u64,
+    /// Timing parameters.
+    pub timing: TimingParams,
+    /// Current parameters.
+    pub power: PowerParams,
+}
+
+impl DevicePreset {
+    /// The baseline configuration's device: DDR2-667 x4 512 Mb.
+    pub fn ddr2_667_x4() -> Self {
+        Self {
+            name: "MT47H128M4-3 (512Mb DDR2-667 x4)",
+            io_width: 4,
+            capacity_mbit: 512,
+            timing: TimingParams::ddr2_667(),
+            power: PowerParams::ddr2_667_x4_512mb(),
+        }
+    }
+
+    /// ARCC's device: DDR2-667 x8 512 Mb.
+    pub fn ddr2_667_x8() -> Self {
+        Self {
+            name: "MT47H64M8-3 (512Mb DDR2-667 x8)",
+            io_width: 8,
+            capacity_mbit: 512,
+            timing: TimingParams::ddr2_667(),
+            power: PowerParams::ddr2_667_x8_512mb(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr2_667_consistency() {
+        let t = TimingParams::ddr2_667();
+        assert_eq!(t.t_rc, t.t_ras + t.t_rp, "tRC must equal tRAS + tRP");
+        assert_eq!(t.cwl, t.cl - 1, "DDR2 CWL is CL-1");
+        assert_eq!(t.burst_cycles(), 2);
+        // 105 ns tRFC at 3 ns tCK.
+        assert_eq!(t.t_rfc, 35);
+    }
+
+    #[test]
+    fn presets_have_expected_widths() {
+        assert_eq!(DevicePreset::ddr2_667_x4().io_width, 4);
+        assert_eq!(DevicePreset::ddr2_667_x8().io_width, 8);
+        // x8 moves twice the bits per device per beat; lumped I/O energy
+        // should scale with width so per-channel I/O power is comparable.
+        let x4 = DevicePreset::ddr2_667_x4().power;
+        let x8 = DevicePreset::ddr2_667_x8().power;
+        assert!(x8.io_pj_per_beat > x4.io_pj_per_beat);
+        assert!(x8.idd4r >= x4.idd4r);
+    }
+}

@@ -1,0 +1,542 @@
+//! The memory system: request intake, per-channel FIFO queues, lockstep
+//! pairing of upgraded-line sub-accesses, and the simulation driver.
+
+use crate::controller::{Channel, ChannelStats, PairingPolicy, RowPolicy};
+use crate::geometry::{AddressMapper, ChannelGeometry, LineTarget, MappingPolicy};
+use crate::params::DevicePreset;
+use crate::power::{compute_energy, EnergyBreakdown};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read burst (data flows device → controller).
+    Read,
+    /// A write burst.
+    Write,
+}
+
+/// What a request touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestSpan {
+    /// One 64 B line (relaxed page, or the entire access of the lockstep
+    /// SCCDCD baseline whose "channel" is already a 36-device logical rank).
+    Line(u64),
+    /// A 128 B upgraded line: the even/odd line pair starting at the given
+    /// (even-aligned) line address, issued in lockstep on the two channels
+    /// the pair maps to.
+    Upgraded(u64),
+    /// A 256 B doubly-upgraded line across four channels (§5.1).
+    Quad(u64),
+}
+
+impl RequestSpan {
+    /// Convenience constructor for a single-line span.
+    pub fn line(line_addr: u64) -> Self {
+        RequestSpan::Line(line_addr)
+    }
+
+    /// The 64 B sub-lines this span expands to.
+    pub fn sub_lines(&self) -> Vec<u64> {
+        match *self {
+            RequestSpan::Line(a) => vec![a],
+            RequestSpan::Upgraded(a) => {
+                let base = a & !1;
+                vec![base, base + 1]
+            }
+            RequestSpan::Quad(a) => {
+                let base = a & !3;
+                (0..4).map(|i| base + i).collect()
+            }
+        }
+    }
+}
+
+/// One memory request presented to the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Arrival cycle (memory clock domain).
+    pub arrival: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Line(s) touched.
+    pub span: RequestSpan,
+}
+
+impl MemRequest {
+    /// Creates a request.
+    pub fn new(arrival: u64, kind: AccessKind, span: RequestSpan) -> Self {
+        Self {
+            arrival,
+            kind,
+            span,
+        }
+    }
+}
+
+/// Completion record for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedAccess {
+    /// Index of the request in push order.
+    pub id: u64,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Cycle the last sub-access finished its data burst.
+    pub completion: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl CompletedAccess {
+    /// Queueing + service latency in memory cycles.
+    pub fn latency(&self) -> u64 {
+        self.completion - self.arrival
+    }
+}
+
+/// Full configuration of a memory system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Human-readable configuration name (appears in reports).
+    pub name: String,
+    /// Number of channels.
+    pub channels: u32,
+    /// Per-channel geometry.
+    pub geometry: ChannelGeometry,
+    /// Address-interleaving policy.
+    pub mapping: MappingPolicy,
+    /// Lockstep pairing design for upgraded lines.
+    pub pairing: PairingPolicy,
+    /// Row-buffer policy (the paper uses closed-page).
+    pub row_policy: RowPolicy,
+    /// Devices driven per access (rank width): 36 for the baseline, 18 for
+    /// ARCC.
+    pub devices_per_rank: u32,
+    /// Device model (timing + currents).
+    pub device: DevicePreset,
+}
+
+impl SystemConfig {
+    /// Commercial SCCDCD baseline (Table 7.1): two logical channels, one
+    /// 36-device x4 rank each. Every request drives 36 devices.
+    pub fn sccdcd_baseline() -> Self {
+        Self {
+            name: "SCCDCD baseline (2ch x 1rk x 36dev DDR2 x4)".into(),
+            channels: 2,
+            geometry: ChannelGeometry::paper_channel(1),
+            mapping: MappingPolicy::HighPerformance,
+            pairing: PairingPolicy::PointerPromotion,
+            row_policy: RowPolicy::ClosedPage,
+            devices_per_rank: 36,
+            device: DevicePreset::ddr2_667_x4(),
+        }
+    }
+
+    /// ARCC configuration (Table 7.1): two channels, two 18-device x8 ranks
+    /// each. Relaxed accesses drive 18 devices on one channel; upgraded
+    /// accesses drive both channels in lockstep (36 devices).
+    pub fn arcc_x8() -> Self {
+        Self {
+            name: "ARCC (2ch x 2rk x 18dev DDR2 x8)".into(),
+            channels: 2,
+            geometry: ChannelGeometry::paper_channel(2),
+            mapping: MappingPolicy::HighPerformance,
+            pairing: PairingPolicy::PointerPromotion,
+            row_policy: RowPolicy::ClosedPage,
+            devices_per_rank: 18,
+            device: DevicePreset::ddr2_667_x8(),
+        }
+    }
+
+    /// Four-channel ARCC variant used for the second-level upgrade of §5.1
+    /// (256 B lines across four lockstep channels).
+    pub fn arcc_x8_four_channel() -> Self {
+        Self {
+            name: "ARCC 4-channel (4ch x 2rk x 18dev DDR2 x8)".into(),
+            channels: 4,
+            geometry: ChannelGeometry::paper_channel(2),
+            mapping: MappingPolicy::HighPerformance,
+            pairing: PairingPolicy::PointerPromotion,
+            row_policy: RowPolicy::ClosedPage,
+            devices_per_rank: 18,
+            device: DevicePreset::ddr2_667_x8(),
+        }
+    }
+
+    /// Total devices in the system (background power scales with this).
+    pub fn total_devices(&self) -> u64 {
+        self.channels as u64 * self.geometry.ranks * self.devices_per_rank as u64
+    }
+
+    /// The address mapper implied by this configuration.
+    pub fn mapper(&self) -> AddressMapper {
+        AddressMapper::new(self.channels as u64, self.geometry, self.mapping)
+    }
+}
+
+/// Aggregate simulation results.
+#[derive(Debug, Clone)]
+pub struct MemoryStats {
+    /// Configuration name these stats belong to.
+    pub config_name: String,
+    /// Request-level read count.
+    pub reads: u64,
+    /// Request-level write count.
+    pub writes: u64,
+    /// Channel-level bursts issued (sub-accesses).
+    pub sub_accesses: u64,
+    /// Cycle of the last completion (simulated duration).
+    pub sim_cycles: u64,
+    /// Per-request completion records, in push order.
+    pub completed: Vec<CompletedAccess>,
+    /// Per-channel counters.
+    pub channel_stats: Vec<ChannelStats>,
+    /// Energy accounting for the run.
+    pub energy: EnergyBreakdown,
+    /// Clock period used, for power conversion.
+    pub t_ck_ns: f64,
+}
+
+impl MemoryStats {
+    /// Mean read latency in memory cycles.
+    pub fn avg_read_latency_cycles(&self) -> f64 {
+        let (sum, n) = self
+            .completed
+            .iter()
+            .filter(|c| c.kind == AccessKind::Read)
+            .fold((0u64, 0u64), |(s, n), c| (s + c.latency(), n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Average DRAM power over the simulated interval, in milliwatts.
+    pub fn avg_power_mw(&self) -> f64 {
+        let dur_ns = self.sim_cycles as f64 * self.t_ck_ns;
+        if dur_ns == 0.0 {
+            0.0
+        } else {
+            // pJ / ns = mW.
+            self.energy.total_pj() / dur_ns
+        }
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.energy.total_pj() / 1e9
+    }
+}
+
+/// The simulator.
+///
+/// Two usage styles:
+///
+/// * **batch** — [`push`](Self::push) requests, then [`run`](Self::run):
+///   requests are serviced in arrival order (FIFO per channel);
+/// * **incremental / closed-loop** — call [`issue`](Self::issue) with
+///   non-decreasing arrival times and receive each completion immediately,
+///   letting the caller gate later requests on earlier completions (how
+///   a core's finite miss window behaves); finish with
+///   [`finish`](Self::finish).
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: SystemConfig,
+    mapper: AddressMapper,
+    requests: Vec<MemRequest>,
+    channels: Vec<Channel>,
+    queue_last_act: Vec<u64>,
+    completed: Vec<CompletedAccess>,
+    issued_reads: u64,
+    issued_writes: u64,
+    sub_accesses: u64,
+    next_id: u64,
+}
+
+impl MemorySystem {
+    /// Creates an empty system for `config`.
+    pub fn new(config: SystemConfig) -> Self {
+        let mapper = config.mapper();
+        let nchan = config.channels as usize;
+        let channels = (0..nchan)
+            .map(|_| Channel::with_policy(config.device.timing, config.geometry, config.row_policy))
+            .collect();
+        Self {
+            config,
+            mapper,
+            requests: Vec::new(),
+            channels,
+            queue_last_act: vec![0; nchan],
+            completed: Vec::new(),
+            issued_reads: 0,
+            issued_writes: 0,
+            sub_accesses: 0,
+            next_id: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Queues a request for batch mode; returns its id (push order).
+    pub fn push(&mut self, req: MemRequest) -> u64 {
+        self.requests.push(req);
+        (self.requests.len() - 1) as u64
+    }
+
+    /// Number of queued (not yet issued) requests.
+    pub fn pending(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Issues one request immediately (incremental mode) and returns its
+    /// completion. Lockstep spans place all their sub-accesses at one
+    /// ACT cycle across their channels.
+    pub fn issue(&mut self, req: MemRequest) -> CompletedAccess {
+        let id = self.next_id;
+        self.next_id += 1;
+        match req.kind {
+            AccessKind::Read => self.issued_reads += 1,
+            AccessKind::Write => self.issued_writes += 1,
+        }
+        let subs = req.span.sub_lines();
+        let targets: Vec<LineTarget> = subs.iter().map(|&l| self.mapper.map(l)).collect();
+        // Lockstep: common ACT cycle = max feasible over all sub-accesses.
+        let mut act = 0u64;
+        for t in &targets {
+            let c = t.channel as usize;
+            let t0 = req.arrival.max(self.queue_last_act[c]);
+            act = act.max(self.channels[c].feasible(t, t0));
+        }
+        let mut completion = 0u64;
+        for t in &targets {
+            let c = t.channel as usize;
+            // Refresh windows can shift individual channels past `act`.
+            let at = self.channels[c].feasible(t, act);
+            let iss = self.channels[c].issue_at(req.kind, t, at);
+            completion = completion.max(iss.completion);
+            self.queue_last_act[c] = self.queue_last_act[c].max(iss.act_cycle);
+            self.sub_accesses += 1;
+        }
+        let done = CompletedAccess {
+            id,
+            arrival: req.arrival,
+            completion,
+            kind: req.kind,
+        };
+        self.completed.push(done);
+        done
+    }
+
+    /// Finalises an incremental run and returns the statistics.
+    pub fn finish(&mut self) -> MemoryStats {
+        let channel_stats: Vec<ChannelStats> = self.channels.iter().map(|c| c.stats()).collect();
+        let sim_cycles = channel_stats
+            .iter()
+            .map(|s| s.last_completion)
+            .max()
+            .unwrap_or(0);
+        let energy = compute_energy(&self.config, &channel_stats, sim_cycles);
+        let mut completed = std::mem::take(&mut self.completed);
+        completed.sort_by_key(|c| c.id);
+        MemoryStats {
+            config_name: self.config.name.clone(),
+            reads: self.issued_reads,
+            writes: self.issued_writes,
+            sub_accesses: self.sub_accesses,
+            sim_cycles,
+            completed,
+            channel_stats,
+            energy,
+            t_ck_ns: self.config.device.timing.t_ck_ns,
+        }
+    }
+
+    /// Runs every pushed request in arrival order (batch mode) and returns
+    /// the statistics. Queued requests are consumed.
+    pub fn run(&mut self) -> MemoryStats {
+        let requests = std::mem::take(&mut self.requests);
+        // Stable sort by arrival keeps same-cycle requests in push order.
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| requests[i].arrival);
+        // Batch ids follow push order, matching the documented contract.
+        let mut results: Vec<CompletedAccess> = Vec::with_capacity(requests.len());
+        for &ri in &order {
+            let mut done = self.issue(requests[ri]);
+            done.id = ri as u64;
+            results.push(done);
+        }
+        self.completed = results;
+        self.next_id = 0;
+        self.issued_reads = requests
+            .iter()
+            .filter(|r| r.kind == AccessKind::Read)
+            .count() as u64;
+        self.issued_writes = requests.len() as u64 - self.issued_reads;
+        self.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_reads(cfg: SystemConfig, n: u64, stride: u64, gap: u64) -> MemoryStats {
+        let mut sys = MemorySystem::new(cfg);
+        for i in 0..n {
+            sys.push(MemRequest::new(
+                i * gap,
+                AccessKind::Read,
+                RequestSpan::line(i * stride),
+            ));
+        }
+        sys.run()
+    }
+
+    #[test]
+    fn empty_run_is_empty() {
+        let mut sys = MemorySystem::new(SystemConfig::arcc_x8());
+        let stats = sys.run();
+        assert_eq!(stats.reads + stats.writes, 0);
+        assert_eq!(stats.sim_cycles, 0);
+    }
+
+    #[test]
+    fn sequential_stream_completes_in_order() {
+        let stats = run_reads(SystemConfig::arcc_x8(), 100, 1, 4);
+        assert_eq!(stats.reads, 100);
+        assert_eq!(stats.completed.len(), 100);
+        for w in stats.completed.windows(2) {
+            assert!(w[0].completion <= w[1].completion, "FIFO order violated");
+        }
+    }
+
+    #[test]
+    fn upgraded_span_issues_two_sub_accesses() {
+        let mut sys = MemorySystem::new(SystemConfig::arcc_x8());
+        sys.push(MemRequest::new(
+            0,
+            AccessKind::Read,
+            RequestSpan::Upgraded(10),
+        ));
+        let stats = sys.run();
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.sub_accesses, 2);
+        // One burst on each channel.
+        assert_eq!(stats.channel_stats[0].reads, 1);
+        assert_eq!(stats.channel_stats[1].reads, 1);
+    }
+
+    #[test]
+    fn upgraded_lockstep_act_same_cycle() {
+        // Mixed stream; the paired access must not deadlock and both
+        // channels see the burst.
+        let mut sys = MemorySystem::new(SystemConfig::arcc_x8());
+        for i in 0..50u64 {
+            sys.push(MemRequest::new(
+                i * 3,
+                AccessKind::Read,
+                RequestSpan::line(i),
+            ));
+            if i % 5 == 0 {
+                sys.push(MemRequest::new(
+                    i * 3 + 1,
+                    AccessKind::Read,
+                    RequestSpan::Upgraded(1000 + i * 2),
+                ));
+            }
+        }
+        let stats = sys.run();
+        assert_eq!(stats.completed.len(), 60);
+        assert_eq!(stats.sub_accesses, 50 + 10 * 2);
+    }
+
+    #[test]
+    fn quad_span_uses_four_channels() {
+        let mut sys = MemorySystem::new(SystemConfig::arcc_x8_four_channel());
+        sys.push(MemRequest::new(0, AccessKind::Write, RequestSpan::Quad(8)));
+        let stats = sys.run();
+        assert_eq!(stats.sub_accesses, 4);
+        for c in 0..4 {
+            assert_eq!(stats.channel_stats[c].writes, 1);
+        }
+    }
+
+    #[test]
+    fn closed_loop_latency_reasonable() {
+        // A light stream should see near-unloaded latency:
+        // tRCD + CL + BL/2 = 5 + 5 + 2 = 12 cycles.
+        let stats = run_reads(SystemConfig::arcc_x8(), 50, 7, 100);
+        let lat = stats.avg_read_latency_cycles();
+        assert!((12.0..25.0).contains(&lat), "unloaded latency {lat}");
+    }
+
+    #[test]
+    fn saturating_stream_is_bus_limited() {
+        // Arrivals every cycle: the data bus (2 cycles per burst per
+        // channel, 2 channels) bounds throughput at ~1 request/cycle.
+        let stats = run_reads(SystemConfig::arcc_x8(), 2000, 1, 1);
+        let cycles_per_req = stats.sim_cycles as f64 / 2000.0;
+        assert!(
+            (0.9..1.6).contains(&cycles_per_req),
+            "bus-limited throughput, got {cycles_per_req} cyc/req"
+        );
+    }
+
+    #[test]
+    fn more_ranks_reduce_conflict_latency() {
+        // Random-ish addresses hammering one channel: with 1 rank the bank
+        // pool is 8, with 2 ranks it is 16 -> fewer tRC stalls.
+        let mk = |ranks: u64| {
+            let mut cfg = SystemConfig::arcc_x8();
+            cfg.geometry = ChannelGeometry::paper_channel(ranks);
+            cfg.name = format!("{} ranks", ranks);
+            let mut sys = MemorySystem::new(cfg);
+            let mut addr = 1u64;
+            for i in 0..4000u64 {
+                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+                sys.push(MemRequest::new(
+                    i,
+                    AccessKind::Read,
+                    RequestSpan::line(addr >> 13),
+                ));
+            }
+            sys.run()
+        };
+        let one = mk(1);
+        let two = mk(2);
+        assert!(
+            two.avg_read_latency_cycles() <= one.avg_read_latency_cycles(),
+            "2 ranks {} vs 1 rank {}",
+            two.avg_read_latency_cycles(),
+            one.avg_read_latency_cycles()
+        );
+    }
+
+    #[test]
+    fn power_scales_with_devices_per_access() {
+        // Same request stream, 36-device baseline vs 18-device ARCC:
+        // dynamic energy should be roughly double for the baseline.
+        let base = run_reads(SystemConfig::sccdcd_baseline(), 3000, 1, 2);
+        let arcc = run_reads(SystemConfig::arcc_x8(), 3000, 1, 2);
+        let e_base = base.energy.activate_pj + base.energy.read_pj;
+        let e_arcc = arcc.energy.activate_pj + arcc.energy.read_pj;
+        let ratio = e_base / e_arcc;
+        assert!(
+            (1.6..2.4).contains(&ratio),
+            "36-dev vs 18-dev dynamic energy ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn stats_energy_positive_and_power_sane() {
+        let stats = run_reads(SystemConfig::arcc_x8(), 1000, 1, 3);
+        assert!(stats.energy.total_pj() > 0.0);
+        let p = stats.avg_power_mw();
+        // 72 DDR2 devices under a saturating read stream: between a few
+        // hundred mW and ~30 W.
+        assert!((100.0..30_000.0).contains(&p), "power {p} mW");
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 3.1: average fraction of 4 KB pages affected by faults vs. time.
+//!
+//! Two estimators are provided: a Monte-Carlo average over sampled channel
+//! lifetimes (the paper's method) and the closed-form Poisson union
+//! ([`arcc_faults::montecarlo::FaultSampler::expected_faulty_page_fraction`]),
+//! which the Monte Carlo must agree with.
+
+use arcc_faults::montecarlo::{FaultSampler, HOURS_PER_YEAR};
+use arcc_faults::{FaultGeometry, FitRates};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One point of the Figure 3.1 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultyFractionPoint {
+    /// Operational lifespan in years.
+    pub years: f64,
+    /// Fault-rate multiplier (1x, 2x, 4x in the paper).
+    pub rate_multiplier: f64,
+    /// Monte-Carlo estimate of the affected-page fraction.
+    pub monte_carlo: f64,
+    /// Closed-form Poisson-union estimate.
+    pub closed_form: f64,
+}
+
+/// Computes the Figure 3.1 curve: for each year in `1..=max_years` and
+/// each multiplier, the average fraction of pages affected by at least one
+/// fault, over `channels` sampled channel lifetimes.
+pub fn faulty_fraction_curve(
+    max_years: u32,
+    multipliers: &[f64],
+    channels: u32,
+    seed: u64,
+) -> Vec<FaultyFractionPoint> {
+    let geometry = FaultGeometry::paper_channel();
+    let mut out = Vec::new();
+    for &mult in multipliers {
+        let sampler = FaultSampler::new(geometry, FitRates::sridharan_sc12().scaled(mult));
+        let mut rng = StdRng::seed_from_u64(seed ^ (mult.to_bits()));
+        let horizon = max_years as f64 * HOURS_PER_YEAR;
+        // Sample once per channel over the full horizon; evaluate the
+        // union fraction at each year boundary.
+        let mut per_year_sum = vec![0.0f64; max_years as usize];
+        for _ in 0..channels {
+            let faults = sampler.sample_lifetime(&mut rng, horizon);
+            for (yi, sum) in per_year_sum.iter_mut().enumerate() {
+                let t = (yi as f64 + 1.0) * HOURS_PER_YEAR;
+                // Independent-placement union of every fault present by t.
+                let mut spare = 1.0f64;
+                for f in faults.iter().filter(|f| f.time_h < t) {
+                    spare *= 1.0 - geometry.affected_page_fraction(f.mode);
+                }
+                *sum += 1.0 - spare;
+            }
+        }
+        for (yi, sum) in per_year_sum.iter().enumerate() {
+            let years = yi as f64 + 1.0;
+            out.push(FaultyFractionPoint {
+                years,
+                rate_multiplier: mult,
+                monte_carlo: sum / channels as f64,
+                closed_form: sampler.expected_faulty_page_fraction(years * HOURS_PER_YEAR),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form() {
+        let pts = faulty_fraction_curve(7, &[1.0, 4.0], 3000, 99);
+        for p in &pts {
+            let tol = 0.25 * p.closed_form + 0.002;
+            assert!(
+                (p.monte_carlo - p.closed_form).abs() < tol,
+                "y{} x{}: mc {} vs cf {}",
+                p.years,
+                p.rate_multiplier,
+                p.monte_carlo,
+                p.closed_form
+            );
+        }
+    }
+
+    #[test]
+    fn figure_3_1_shape() {
+        // "Just a few percent during most of the lifetime, even for 4x."
+        let pts = faulty_fraction_curve(7, &[1.0, 2.0, 4.0], 2000, 7);
+        let at = |y: f64, m: f64| {
+            pts.iter()
+                .find(|p| p.years == y && p.rate_multiplier == m)
+                .unwrap()
+                .monte_carlo
+        };
+        assert!(at(7.0, 1.0) < 0.05, "1x/7y: {}", at(7.0, 1.0));
+        assert!(at(7.0, 4.0) < 0.15, "4x/7y: {}", at(7.0, 4.0));
+        assert!(at(7.0, 4.0) > at(7.0, 1.0));
+        // Monotone in years.
+        for m in [1.0, 2.0, 4.0] {
+            for y in 2..=7 {
+                assert!(at(y as f64, m) >= at((y - 1) as f64, m));
+            }
+        }
+    }
+
+    #[test]
+    fn point_count() {
+        let pts = faulty_fraction_curve(3, &[1.0], 100, 1);
+        assert_eq!(pts.len(), 3);
+    }
+}

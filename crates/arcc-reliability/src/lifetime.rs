@@ -1,0 +1,216 @@
+//! Figures 7.4–7.6: average power/performance overhead of error
+//! correction as faults accumulate over a memory system's lifetime.
+//!
+//! The §7.1 methodology, steps 2–4: Monte-Carlo fault arrivals over
+//! 10 000 channels x 7 years; each fault adds its type's overhead to its
+//! channel from its arrival time onward; for each year X, average the
+//! overhead over `[0, X]` across all channels. Per-fault-type overheads
+//! come either from measurement (the [`arcc_core::system`] simulations of
+//! step 1) or from the worst-case estimates (no spatial locality).
+
+use arcc_faults::montecarlo::{FaultSampler, HOURS_PER_YEAR};
+use arcc_faults::{FaultGeometry, FaultMode, FitRates};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-fault-type fractional overhead (e.g. 0.08 = 8 % more power or 8 %
+/// less performance while the fault is present).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Overhead per fault mode, indexed in [`FaultMode::ALL`] order.
+    pub by_mode: [f64; 7],
+}
+
+impl OverheadModel {
+    /// Builds a model from a function of fault mode.
+    pub fn from_fn<F: Fn(FaultMode) -> f64>(f: F) -> Self {
+        let mut by_mode = [0.0; 7];
+        for (i, m) in FaultMode::ALL.iter().enumerate() {
+            by_mode[i] = f(*m);
+        }
+        Self { by_mode }
+    }
+
+    /// Worst-case ARCC power overhead: an access to an upgraded page costs
+    /// twice a relaxed access, so a fault upgrading fraction `f` of pages
+    /// adds overhead `f` (Figure 7.2's "worst case est.").
+    pub fn worst_case_arcc_power(geometry: &FaultGeometry) -> Self {
+        Self::from_fn(|m| geometry.affected_page_fraction(m))
+    }
+
+    /// Worst-case ARCC performance loss: effective bandwidth halves on
+    /// upgraded pages, so throughput scales by `1/(1+f)` — an overhead of
+    /// `1 - 1/(1+f)`.
+    pub fn worst_case_arcc_perf(geometry: &FaultGeometry) -> Self {
+        Self::from_fn(|m| {
+            let f = geometry.affected_page_fraction(m);
+            1.0 - 1.0 / (1.0 + f)
+        })
+    }
+
+    /// Worst-case ARCC+LOT-ECC overhead (§7.2.1): upgraded accesses cost
+    /// 4x relaxed ones (twice the devices *and* doubled access count), so
+    /// the overhead is `3f / (1 + ...)` — the paper uses the additive
+    /// `3 * f` bound.
+    pub fn worst_case_lotecc(geometry: &FaultGeometry) -> Self {
+        Self::from_fn(|m| 3.0 * geometry.affected_page_fraction(m))
+    }
+
+    /// Overhead for one mode.
+    pub fn overhead(&self, mode: FaultMode) -> f64 {
+        let idx = FaultMode::ALL
+            .iter()
+            .position(|m| *m == mode)
+            .expect("every mode is in ALL");
+        self.by_mode[idx]
+    }
+}
+
+/// Configuration of the lifetime Monte Carlo.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifetimeConfig {
+    /// Years to simulate (the paper uses 7).
+    pub years: u32,
+    /// Fault-rate multiplier.
+    pub rate_multiplier: f64,
+    /// Channels to simulate (the paper uses 10 000).
+    pub channels: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LifetimeConfig {
+    fn default() -> Self {
+        Self {
+            years: 7,
+            rate_multiplier: 1.0,
+            channels: 10_000,
+            seed: 0x11FE,
+        }
+    }
+}
+
+/// One point of a Figure 7.4/7.5/7.6 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifetimePoint {
+    /// End of the averaging window (year X).
+    pub years: f64,
+    /// Fault-rate multiplier.
+    pub rate_multiplier: f64,
+    /// Average fractional overhead over `[0, X]` across channels.
+    pub avg_overhead: f64,
+}
+
+/// Runs the §7.1 steps 2–4 methodology for one overhead model, producing
+/// the average-overhead-by-year curve.
+pub fn lifetime_overhead_curve(cfg: &LifetimeConfig, model: &OverheadModel) -> Vec<LifetimePoint> {
+    let geometry = FaultGeometry::paper_channel();
+    let sampler = FaultSampler::new(
+        geometry,
+        FitRates::sridharan_sc12().scaled(cfg.rate_multiplier),
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let horizon = cfg.years as f64 * HOURS_PER_YEAR;
+
+    // accumulated[y] = sum over channels of the time-average overhead in
+    // [0, (y+1) years].
+    let mut accumulated = vec![0.0f64; cfg.years as usize];
+    for _ in 0..cfg.channels {
+        let faults = sampler.sample_lifetime(&mut rng, horizon);
+        for (yi, acc) in accumulated.iter_mut().enumerate() {
+            let window_h = (yi as f64 + 1.0) * HOURS_PER_YEAR;
+            let mut overhead_hours = 0.0;
+            for f in faults.iter().filter(|f| f.time_h < window_h) {
+                // Step 3: the fault's overhead applies from its arrival to
+                // the end of the window.
+                overhead_hours += model.overhead(f.mode) * (window_h - f.time_h);
+            }
+            *acc += overhead_hours / window_h;
+        }
+    }
+    accumulated
+        .iter()
+        .enumerate()
+        .map(|(yi, acc)| LifetimePoint {
+            years: yi as f64 + 1.0,
+            rate_multiplier: cfg.rate_multiplier,
+            avg_overhead: acc / cfg.channels as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(mult: f64) -> LifetimeConfig {
+        LifetimeConfig {
+            channels: 4000,
+            rate_multiplier: mult,
+            ..LifetimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn worst_case_models_match_table_7_4() {
+        let g = FaultGeometry::paper_channel();
+        let p = OverheadModel::worst_case_arcc_power(&g);
+        assert_eq!(p.overhead(FaultMode::MultiRank), 1.0); // lane: 100% upgraded -> 2x power
+        assert_eq!(p.overhead(FaultMode::MultiBank), 0.5);
+        assert!((p.overhead(FaultMode::SingleBank) - 1.0 / 16.0).abs() < 1e-12);
+        assert!((p.overhead(FaultMode::SingleColumn) - 1.0 / 32.0).abs() < 1e-12);
+        let perf = OverheadModel::worst_case_arcc_perf(&g);
+        assert!((perf.overhead(FaultMode::MultiRank) - 0.5).abs() < 1e-12);
+        let lot = OverheadModel::worst_case_lotecc(&g);
+        assert_eq!(lot.overhead(FaultMode::MultiRank), 3.0);
+    }
+
+    #[test]
+    fn overhead_grows_with_years_and_rate() {
+        let g = FaultGeometry::paper_channel();
+        let model = OverheadModel::worst_case_arcc_power(&g);
+        let c1 = lifetime_overhead_curve(&quick_cfg(1.0), &model);
+        let c4 = lifetime_overhead_curve(&quick_cfg(4.0), &model);
+        for w in c1.windows(2) {
+            assert!(w[1].avg_overhead >= w[0].avg_overhead * 0.95);
+        }
+        let last1 = c1.last().unwrap().avg_overhead;
+        let last4 = c4.last().unwrap().avg_overhead;
+        assert!(last4 > 2.0 * last1, "4x {last4} vs 1x {last1}");
+    }
+
+    #[test]
+    fn figure_7_4_magnitude_anchor() {
+        // The paper: ARCC's power benefit is still >= 30 % at 7y/4x, i.e.
+        // the worst-case overhead stays below ~6.7 % of the baseline
+        // (36.7 % -> 30 %). Our worst-case average overhead must be small.
+        let g = FaultGeometry::paper_channel();
+        let model = OverheadModel::worst_case_arcc_power(&g);
+        let pts = lifetime_overhead_curve(&quick_cfg(4.0), &model);
+        let at7 = pts.last().unwrap().avg_overhead;
+        assert!(at7 < 0.12, "7y/4x worst-case overhead {at7}");
+        assert!(at7 > 0.005, "should be visibly non-zero: {at7}");
+    }
+
+    #[test]
+    fn figure_7_6_magnitude_anchor() {
+        // §7.2.1: average overhead ~1.6 % at 1x, <= ~6.3 % at 4x.
+        let g = FaultGeometry::paper_channel();
+        let model = OverheadModel::worst_case_lotecc(&g);
+        let p1 = lifetime_overhead_curve(&quick_cfg(1.0), &model);
+        let p4 = lifetime_overhead_curve(&quick_cfg(4.0), &model);
+        let avg1 = p1.iter().map(|p| p.avg_overhead).sum::<f64>() / p1.len() as f64;
+        let at7_4x = p4.last().unwrap().avg_overhead;
+        assert!((0.002..0.05).contains(&avg1), "1x average {avg1}");
+        assert!(at7_4x < 0.15, "4x end-of-life {at7_4x}");
+    }
+
+    #[test]
+    fn zero_model_means_zero_overhead() {
+        let model = OverheadModel::from_fn(|_| 0.0);
+        let pts = lifetime_overhead_curve(&quick_cfg(4.0), &model);
+        for p in pts {
+            assert_eq!(p.avg_overhead, 0.0);
+        }
+    }
+}

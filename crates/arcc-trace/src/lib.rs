@@ -1,0 +1,35 @@
+//! Synthetic SPEC-mix memory traces and an analytical multicore
+//! performance model — the reproduction's substitute for the paper's
+//! M5 full-system simulator running SPEC CPU2000/2006 binaries.
+//!
+//! The paper's power and performance results depend on the *statistics* of
+//! each workload's LLC-miss stream: request rate (misses per
+//! kilo-instruction), read/write balance, spatial locality (how often the
+//! adjacent 64 B line is referenced soon after — this decides whether
+//! ARCC's 128 B upgraded fetches act as useful prefetches or wasted
+//! bandwidth), footprint, and memory-level parallelism. Each SPEC benchmark
+//! named in Table 7.3 is modelled as a [`BenchmarkProfile`] carrying those
+//! statistics, calibrated to published characterisations; a
+//! [`TraceGenerator`] turns profiles into concrete timed request streams,
+//! and [`perf`] converts measured memory latencies back into per-core IPC
+//! (the paper reports a mix's performance as the sum of its four IPCs).
+//!
+//! ```
+//! use arcc_trace::{paper_mixes, generate_mix, TraceConfig};
+//!
+//! let mixes = paper_mixes();
+//! assert_eq!(mixes.len(), 12);
+//! let wl = generate_mix(&mixes[0], &TraceConfig { requests: 1000, seed: 1 });
+//! assert_eq!(wl.requests.len(), 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generate;
+mod profiles;
+
+pub mod perf;
+
+pub use generate::{generate_mix, MixWorkload, TraceConfig, TraceGenerator, TraceRequest};
+pub use profiles::{paper_mixes, spec_profile, BenchmarkProfile, Mix, ALL_PROFILES};

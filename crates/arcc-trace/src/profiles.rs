@@ -1,0 +1,164 @@
+//! SPEC CPU2000/2006 benchmark profiles and the paper's 12 workload mixes.
+//!
+//! Absolute values are calibrated to published characterisations of SPEC
+//! memory behaviour with a 1 MB LLC (the Table 7.2 configuration); what the
+//! experiments rely on is the *relative* structure — which benchmarks are
+//! memory-bound, which stream (high spatial locality), and which
+//! pointer-chase (low locality, low MLP).
+
+/// Memory-behaviour profile of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name as in Table 7.3.
+    pub name: &'static str,
+    /// LLC misses per kilo-instruction (demand reads).
+    pub mpki: f64,
+    /// Dirty-eviction rate: writebacks per demand miss.
+    pub write_fraction: f64,
+    /// Probability that the adjacent line is the next miss (run-length
+    /// structure of the miss stream); drives ARCC's prefetch effect.
+    pub spatial_locality: f64,
+    /// Footprint in 64 B lines.
+    pub working_set_lines: u64,
+    /// IPC with an ideal memory system.
+    pub base_ipc: f64,
+    /// Memory-level parallelism: average outstanding misses overlapping a
+    /// stalled one.
+    pub mlp: f64,
+}
+
+/// All modelled benchmarks (every name appearing in Table 7.3).
+pub const ALL_PROFILES: &[BenchmarkProfile] = &[
+    BenchmarkProfile { name: "mesa", mpki: 0.6, write_fraction: 0.30, spatial_locality: 0.70, working_set_lines: 1 << 14, base_ipc: 1.4, mlp: 2.0 },
+    BenchmarkProfile { name: "leslie3d", mpki: 13.0, write_fraction: 0.25, spatial_locality: 0.85, working_set_lines: 1 << 21, base_ipc: 0.9, mlp: 4.0 },
+    BenchmarkProfile { name: "GemsFDTD", mpki: 16.0, write_fraction: 0.30, spatial_locality: 0.80, working_set_lines: 1 << 22, base_ipc: 0.7, mlp: 3.5 },
+    BenchmarkProfile { name: "fma3d", mpki: 4.0, write_fraction: 0.30, spatial_locality: 0.60, working_set_lines: 1 << 20, base_ipc: 1.0, mlp: 2.0 },
+    BenchmarkProfile { name: "omnetpp", mpki: 21.0, write_fraction: 0.35, spatial_locality: 0.25, working_set_lines: 1 << 21, base_ipc: 0.5, mlp: 1.4 },
+    BenchmarkProfile { name: "soplex", mpki: 27.0, write_fraction: 0.25, spatial_locality: 0.45, working_set_lines: 1 << 22, base_ipc: 0.5, mlp: 1.8 },
+    BenchmarkProfile { name: "apsi", mpki: 4.5, write_fraction: 0.30, spatial_locality: 0.60, working_set_lines: 1 << 19, base_ipc: 1.1, mlp: 2.2 },
+    BenchmarkProfile { name: "sphinx3", mpki: 12.0, write_fraction: 0.10, spatial_locality: 0.55, working_set_lines: 1 << 20, base_ipc: 0.7, mlp: 2.5 },
+    BenchmarkProfile { name: "calculix", mpki: 1.2, write_fraction: 0.20, spatial_locality: 0.70, working_set_lines: 1 << 17, base_ipc: 1.5, mlp: 2.0 },
+    BenchmarkProfile { name: "wupwise", mpki: 2.5, write_fraction: 0.25, spatial_locality: 0.70, working_set_lines: 1 << 19, base_ipc: 1.3, mlp: 2.5 },
+    BenchmarkProfile { name: "lucas", mpki: 10.0, write_fraction: 0.30, spatial_locality: 0.65, working_set_lines: 1 << 20, base_ipc: 0.9, mlp: 3.0 },
+    BenchmarkProfile { name: "gromacs", mpki: 1.0, write_fraction: 0.25, spatial_locality: 0.60, working_set_lines: 1 << 17, base_ipc: 1.4, mlp: 2.0 },
+    BenchmarkProfile { name: "swim", mpki: 23.0, write_fraction: 0.35, spatial_locality: 0.90, working_set_lines: 1 << 22, base_ipc: 0.8, mlp: 5.0 },
+    BenchmarkProfile { name: "sjeng", mpki: 0.4, write_fraction: 0.20, spatial_locality: 0.30, working_set_lines: 1 << 16, base_ipc: 1.2, mlp: 1.5 },
+    BenchmarkProfile { name: "facerec", mpki: 8.0, write_fraction: 0.20, spatial_locality: 0.75, working_set_lines: 1 << 20, base_ipc: 1.0, mlp: 3.0 },
+    BenchmarkProfile { name: "ammp", mpki: 2.4, write_fraction: 0.25, spatial_locality: 0.45, working_set_lines: 1 << 19, base_ipc: 1.1, mlp: 1.8 },
+    BenchmarkProfile { name: "milc", mpki: 15.0, write_fraction: 0.30, spatial_locality: 0.70, working_set_lines: 1 << 22, base_ipc: 0.6, mlp: 3.0 },
+    BenchmarkProfile { name: "mgrid", mpki: 6.0, write_fraction: 0.30, spatial_locality: 0.85, working_set_lines: 1 << 21, base_ipc: 1.0, mlp: 3.5 },
+    BenchmarkProfile { name: "applu", mpki: 11.0, write_fraction: 0.35, spatial_locality: 0.80, working_set_lines: 1 << 21, base_ipc: 0.9, mlp: 3.5 },
+    BenchmarkProfile { name: "mcf2006", mpki: 60.0, write_fraction: 0.20, spatial_locality: 0.20, working_set_lines: 1 << 23, base_ipc: 0.25, mlp: 1.5 },
+    BenchmarkProfile { name: "libquantum", mpki: 25.0, write_fraction: 0.25, spatial_locality: 0.95, working_set_lines: 1 << 22, base_ipc: 0.6, mlp: 6.0 },
+    BenchmarkProfile { name: "astar", mpki: 8.0, write_fraction: 0.25, spatial_locality: 0.30, working_set_lines: 1 << 20, base_ipc: 0.8, mlp: 1.5 },
+    BenchmarkProfile { name: "art110", mpki: 45.0, write_fraction: 0.15, spatial_locality: 0.50, working_set_lines: 1 << 19, base_ipc: 0.4, mlp: 2.5 },
+    BenchmarkProfile { name: "lbm", mpki: 20.0, write_fraction: 0.45, spatial_locality: 0.90, working_set_lines: 1 << 22, base_ipc: 0.7, mlp: 4.5 },
+    BenchmarkProfile { name: "h264ref", mpki: 1.5, write_fraction: 0.25, spatial_locality: 0.65, working_set_lines: 1 << 18, base_ipc: 1.5, mlp: 2.0 },
+];
+
+/// Looks up a benchmark profile by Table 7.3 name.
+///
+/// The paper's "fma3di" (Mix4) is accepted as an alias for fma3d — it is a
+/// typo in the thesis table.
+pub fn spec_profile(name: &str) -> Option<&'static BenchmarkProfile> {
+    let name = if name == "fma3di" { "fma3d" } else { name };
+    ALL_PROFILES.iter().find(|p| p.name == name)
+}
+
+/// A 4-benchmark multiprogrammed mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Mix name ("Mix1".."Mix12").
+    pub name: &'static str,
+    /// The four benchmarks, one per core.
+    pub benchmarks: [&'static str; 4],
+}
+
+impl Mix {
+    /// Profiles of the four benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is unknown (cannot happen for [`paper_mixes`]).
+    pub fn profiles(&self) -> [&'static BenchmarkProfile; 4] {
+        let get = |n| spec_profile(n).unwrap_or_else(|| panic!("unknown benchmark {n}"));
+        [
+            get(self.benchmarks[0]),
+            get(self.benchmarks[1]),
+            get(self.benchmarks[2]),
+            get(self.benchmarks[3]),
+        ]
+    }
+}
+
+/// The 12 mixes of Table 7.3, verbatim.
+pub fn paper_mixes() -> Vec<Mix> {
+    vec![
+        Mix { name: "Mix1", benchmarks: ["mesa", "leslie3d", "GemsFDTD", "fma3d"] },
+        Mix { name: "Mix2", benchmarks: ["omnetpp", "soplex", "apsi", "mesa"] },
+        Mix { name: "Mix3", benchmarks: ["sphinx3", "calculix", "omnetpp", "wupwise"] },
+        Mix { name: "Mix4", benchmarks: ["lucas", "gromacs", "swim", "fma3di"] },
+        Mix { name: "Mix5", benchmarks: ["mesa", "swim", "apsi", "sphinx3"] },
+        Mix { name: "Mix6", benchmarks: ["sjeng", "swim", "facerec", "ammp"] },
+        Mix { name: "Mix7", benchmarks: ["milc", "GemsFDTD", "leslie3d", "omnetpp"] },
+        Mix { name: "Mix8", benchmarks: ["facerec", "leslie3d", "ammp", "mgrid"] },
+        Mix { name: "Mix9", benchmarks: ["applu", "soplex", "mcf2006", "GemsFDTD"] },
+        Mix { name: "Mix10", benchmarks: ["mcf2006", "libquantum", "omnetpp", "astar"] },
+        Mix { name: "Mix11", benchmarks: ["calculix", "swim", "art110", "omnetpp"] },
+        Mix { name: "Mix12", benchmarks: ["lbm", "facerec", "h264ref", "ammp"] },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_mixes_with_known_benchmarks() {
+        let mixes = paper_mixes();
+        assert_eq!(mixes.len(), 12);
+        for m in &mixes {
+            for b in m.benchmarks {
+                assert!(spec_profile(b).is_some(), "unknown benchmark {b} in {}", m.name);
+            }
+            let _ = m.profiles(); // must not panic
+        }
+    }
+
+    #[test]
+    fn fma3di_alias() {
+        assert_eq!(spec_profile("fma3di").unwrap().name, "fma3d");
+        assert!(spec_profile("nonexistent").is_none());
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for p in ALL_PROFILES {
+            assert!(p.mpki > 0.0 && p.mpki < 100.0, "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.write_fraction), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.spatial_locality), "{}", p.name);
+            assert!(p.base_ipc > 0.0 && p.base_ipc <= 2.0, "{}", p.name);
+            assert!(p.mlp >= 1.0, "{}", p.name);
+            assert!(p.working_set_lines > 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn streaming_vs_pointer_chasing_structure() {
+        // The structural contrast the paper's Figure 7.3 discussion relies
+        // on: libquantum/swim/lbm stream, mcf/omnetpp/astar chase pointers.
+        for streamer in ["libquantum", "swim", "lbm", "leslie3d"] {
+            assert!(spec_profile(streamer).unwrap().spatial_locality >= 0.8, "{streamer}");
+        }
+        for chaser in ["mcf2006", "omnetpp", "astar", "sjeng"] {
+            assert!(spec_profile(chaser).unwrap().spatial_locality <= 0.35, "{chaser}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = ALL_PROFILES.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), ALL_PROFILES.len());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the trace generator and performance model: the
+//! statistical contracts the system simulation relies on hold for every
+//! profile, seed, and mix.
+
+use arcc_trace::perf::{core_ipc, core_ipc_with_latency_cpu};
+use arcc_trace::{generate_mix, paper_mixes, spec_profile, TraceConfig, TraceGenerator, ALL_PROFILES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn per_core_arrivals_are_monotone(seed in any::<u64>(), mix_idx in 0usize..12) {
+        let mix = paper_mixes()[mix_idx];
+        let wl = generate_mix(&mix, &TraceConfig { requests: 3000, seed });
+        let mut last = [0u64; 4];
+        for r in &wl.requests {
+            prop_assert!(r.arrival >= last[r.core as usize]);
+            last[r.core as usize] = r.arrival;
+        }
+    }
+
+    #[test]
+    fn any_profile_generates_in_bounds(seed in any::<u64>(), pi in 0usize..25) {
+        let p = &ALL_PROFILES[pi.min(ALL_PROFILES.len() - 1)];
+        let mut g = TraceGenerator::new(p, 2, seed);
+        let ws = p.working_set_lines.min(1 << 24);
+        let base = 2u64 << 24;
+        for _ in 0..500 {
+            let (r, wb) = g.next_access(2);
+            prop_assert!(r.line >= base && r.line < base + ws, "{} out of slice", r.line);
+            prop_assert!(!r.write);
+            if let Some(w) = wb {
+                prop_assert!(w.write);
+                prop_assert_eq!(w.arrival, r.arrival);
+                prop_assert!(w.line >= base && w.line < base + ws);
+            }
+        }
+        prop_assert!(g.instructions() > 0);
+    }
+
+    #[test]
+    fn request_count_is_exact(seed in any::<u64>(), n in 10usize..5000) {
+        let wl = generate_mix(&paper_mixes()[0], &TraceConfig { requests: n, seed });
+        prop_assert_eq!(wl.requests.len(), n);
+    }
+
+    #[test]
+    fn ipc_model_is_monotone_and_bounded(
+        pi in 0usize..25,
+        lat_a in 0.0f64..500.0,
+        extra in 1.0f64..500.0,
+    ) {
+        let p = &ALL_PROFILES[pi.min(ALL_PROFILES.len() - 1)];
+        let fast = core_ipc_with_latency_cpu(p, lat_a);
+        let slow = core_ipc_with_latency_cpu(p, lat_a + extra);
+        prop_assert!(fast >= slow, "IPC must not improve with latency");
+        prop_assert!(fast <= p.base_ipc + 1e-12);
+        prop_assert!(slow > 0.0);
+    }
+
+    #[test]
+    fn mem_cycle_latency_wrapper_consistent(lat_mem in 0.0f64..60.0) {
+        let p = spec_profile("milc").expect("known benchmark");
+        let a = core_ipc(p, lat_mem);
+        let b = core_ipc_with_latency_cpu(p, lat_mem * 9.0);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_mpki_means_denser_requests(seed in any::<u64>()) {
+        // mcf2006 (60 MPKI) must fill a fixed request budget in less
+        // simulated time than mesa (0.6 MPKI) at one core each.
+        let span = |name: &str| {
+            let p = spec_profile(name).expect("known");
+            let mut g = TraceGenerator::new(p, 0, seed);
+            let mut last = 0;
+            for _ in 0..300 {
+                last = g.next_access(0).0.arrival;
+            }
+            last
+        };
+        prop_assert!(span("mcf2006") < span("mesa"));
+    }
+}

@@ -1,0 +1,64 @@
+//! A server's seven-year life with ARCC: field-rate fault arrivals on one
+//! memory channel, scrub-by-scrub detection, page upgrades, and the power
+//! cost of the growing upgraded fraction.
+//!
+//! This is the paper's §7.1 methodology on a single concrete channel
+//! instead of a 10 000-channel fleet, so every fault is visible.
+//!
+//! Run with: `cargo run --release --example device_fault_lifetime`
+
+use arcc::core::system::worst_case_power_factor;
+use arcc::faults::montecarlo::{FaultSampler, HOURS_PER_YEAR};
+use arcc::faults::{FaultGeometry, FitRates};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("=== One channel, seven years, 4x field fault rates ===\n");
+    let geometry = FaultGeometry::paper_channel();
+    // 4x rates so a single channel usually sees at least one fault.
+    let sampler = FaultSampler::new(geometry, FitRates::sridharan_sc12().scaled(4.0));
+    let mut rng = StdRng::seed_from_u64(2013);
+    let years = 7.0;
+    let faults = sampler.sample_lifetime(&mut rng, years * HOURS_PER_YEAR);
+
+    println!(
+        "expected faults/channel over {years} years: {:.2}; this channel drew {}",
+        sampler.expected_faults(years * HOURS_PER_YEAR),
+        faults.len()
+    );
+
+    let mut upgraded_fraction = 0.0f64;
+    let mut spared_fraction = 1.0f64; // product of (1 - frac_i)
+    println!(
+        "\n{:<10} {:<22} {:>10} {:>14} {:>16} {:>16}",
+        "t (years)", "fault", "transient", "pages hit", "upgraded total", "power factor"
+    );
+    for f in &faults {
+        let frac = geometry.affected_page_fraction(f.mode);
+        spared_fraction *= 1.0 - frac;
+        upgraded_fraction = 1.0 - spared_fraction;
+        println!(
+            "{:<10.2} {:<22} {:>10} {:>13.4}% {:>15.4}% {:>16.3}",
+            f.time_h / HOURS_PER_YEAR,
+            f.mode.name(),
+            if f.transient { "yes" } else { "no" },
+            frac * 100.0,
+            upgraded_fraction * 100.0,
+            worst_case_power_factor(upgraded_fraction),
+        );
+    }
+    if faults.is_empty() {
+        println!("(this channel was fault-free for its whole life — the common case!)");
+    }
+
+    println!(
+        "\nend of life: {:.3}% of pages upgraded -> worst-case power {:.3}x fault-free",
+        upgraded_fraction * 100.0,
+        worst_case_power_factor(upgraded_fraction)
+    );
+    println!(
+        "ARCC keeps ({:.1}% of accesses relaxed x 18 devices) vs always-36-device SCCDCD.",
+        (1.0 - upgraded_fraction) * 100.0
+    );
+}

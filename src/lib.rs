@@ -1,0 +1,64 @@
+//! **ARCC — Adaptive Reliability Chipkill Correct** (HPCA 2013), as a
+//! complete Rust simulation stack.
+//!
+//! Chipkill-correct memory tolerates whole-DRAM-device failures by storing
+//! each symbol of an ECC codeword in a different device. Strong commercial
+//! chipkill (4 check symbols) needs 36 devices per access; a weak code
+//! (2 check symbols) needs 18 and roughly half the dynamic power. ARCC's
+//! observation: only a few percent of pages ever see a fault in a server's
+//! 5–7-year life — so start every page *relaxed* (weak, cheap) and
+//! *upgrade* pages on the first scrub-detected error by joining adjacent
+//! 64 B lines across two channels into 128 B lines whose codewords carry
+//! 4 check symbols at unchanged storage overhead.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`gf`] | GF(2^4)/GF(2^8) + errors-and-erasures Reed–Solomon + chipkill layouts |
+//! | [`mem`] | DDR2 timing/power/controller simulator with lockstep pairing |
+//! | [`cache`] | LLC with paired sub-line support (and the sectored alternative) |
+//! | [`faults`] | fault modes, field FIT rates, Monte-Carlo lifetime sampling |
+//! | [`trace`] | synthetic SPEC-mix traces + analytical multicore model |
+//! | [`core`] | ARCC itself: schemes, page table, scrubber, upgrade engine, system sim |
+//! | [`reliability`] | SDC/DUE Monte Carlo, faulty-fraction and lifetime curves |
+//!
+//! # Quickstart: survive a chip kill, then get stronger
+//!
+//! ```
+//! use arcc::core::{FunctionalMemory, InjectedFault, Scrubber, UpgradeEngine, ProtectionMode};
+//!
+//! // A functional memory image: pages really are Reed–Solomon encoded.
+//! let mut mem = FunctionalMemory::new(4);
+//! for line in 0..mem.lines() {
+//!     mem.write_line(line, &vec![0xC0u8; 64])?;
+//! }
+//!
+//! // A DRAM device dies. Relaxed pages still correct it (1 bad symbol).
+//! mem.inject_fault(InjectedFault::stuck_everywhere(7, 0x00));
+//! let (data, _event) = mem.read_line(0)?;
+//! assert_eq!(data, vec![0xC0u8; 64]);
+//!
+//! // The scrubber detects it; the upgrade engine strengthens the pages.
+//! let (outcome, report) = UpgradeEngine::new()
+//!     .scrub_and_upgrade(&mut mem, &Scrubber::default());
+//! assert!(!outcome.pages_with_errors.is_empty());
+//! assert!(!report.pages_upgraded.is_empty());
+//! assert_eq!(mem.page_table().mode(0), ProtectionMode::Upgraded);
+//!
+//! // Data still intact, now under 4-check-symbol protection.
+//! let (data, _) = mem.read_line(0)?;
+//! assert_eq!(data, vec![0xC0u8; 64]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use arcc_cache as cache;
+pub use arcc_core as core;
+pub use arcc_faults as faults;
+pub use arcc_gf as gf;
+pub use arcc_mem as mem;
+pub use arcc_reliability as reliability;
+pub use arcc_trace as trace;

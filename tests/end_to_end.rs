@@ -1,0 +1,132 @@
+//! End-to-end integration: trace generation -> LLC -> DRAM simulation ->
+//! power/perf, checking the paper's headline claims hold across the whole
+//! stack (smaller traces than the paper runs, same structure).
+
+use arcc::core::system::{worst_case_power_factor, SimConfig, SystemSim};
+use arcc::faults::{FaultGeometry, FaultMode};
+use arcc::trace::{paper_mixes, TraceConfig};
+
+fn quick(requests: usize) -> TraceConfig {
+    TraceConfig {
+        requests,
+        seed: 0xE2E,
+    }
+}
+
+#[test]
+fn headline_power_saving_across_all_mixes() {
+    // Figure 7.1's power half: every mix saves 25-45% fault-free, and the
+    // average lands near the paper's 36.7%.
+    let mut savings = Vec::new();
+    for mix in paper_mixes() {
+        let mut base_cfg = SimConfig::baseline();
+        base_cfg.trace = quick(40_000);
+        let mut arcc_cfg = SimConfig::arcc(0.0);
+        arcc_cfg.trace = quick(40_000);
+        let base = SystemSim::new(base_cfg).run_mix(&mix);
+        let arcc = SystemSim::new(arcc_cfg).run_mix(&mix);
+        let s = 1.0 - arcc.power_mw / base.power_mw;
+        assert!(
+            (0.25..0.45).contains(&s),
+            "{}: saving {s} out of expected band",
+            mix.name
+        );
+        savings.push(s);
+    }
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    assert!(
+        (0.30..0.42).contains(&avg),
+        "average saving {avg}, paper 0.367"
+    );
+}
+
+#[test]
+fn headline_perf_gain_on_average() {
+    // Figure 7.1's performance half: rank-level parallelism gives ARCC a
+    // small average IPC win.
+    let mut gains = Vec::new();
+    for mix in paper_mixes().iter().take(6) {
+        let mut base_cfg = SimConfig::baseline();
+        base_cfg.trace = quick(40_000);
+        let mut arcc_cfg = SimConfig::arcc(0.0);
+        arcc_cfg.trace = quick(40_000);
+        let base = SystemSim::new(base_cfg).run_mix(mix);
+        let arcc = SystemSim::new(arcc_cfg).run_mix(mix);
+        gains.push(arcc.perf.total_ipc / base.perf.total_ipc - 1.0);
+    }
+    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+    assert!(
+        (0.0..0.20).contains(&avg),
+        "average perf gain {avg}, paper +0.059"
+    );
+}
+
+#[test]
+fn fault_type_power_ordering_matches_figure_7_2() {
+    // Lane > device > subbank > column overhead, all below worst case.
+    let g = FaultGeometry::paper_channel();
+    let mix = paper_mixes()[6]; // memory-heavy mix makes overheads visible
+    let run = |frac: f64| {
+        let mut cfg = SimConfig::arcc(frac);
+        cfg.trace = quick(40_000);
+        SystemSim::new(cfg).run_mix(&mix)
+    };
+    let clean = run(0.0);
+    let mut prev_ratio = f64::MAX;
+    for mode in [
+        FaultMode::MultiRank,
+        FaultMode::MultiBank,
+        FaultMode::SingleBank,
+        FaultMode::SingleColumn,
+    ] {
+        let frac = g.affected_page_fraction(mode);
+        let faulty = run(frac);
+        let ratio = faulty.power_mw / clean.power_mw;
+        assert!(
+            ratio <= prev_ratio + 0.02,
+            "{mode:?}: ratio {ratio} not decreasing (prev {prev_ratio})"
+        );
+        assert!(
+            ratio <= worst_case_power_factor(frac) * 1.05,
+            "{mode:?}: ratio {ratio} above worst case {}",
+            worst_case_power_factor(frac)
+        );
+        assert!(ratio >= 0.98, "{mode:?}: power should not drop: {ratio}");
+        prev_ratio = ratio;
+    }
+}
+
+#[test]
+fn spatial_locality_separates_winners_from_losers() {
+    // Figure 7.3's story: with all pages upgraded, a streaming mix keeps
+    // (or gains) performance from the free sibling prefetch; a
+    // pointer-chasing mix pays.
+    let run = |mix_idx: usize, frac: f64| {
+        let mut cfg = SimConfig::arcc(frac);
+        cfg.trace = quick(40_000);
+        SystemSim::new(cfg).run_mix(&paper_mixes()[mix_idx])
+    };
+    // Mix4 = lucas/gromacs/swim/fma3d (streaming-heavy);
+    // Mix10 = mcf/libquantum/omnetpp/astar (chaser-heavy except libquantum).
+    let stream_ratio = run(3, 1.0).perf.total_ipc / run(3, 0.0).perf.total_ipc;
+    let chase_ratio = run(9, 1.0).perf.total_ipc / run(9, 0.0).perf.total_ipc;
+    assert!(
+        stream_ratio > chase_ratio,
+        "streaming {stream_ratio} should beat pointer-chasing {chase_ratio}"
+    );
+    assert!(chase_ratio > 0.5, "never worse than the bandwidth bound");
+}
+
+#[test]
+fn llc_co_fetch_generates_paired_writebacks() {
+    // The §4.2.3 contract: dirty upgraded lines leave the LLC as one
+    // 128 B paired writeback, never as a lone sub-line.
+    let mut cfg = SimConfig::arcc(1.0);
+    cfg.trace = quick(30_000);
+    let r = SystemSim::new(cfg).run_mix(&paper_mixes()[11]); // lbm: write-heavy
+    assert!(r.llc.paired_writebacks > 0, "no paired writebacks seen");
+    assert_eq!(
+        r.llc.paired_writebacks, r.llc.writebacks,
+        "all-upgraded run must write back only pairs"
+    );
+}

@@ -1,0 +1,143 @@
+//! Cross-crate pipeline test: field-rate fault events (arcc-faults) are
+//! materialised as device faults on a functional memory image
+//! (arcc-core), the test-pattern scrubber finds them, the upgrade engine
+//! strengthens exactly the affected pages, and all data survives.
+
+use arcc::core::{
+    FunctionalMemory, InjectedFault, ProtectionMode, ScrubStrategy, Scrubber, UpgradeEngine,
+};
+use arcc::core::image::FaultBehavior;
+use arcc::faults::montecarlo::FaultSampler;
+use arcc::faults::{FaultGeometry, FaultMode, FitRates};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PAGES: u64 = 16;
+
+/// Materialises a sampled fault event onto the image: the device position
+/// maps into the 36-device pair-span; the blast radius becomes a page
+/// range sized by the mode's affected fraction, starting at `first_page`.
+fn materialise_at(
+    mem: &mut FunctionalMemory,
+    mode: FaultMode,
+    device: u32,
+    geometry: &FaultGeometry,
+    first_page: u64,
+    max_pages: u64,
+) {
+    let frac = geometry.affected_page_fraction(mode);
+    let pages_hit = ((frac * PAGES as f64).ceil() as u64).clamp(1, max_pages);
+    mem.inject_fault(InjectedFault {
+        device: device % 36,
+        first_page,
+        last_page: first_page + pages_hit,
+        behavior: FaultBehavior::Stuck(0xFF),
+        transient: false,
+    });
+}
+
+/// Full-range materialisation (single-fault tests).
+fn materialise(mem: &mut FunctionalMemory, mode: FaultMode, device: u32, geometry: &FaultGeometry) {
+    materialise_at(mem, mode, device, geometry, 0, PAGES);
+}
+
+fn filled() -> FunctionalMemory {
+    let mut mem = FunctionalMemory::new(PAGES);
+    for l in 0..mem.lines() {
+        let payload: Vec<u8> = (0..64).map(|i| (l as u8).wrapping_mul(3) ^ i as u8).collect();
+        mem.write_line(l, &payload).expect("in range");
+    }
+    mem
+}
+
+#[test]
+fn sampled_faults_survive_scrub_and_upgrade() {
+    let geometry = FaultGeometry::paper_channel();
+    let sampler = FaultSampler::new(geometry, FitRates::sridharan_sc12().scaled(4.0));
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // Draw a handful of faults, each confined to its own quarter of the
+    // image so no relaxed codeword sees two bad devices at once (multiple
+    // overlapping faults inside one scrub window are the SDC scenario
+    // Chapter 6 analyses, not this test's subject).
+    let mut mem = filled();
+    let mut drawn = Vec::new();
+    for slot in 0..3u64 {
+        let f = sampler.draw_fault(&mut rng, 0.0);
+        materialise_at(&mut mem, f.mode, f.device_pos, &geometry, slot * 4, 4);
+        drawn.push(f.mode);
+    }
+    materialise_at(&mut mem, FaultMode::SingleBank, 9, &geometry, 12, 4);
+
+    // Scrub + upgrade round.
+    let engine = UpgradeEngine::new();
+    let scrubber = Scrubber::new(ScrubStrategy::TestPattern);
+    let (outcome, report) = engine.scrub_and_upgrade(&mut mem, &scrubber);
+    assert!(!outcome.pages_with_errors.is_empty(), "faults must be detected");
+    assert_eq!(
+        outcome.pages_with_errors.len(),
+        report.pages_upgraded.len() + report.pages_saturated.len() + report.failed_pages.len()
+    );
+    assert!(report.failed_pages.is_empty(), "single faults are correctable");
+
+    // Every flagged page is upgraded; every other page stays relaxed.
+    for (p, mode) in mem.page_table().iter() {
+        if outcome.pages_with_errors.contains(&p) {
+            assert_eq!(mode, ProtectionMode::Upgraded, "page {p}");
+        } else {
+            assert_eq!(mode, ProtectionMode::Relaxed, "page {p}");
+        }
+    }
+
+    // All data still reads back correctly through the live faults.
+    for l in 0..mem.lines() {
+        let (data, _) = mem.read_line(l).unwrap_or_else(|e| panic!("line {l}: {e}"));
+        let expect: Vec<u8> = (0..64).map(|i| (l as u8).wrapping_mul(3) ^ i as u8).collect();
+        assert_eq!(data, expect, "line {l}");
+    }
+}
+
+#[test]
+fn upgrade_fraction_tracks_table_7_4() {
+    let geometry = FaultGeometry::paper_channel();
+    for (mode, expect_pages) in [
+        (FaultMode::MultiRank, PAGES),          // lane: 100%
+        (FaultMode::MultiBank, PAGES / 2),      // device: 1/2
+        (FaultMode::SingleBank, 1),             // subbank: 1/16 -> ceil
+        (FaultMode::SingleColumn, 1),           // column: 1/32 -> ceil
+    ] {
+        let mut mem = filled();
+        materialise(&mut mem, mode, 4, &geometry);
+        let engine = UpgradeEngine::new();
+        let (_, report) = engine.scrub_and_upgrade(&mut mem, &Scrubber::default());
+        assert_eq!(
+            report.pages_upgraded.len() as u64,
+            expect_pages,
+            "{mode:?}: wrong page count"
+        );
+    }
+}
+
+#[test]
+fn transient_faults_do_not_stay_upgraded_free() {
+    // A transient fault is detected once, upgrades its page (the paper has
+    // no downgrade path), and the next scrub is clean.
+    let mut mem = filled();
+    mem.inject_fault(InjectedFault {
+        device: 2,
+        first_page: 3,
+        last_page: 4,
+        behavior: FaultBehavior::Flip(0x08),
+        transient: true,
+    });
+    let engine = UpgradeEngine::new();
+    let scrubber = Scrubber::default();
+    let (o1, r1) = engine.scrub_and_upgrade(&mut mem, &scrubber);
+    assert_eq!(o1.pages_with_errors, vec![3]);
+    assert_eq!(r1.pages_upgraded, vec![3]);
+    let (o2, r2) = engine.scrub_and_upgrade(&mut mem, &scrubber);
+    assert!(o2.is_clean(), "transient fault must be cured: {o2:?}");
+    assert!(r2.pages_upgraded.is_empty());
+    // Upgrade is sticky (no downgrade in the base design).
+    assert_eq!(mem.page_table().mode(3), ProtectionMode::Upgraded);
+}
