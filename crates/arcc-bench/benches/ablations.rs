@@ -33,8 +33,12 @@ fn ablate_codeword_joining(c: &mut Criterion) {
         bch.iter_batched(
             || (ea.clone(), eb.clone()),
             |(mut x, mut y)| {
-                relaxed.decode_line(black_box(&mut x), &[], 1).expect("clean");
-                relaxed.decode_line(black_box(&mut y), &[], 1).expect("clean");
+                relaxed
+                    .decode_line(black_box(&mut x), &[], 1)
+                    .expect("clean");
+                relaxed
+                    .decode_line(black_box(&mut y), &[], 1)
+                    .expect("clean");
             },
             criterion::BatchSize::SmallInput,
         )
@@ -43,7 +47,9 @@ fn ablate_codeword_joining(c: &mut Criterion) {
         bch.iter_batched(
             || ej.clone(),
             |mut x| {
-                upgraded.decode_line(black_box(&mut x), &[], 1).expect("clean");
+                upgraded
+                    .decode_line(black_box(&mut x), &[], 1)
+                    .expect("clean");
             },
             criterion::BatchSize::SmallInput,
         )
@@ -61,7 +67,9 @@ fn ablate_codeword_joining(c: &mut Criterion) {
 fn ablate_llc_designs(c: &mut Criterion) {
     let cfg = CacheConfig::paper_llc();
     // Low-locality line stream touching distinct 128 B sectors.
-    let lines: Vec<u64> = (0..40_000u64).map(|k| (k * 2 + ((k >> 5) & 1)) % (1 << 22)).collect();
+    let lines: Vec<u64> = (0..40_000u64)
+        .map(|k| (k * 2 + ((k >> 5) & 1)) % (1 << 22))
+        .collect();
     let mut g = c.benchmark_group("ablation_llc");
     g.bench_function("paired_tag", |b| {
         b.iter(|| {
@@ -100,7 +108,7 @@ fn ablate_page_upgrade(c: &mut Criterion) {
             || {
                 let mut mem = FunctionalMemory::new(1);
                 for l in 0..mem.lines() {
-                    mem.write_line(l, &vec![0xA5u8; 64]).expect("in range");
+                    mem.write_line(l, &[0xA5u8; 64]).expect("in range");
                 }
                 mem
             },

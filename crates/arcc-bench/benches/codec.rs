@@ -52,7 +52,11 @@ fn bench_decode(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter_batched(
                 || enc.clone(),
-                |mut e| codec.decode_line(black_box(&mut e), &[], 1).expect("correctable"),
+                |mut e| {
+                    codec
+                        .decode_line(black_box(&mut e), &[], 1)
+                        .expect("correctable")
+                },
                 criterion::BatchSize::SmallInput,
             )
         });
@@ -62,7 +66,7 @@ fn bench_decode(c: &mut Criterion) {
 
 fn bench_syndromes(c: &mut Criterion) {
     let rs = ReedSolomon::<Gf256>::new(36, 32).expect("valid parameters");
-    let cw = rs.encode_to_codeword(&vec![7u8; 32]).expect("valid length");
+    let cw = rs.encode_to_codeword(&[7u8; 32]).expect("valid length");
     c.bench_function("syndromes_rs36_32", |b| {
         b.iter(|| rs.syndromes(black_box(&cw)))
     });

@@ -54,7 +54,7 @@ fn bench_scrub(c: &mut Criterion) {
                 || {
                     let mut mem = FunctionalMemory::new(8);
                     for l in 0..mem.lines() {
-                        mem.write_line(l, &vec![0x5Au8; 64]).expect("in range");
+                        mem.write_line(l, &[0x5Au8; 64]).expect("in range");
                     }
                     mem.inject_fault(InjectedFault::stuck_everywhere(5, 0x00));
                     mem

@@ -22,7 +22,11 @@ fn main() {
                 .iter()
                 .find(|p| p.years == y as f64 && p.rate_multiplier == m)
                 .expect("grid point");
-            format!("{:.3}% ({:.3}%)", p.monte_carlo * 100.0, p.closed_form * 100.0)
+            format!(
+                "{:.3}% ({:.3}%)",
+                p.monte_carlo * 100.0,
+                p.closed_form * 100.0
+            )
         };
         println!(
             "{:<6} {:>18} {:>18} {:>18}",

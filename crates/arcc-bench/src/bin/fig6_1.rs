@@ -18,7 +18,7 @@ fn main() {
     );
     let grid = figure_6_1_grid(7, &[1.0, 2.0, 4.0], machines, 0x61F);
     for (years, mult, r) in &grid {
-        if *years as u32 % 2 == 0 && *years > 1.0 {
+        if (*years as u32).is_multiple_of(2) && *years > 1.0 {
             continue; // print odd years + year 1, like the paper's sparse axis
         }
         println!(

@@ -46,7 +46,10 @@ fn main() {
     println!();
     print!("{:<8}", "worstest");
     for (_, mode) in &fault_types {
-        print!(" {:>9.3}", worst_case_power_factor(g.affected_page_fraction(*mode)));
+        print!(
+            " {:>9.3}",
+            worst_case_power_factor(g.affected_page_fraction(*mode))
+        );
     }
     println!("   <- worst case est. (paper's rightmost bars)");
     println!();

@@ -29,7 +29,11 @@ fn measured_power_model(g: &FaultGeometry) -> OverheadModel {
     let column = overhead_at(g.affected_page_fraction(FaultMode::SingleColumn));
     // Tiny-footprint modes scale linearly from the column measurement.
     let col_frac = g.affected_page_fraction(FaultMode::SingleColumn);
-    let per_frac = if col_frac > 0.0 { column / col_frac } else { 0.0 };
+    let per_frac = if col_frac > 0.0 {
+        column / col_frac
+    } else {
+        0.0
+    };
     let g2 = *g;
     OverheadModel::from_fn(move |m| match m {
         FaultMode::MultiRank => lane,

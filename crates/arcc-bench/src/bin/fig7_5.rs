@@ -25,7 +25,11 @@ fn measured_perf_model(g: &FaultGeometry) -> OverheadModel {
     let bank = loss_at(g.affected_page_fraction(FaultMode::SingleBank));
     let column = loss_at(g.affected_page_fraction(FaultMode::SingleColumn));
     let col_frac = g.affected_page_fraction(FaultMode::SingleColumn);
-    let per_frac = if col_frac > 0.0 { column / col_frac } else { 0.0 };
+    let per_frac = if col_frac > 0.0 {
+        column / col_frac
+    } else {
+        0.0
+    };
     let g2 = *g;
     OverheadModel::from_fn(move |m| match m {
         FaultMode::MultiRank => lane,

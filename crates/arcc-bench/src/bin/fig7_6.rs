@@ -31,13 +31,19 @@ fn main() {
         avgs.push(c.iter().map(|p| p.avg_overhead).sum::<f64>() / c.len() as f64);
         curves.push(c);
     }
-    for y in 0..7 {
+    for (y, ((one_x, two_x), four_x)) in curves[0]
+        .iter()
+        .zip(&curves[1])
+        .zip(&curves[2])
+        .take(7)
+        .enumerate()
+    {
         println!(
             "{:<6} {:>9.2}% {:>9.2}% {:>9.2}%",
             y + 1,
-            curves[0][y].avg_overhead * 100.0,
-            curves[1][y].avg_overhead * 100.0,
-            curves[2][y].avg_overhead * 100.0
+            one_x.avg_overhead * 100.0,
+            two_x.avg_overhead * 100.0,
+            four_x.avg_overhead * 100.0
         );
     }
     println!();

@@ -8,7 +8,8 @@ use arcc_core::ArccScheme;
 use arcc_gf::chipkill::LineCodec;
 
 fn draw_rank(codec: &LineCodec, label: &str) {
-    println!("\n{label}: {} devices/codeword, {} data + {} check, {} codewords per {}B line",
+    println!(
+        "\n{label}: {} devices/codeword, {} data + {} check, {} codewords per {}B line",
         codec.devices(),
         codec.data_devices(),
         codec.check_symbols(),
@@ -17,7 +18,11 @@ fn draw_rank(codec: &LineCodec, label: &str) {
     );
     let mut row = String::new();
     for d in 0..codec.devices() {
-        row.push_str(if d < codec.data_devices() { "[D]" } else { "[R]" });
+        row.push_str(if d < codec.data_devices() {
+            "[D]"
+        } else {
+            "[R]"
+        });
         if (d + 1) % 18 == 0 {
             row.push_str("  ");
         }
@@ -30,7 +35,10 @@ fn main() {
         "Figure 2.1",
         "Commercial chipkill layout: one symbol per device, D=data R=redundant",
     );
-    draw_rank(&LineCodec::sccdcd_x4(), "SCCDCD rank (two lockstep physical channels)");
+    draw_rank(
+        &LineCodec::sccdcd_x4(),
+        "SCCDCD rank (two lockstep physical channels)",
+    );
 
     banner(
         "Figure 4.1",

@@ -11,7 +11,10 @@ fn main() {
         "Chapter 3 motivation",
         "Rank size 18 vs 36 at equal storage overhead (fault-free power)",
     );
-    println!("{:<8} {:>14} {:>14} {:>10}", "Mix", "36-dev mW", "18-dev mW", "saving");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10}",
+        "Mix", "36-dev mW", "18-dev mW", "saving"
+    );
     let mut savings = Vec::new();
     for mix in paper_mixes() {
         let wide = run_baseline(&mix);

@@ -5,8 +5,19 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "fig_layouts", "table7_1", "table7_4", "fig3_1", "motivation", "fig6_1", "fig7_1",
-        "fig7_2", "fig7_3", "fig7_4", "fig7_5", "fig7_6", "escape_rates",
+        "fig_layouts",
+        "table7_1",
+        "table7_4",
+        "fig3_1",
+        "motivation",
+        "fig6_1",
+        "fig7_1",
+        "fig7_2",
+        "fig7_3",
+        "fig7_4",
+        "fig7_5",
+        "fig7_6",
+        "escape_rates",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

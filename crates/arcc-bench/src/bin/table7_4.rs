@@ -5,7 +5,10 @@ use arcc_bench::banner;
 use arcc_faults::{FaultGeometry, FaultMode, FitRates};
 
 fn main() {
-    banner("Table 7.4", "Fault modelling details (fraction of pages upgraded)");
+    banner(
+        "Table 7.4",
+        "Fault modelling details (fraction of pages upgraded)",
+    );
     let g = FaultGeometry::paper_channel();
     let rates = FitRates::sridharan_sc12();
     println!(
@@ -19,12 +22,15 @@ fn main() {
         } else {
             format!("{:.6}%", frac * 100.0)
         };
-        println!("{:<22} {:>18} {:>12.1}", mode.name(), display, rates.fit(*mode));
+        println!(
+            "{:<22} {:>18} {:>12.1}",
+            mode.name(),
+            display,
+            rates.fit(*mode)
+        );
     }
     println!();
-    println!(
-        "Paper rows: lane 100%, device 1/2, subbank 1/16, column 1/32 — the"
-    );
+    println!("Paper rows: lane 100%, device 1/2, subbank 1/16, column 1/32 — the");
     println!(
         "geometry above reproduces them ({} ranks x {} banks, 2 pages/row).",
         g.ranks, g.banks

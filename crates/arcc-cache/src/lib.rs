@@ -145,7 +145,10 @@ impl PairedTagLlc {
     /// paired design needs an adjacent set).
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
-        assert!(sets.is_power_of_two() && sets >= 2, "need >= 2 power-of-two sets");
+        assert!(
+            sets.is_power_of_two() && sets >= 2,
+            "need >= 2 power-of-two sets"
+        );
         Self {
             config,
             sets: vec![vec![Way::default(); config.ways as usize]; sets as usize],
@@ -354,7 +357,10 @@ impl SectoredLlc {
     /// Panics unless the sector-set count is a power of two.
     pub fn new(config: CacheConfig) -> Self {
         let n_sets = config.size_bytes / (config.ways as u64 * 2 * config.line_bytes as u64);
-        assert!(n_sets.is_power_of_two() && n_sets >= 1, "bad sector set count");
+        assert!(
+            n_sets.is_power_of_two() && n_sets >= 1,
+            "bad sector set count"
+        );
         Self {
             sets: vec![vec![Sector::default(); config.ways as usize]; n_sets as usize],
             n_sets,
@@ -429,10 +435,7 @@ impl CacheModel for SectoredLlc {
     fn fill(&mut self, line: u64, upgraded: bool, write: bool) -> Vec<Writeback> {
         let (si, tag, sub) = self.locate(line);
         // Existing sector?
-        if let Some(wi) = self.sets[si]
-            .iter()
-            .position(|w| w.valid && w.tag == tag)
-        {
+        if let Some(wi) = self.sets[si].iter().position(|w| w.valid && w.tag == tag) {
             self.clock += 1;
             let clock = self.clock;
             let w = &mut self.sets[si][wi];
@@ -476,9 +479,7 @@ impl CacheModel for SectoredLlc {
 
     fn invalidate(&mut self, line: u64) -> Option<Writeback> {
         let (si, tag, _) = self.locate(line);
-        let wi = self.sets[si]
-            .iter()
-            .position(|w| w.valid && w.tag == tag)?;
+        let wi = self.sets[si].iter().position(|w| w.valid && w.tag == tag)?;
         self.evict(si, wi)
     }
 
@@ -537,7 +538,13 @@ mod tests {
         for i in 1..=4u64 {
             wbs.extend(llc.fill(i * 64, false, false));
         }
-        assert_eq!(wbs, vec![Writeback { line: 0, upgraded: false }]);
+        assert_eq!(
+            wbs,
+            vec![Writeback {
+                line: 0,
+                upgraded: false
+            }]
+        );
     }
 
     #[test]
@@ -552,14 +559,17 @@ mod tests {
     fn upgraded_pair_evicts_and_writes_back_together() {
         let mut llc = PairedTagLlc::new(small());
         llc.fill(0, true, true); // dirty upgraded pair in sets 0 and 1
-        // Flood set 0 to push out sub-line 0.
+                                 // Flood set 0 to push out sub-line 0.
         let mut wbs = Vec::new();
         for i in 1..=4u64 {
             wbs.extend(llc.fill(i * 64, false, false));
         }
         assert_eq!(
             wbs,
-            vec![Writeback { line: 0, upgraded: true }],
+            vec![Writeback {
+                line: 0,
+                upgraded: true
+            }],
             "pair written back as one 128 B upgrade write"
         );
         // Partner in set 1 must be gone too.
@@ -583,9 +593,9 @@ mod tests {
     fn pair_recency_shields_partner() {
         let mut llc = PairedTagLlc::new(small());
         llc.fill(0, true, false); // pair in sets 0,1
-        // Keep touching sub-line 1 (set 1); never touch sub-line 0.
-        // Then create pressure in set 0: the pair's set-0 sub-line should
-        // NOT be the first victim because its partner is hot.
+                                  // Keep touching sub-line 1 (set 1); never touch sub-line 0.
+                                  // Then create pressure in set 0: the pair's set-0 sub-line should
+                                  // NOT be the first victim because its partner is hot.
         for i in 1..=3u64 {
             llc.fill(i * 64, false, false); // fill remaining 3 ways of set 0
         }
@@ -607,7 +617,13 @@ mod tests {
         let mut llc = PairedTagLlc::new(small());
         llc.fill(6, true, true);
         let wb = llc.invalidate(6);
-        assert_eq!(wb, Some(Writeback { line: 6, upgraded: true }));
+        assert_eq!(
+            wb,
+            Some(Writeback {
+                line: 6,
+                upgraded: true
+            })
+        );
         assert!(!llc.access(6, false));
         assert!(!llc.access(7, false));
     }

@@ -136,7 +136,9 @@ impl FunctionalMemory {
             scheme,
             channels,
             table: PageTable::new(pages, ProtectionMode::Relaxed),
-            pages: (0..pages).map(|_| PageStore::Relaxed(proto.clone())).collect(),
+            pages: (0..pages)
+                .map(|_| PageStore::Relaxed(proto.clone()))
+                .collect(),
             faults: Vec::new(),
             spared_devices: Vec::new(),
             stats: ImageStats::default(),
@@ -241,7 +243,13 @@ impl FunctionalMemory {
     }
 
     /// Applies registered faults to a copy of the stored line.
-    fn apply_faults(&self, page: u64, mode: ProtectionMode, line_in_page: u64, enc: &mut EncodedLine) {
+    fn apply_faults(
+        &self,
+        page: u64,
+        mode: ProtectionMode,
+        line_in_page: u64,
+        enc: &mut EncodedLine,
+    ) {
         let base = self.span_base(mode, line_in_page);
         let width = enc.devices();
         for f in &self.faults {
@@ -264,10 +272,9 @@ impl FunctionalMemory {
         match mode {
             ProtectionMode::Relaxed => self.scheme.relaxed(),
             ProtectionMode::Upgraded => self.scheme.upgraded(),
-            ProtectionMode::Upgraded2 => self
-                .scheme
-                .upgraded2()
-                .expect("upgraded2 codec configured"),
+            ProtectionMode::Upgraded2 => {
+                self.scheme.upgraded2().expect("upgraded2 codec configured")
+            }
         }
     }
 
@@ -289,11 +296,9 @@ impl FunctionalMemory {
         self.stats.reads += 1;
         let base = self.span_base(mode, lip) as u32;
         let (mut enc, codec, offset) = match (&self.pages[page as usize], mode) {
-            (PageStore::Relaxed(lines), ProtectionMode::Relaxed) => (
-                lines[lip as usize].clone(),
-                self.scheme.relaxed(),
-                0usize,
-            ),
+            (PageStore::Relaxed(lines), ProtectionMode::Relaxed) => {
+                (lines[lip as usize].clone(), self.scheme.relaxed(), 0usize)
+            }
             (PageStore::Upgraded(lines), ProtectionMode::Upgraded) => (
                 lines[(lip / 2) as usize].clone(),
                 self.scheme.upgraded(),
@@ -506,14 +511,18 @@ mod tests {
     fn filled(pages: u64) -> FunctionalMemory {
         let mut m = FunctionalMemory::new(pages);
         for l in 0..m.lines() {
-            let data: Vec<u8> = (0..64).map(|i| (l as u8).wrapping_mul(31) ^ i as u8).collect();
+            let data: Vec<u8> = (0..64)
+                .map(|i| (l as u8).wrapping_mul(31) ^ i as u8)
+                .collect();
             m.write_line(l, &data).unwrap();
         }
         m
     }
 
     fn expected(l: u64) -> Vec<u8> {
-        (0..64).map(|i| (l as u8).wrapping_mul(31) ^ i as u8).collect()
+        (0..64)
+            .map(|i| (l as u8).wrapping_mul(31) ^ i as u8)
+            .collect()
     }
 
     #[test]
@@ -535,7 +544,10 @@ mod tests {
         for l in (0..m.lines()).step_by(2) {
             let (data, ev) = m.read_line(l).unwrap();
             assert_eq!(data, expected(l));
-            assert!(matches!(ev, ReadEvent::Corrected(ref d) if d == &vec![5u32]), "{ev:?}");
+            assert!(
+                matches!(ev, ReadEvent::Corrected(ref d) if d == &vec![5u32]),
+                "{ev:?}"
+            );
         }
         // Channel-1 lines (odd) are untouched.
         let (_, ev) = m.read_line(1).unwrap();
@@ -608,12 +620,15 @@ mod tests {
         // All-zero data with a stuck-at-0 device: ordinary reads see no
         // error (the stored data equals the stuck value!), only the
         // test-pattern probe reveals it — the §4.2.2 motivation.
-        m.write_line(0, &vec![0u8; 64]).unwrap();
+        m.write_line(0, &[0u8; 64]).unwrap();
         m.inject_fault(InjectedFault::stuck_everywhere(2, 0x00));
         let (_, ev) = m.read_line(0).unwrap();
         assert_eq!(ev, ReadEvent::Clean, "stuck-at-0 invisible in zero data");
         assert!(m.probe_line(0, 0x00), "all-zeros probe passes");
-        assert!(!m.probe_line(0, 0xFF), "all-ones probe exposes the stuck-at-0");
+        assert!(
+            !m.probe_line(0, 0xFF),
+            "all-ones probe exposes the stuck-at-0"
+        );
     }
 
     #[test]

@@ -102,10 +102,7 @@ impl LotCodec {
     /// Panics unless `data` is 64 bytes.
     pub fn encode(&self, data: &[u8]) -> LotLine {
         assert_eq!(data.len(), 64, "LOT-ECC lines are 64 bytes");
-        let chunks: Vec<Vec<u8>> = data
-            .chunks(self.chunk_bytes)
-            .map(|c| c.to_vec())
-            .collect();
+        let chunks: Vec<Vec<u8>> = data.chunks(self.chunk_bytes).map(|c| c.to_vec()).collect();
         debug_assert_eq!(chunks.len(), self.data_devices);
         let checksums = chunks.iter().map(|c| ones_complement_checksum(c)).collect();
         let mut parity = vec![0u8; self.chunk_bytes];

@@ -142,7 +142,7 @@ impl Scrubber {
             if self.strategy == ScrubStrategy::TestPattern {
                 let zeros_ok = mem.probe_line(line, 0x00);
                 let ones_ok = mem.probe_line(line, 0xFF);
-                if !(zeros_ok && ones_ok) && !flagged[page as usize] {
+                if (!zeros_ok || !ones_ok) && !flagged[page as usize] {
                     out.hidden_faults_found += 1;
                     flagged[page as usize] = true;
                 }
@@ -170,16 +170,15 @@ mod tests {
     fn paper_cost_arithmetic() {
         // §4.2.2: 4 GB, 128-bit, 667 MT/s -> 0.4 s per pass; 6 passes ->
         // 2.4 s; / 4 h -> 0.0167 %.
-        let one_pass_equiv = ScrubCost::compute(
-            ScrubStrategy::Conventional,
-            4 << 30,
-            128,
-            667e6,
-            4.0,
-        );
+        let one_pass_equiv =
+            ScrubCost::compute(ScrubStrategy::Conventional, 4 << 30, 128, 667e6, 4.0);
         assert!((one_pass_equiv.seconds_per_scrub / 2.0 - 0.4027).abs() < 0.01);
         let arcc = ScrubCost::compute(ScrubStrategy::TestPattern, 4 << 30, 128, 667e6, 4.0);
-        assert!((arcc.seconds_per_scrub - 2.416).abs() < 0.05, "{}", arcc.seconds_per_scrub);
+        assert!(
+            (arcc.seconds_per_scrub - 2.416).abs() < 0.05,
+            "{}",
+            arcc.seconds_per_scrub
+        );
         assert!(
             (arcc.bandwidth_overhead - 0.000167).abs() < 0.00002,
             "{}",
@@ -201,7 +200,7 @@ mod tests {
         for strategy in [ScrubStrategy::Conventional, ScrubStrategy::TestPattern] {
             let mut mem = FunctionalMemory::new(2);
             for l in 0..mem.lines() {
-                mem.write_line(l, &vec![0x5Au8; 64]).unwrap();
+                mem.write_line(l, &[0x5Au8; 64]).unwrap();
             }
             mem.inject_fault(InjectedFault {
                 device: 7,
@@ -223,7 +222,7 @@ mod tests {
         let mk = || {
             let mut mem = FunctionalMemory::new(1);
             for l in 0..mem.lines() {
-                mem.write_line(l, &vec![0u8; 64]).unwrap();
+                mem.write_line(l, &[0u8; 64]).unwrap();
             }
             mem.inject_fault(InjectedFault::stuck_everywhere(4, 0x00));
             mem
@@ -239,7 +238,7 @@ mod tests {
     fn transient_fault_cured_by_scrub() {
         let mut mem = FunctionalMemory::new(1);
         for l in 0..mem.lines() {
-            mem.write_line(l, &vec![0x11u8; 64]).unwrap();
+            mem.write_line(l, &[0x11u8; 64]).unwrap();
         }
         mem.inject_fault(InjectedFault {
             device: 3,

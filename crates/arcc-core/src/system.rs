@@ -9,9 +9,7 @@
 //! fraction of memory affected by that type of fault to upgraded mode").
 
 use arcc_cache::{CacheConfig, CacheModel, CacheStats, PairedTagLlc};
-use arcc_mem::{
-    AccessKind, EnergyBreakdown, MemRequest, MemorySystem, RequestSpan, SystemConfig,
-};
+use arcc_mem::{AccessKind, EnergyBreakdown, MemRequest, MemorySystem, RequestSpan, SystemConfig};
 use arcc_trace::perf::MixPerformance;
 use arcc_trace::{generate_mix, Mix, TraceConfig};
 
@@ -152,8 +150,7 @@ impl SystemSim {
         let mut core_clock = [0.0f64; 4]; // memory-cycle domain
         let mut last_trace_arrival = [0u64; 4];
         let mut outstanding: [std::collections::VecDeque<u64>; 4] = Default::default();
-        let windows: [usize; 4] =
-            std::array::from_fn(|c| (profiles[c].mlp.ceil() as usize).max(1));
+        let windows: [usize; 4] = std::array::from_fn(|c| (profiles[c].mlp.ceil() as usize).max(1));
 
         let mut lat_sum = [0.0f64; 4];
         let mut lat_n = [0u64; 4];
@@ -196,9 +193,7 @@ impl SystemSim {
             } else if !llc.access(r.line, false) {
                 // Demand miss: gate on the core's MLP window.
                 if outstanding[core].len() >= windows[core] {
-                    let oldest = outstanding[core]
-                        .pop_front()
-                        .expect("window is non-empty");
+                    let oldest = outstanding[core].pop_front().expect("window is non-empty");
                     core_clock[core] = core_clock[core].max(oldest as f64);
                 }
                 let issue_at = core_clock[core] as u64;
@@ -230,8 +225,7 @@ impl SystemSim {
         // Direct per-core IPC from the simulated timeline.
         let mut core_ipc = [0.0f64; 4];
         for c in 0..4 {
-            let cpu_cycles =
-                core_clock[c].max(1.0) * arcc_trace::perf::CPU_CYCLES_PER_MEM_CYCLE;
+            let cpu_cycles = core_clock[c].max(1.0) * arcc_trace::perf::CPU_CYCLES_PER_MEM_CYCLE;
             core_ipc[c] = workload.instructions[c] as f64 / cpu_cycles;
         }
         let perf = MixPerformance {

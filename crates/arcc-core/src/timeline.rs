@@ -179,13 +179,18 @@ pub fn run_timeline(
                     tick_changed = true;
                     mem.spare_device(d);
                     report.devices_spared.push(d);
-                    report.events.push(TimelineEvent::DeviceSpared { time_h: t, device: d });
+                    report.events.push(TimelineEvent::DeviceSpared {
+                        time_h: t,
+                        device: d,
+                    });
                 }
             }
         }
         // Steady state (no pending faults, nothing changed this tick):
         // remaining scrubs would all be identical — fast-forward.
-        let sparing_pending = cfg.sparing && !streak.is_empty() && !outcome.bad_devices.is_empty()
+        let sparing_pending = cfg.sparing
+            && !streak.is_empty()
+            && !outcome.bad_devices.is_empty()
             && outcome
                 .bad_devices
                 .iter()
@@ -237,7 +242,10 @@ mod tests {
         assert!(report.events.is_empty());
         assert_eq!(report.final_upgraded_fraction, 0.0);
         // All scheduled scrubs accounted for despite the fast-forward.
-        assert_eq!(report.scrubs_run, (cfg.lifespan_h / cfg.scrub_interval_h) as u64);
+        assert_eq!(
+            report.scrubs_run,
+            (cfg.lifespan_h / cfg.scrub_interval_h) as u64
+        );
     }
 
     #[test]
@@ -253,9 +261,11 @@ mod tests {
             .events
             .iter()
             .find_map(|e| match e {
-                TimelineEvent::ScrubUpgraded { time_h, pages_upgraded, .. } => {
-                    Some((*time_h, *pages_upgraded))
-                }
+                TimelineEvent::ScrubUpgraded {
+                    time_h,
+                    pages_upgraded,
+                    ..
+                } => Some((*time_h, *pages_upgraded)),
                 _ => None,
             })
             .expect("scrub event logged");
@@ -281,7 +291,10 @@ mod tests {
             &[fault_at(2.0, 3, 0..2), fault_at(10.0, 20, 0..2)],
         );
         assert_eq!(report.devices_spared, vec![3, 20]);
-        assert_eq!(report.due_pages, 0, "sparing must prevent data loss: {report:?}");
+        assert_eq!(
+            report.due_pages, 0,
+            "sparing must prevent data loss: {report:?}"
+        );
         for l in 0..mem.lines() {
             let (data, _) = mem.read_line(l).unwrap();
             let expect: Vec<u8> = (0..64).map(|i| (l as u8) ^ (i as u8)).collect();

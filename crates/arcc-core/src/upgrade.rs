@@ -168,9 +168,15 @@ mod tests {
     fn base_policy_saturates_at_first_upgrade() {
         let mut mem = filled(1);
         let engine = UpgradeEngine::new();
-        assert_eq!(engine.upgrade_page(&mut mem, 0).unwrap(), ProtectionMode::Upgraded);
+        assert_eq!(
+            engine.upgrade_page(&mut mem, 0).unwrap(),
+            ProtectionMode::Upgraded
+        );
         // Second upgrade is a no-op without the §5.1 extension.
-        assert_eq!(engine.upgrade_page(&mut mem, 0).unwrap(), ProtectionMode::Upgraded);
+        assert_eq!(
+            engine.upgrade_page(&mut mem, 0).unwrap(),
+            ProtectionMode::Upgraded
+        );
         assert_eq!(mem.page_table().upgraded2_pages(), 0);
     }
 
@@ -178,13 +184,19 @@ mod tests {
     fn second_level_enabled_on_four_channels() {
         let mut mem = FunctionalMemory::with_channels(1, 4);
         for l in 0..64 {
-            mem.write_line(l, &vec![l as u8; 64]).unwrap();
+            mem.write_line(l, &[l as u8; 64]).unwrap();
         }
         let engine = UpgradeEngine {
             enable_second_level: true,
         };
-        assert_eq!(engine.upgrade_page(&mut mem, 0).unwrap(), ProtectionMode::Upgraded);
-        assert_eq!(engine.upgrade_page(&mut mem, 0).unwrap(), ProtectionMode::Upgraded2);
+        assert_eq!(
+            engine.upgrade_page(&mut mem, 0).unwrap(),
+            ProtectionMode::Upgraded
+        );
+        assert_eq!(
+            engine.upgrade_page(&mut mem, 0).unwrap(),
+            ProtectionMode::Upgraded2
+        );
         for l in 0..64 {
             let (data, _) = mem.read_line(l).unwrap();
             assert_eq!(data, vec![l as u8; 64]);

@@ -129,7 +129,10 @@ impl Vecc {
     pub fn read(&mut self, line: &mut VeccLine) -> (Vec<u8>, VeccReadOutcome) {
         self.stats.read_rank_accesses += 1;
         if !self.detect.detect_line(&line.in_rank) {
-            return (self.detect.extract_data(&line.in_rank), VeccReadOutcome::Clean);
+            return (
+                self.detect.extract_data(&line.in_rank),
+                VeccReadOutcome::Clean,
+            );
         }
         // Detected: second access for the external correction symbols.
         self.stats.read_rank_accesses += 1;
@@ -168,7 +171,10 @@ impl Vecc {
             line.in_rank = refreshed;
         }
         corrected_devices.sort_unstable();
-        (out, VeccReadOutcome::CorrectedWithExtraAccess(corrected_devices))
+        (
+            out,
+            VeccReadOutcome::CorrectedWithExtraAccess(corrected_devices),
+        )
     }
 }
 
@@ -235,7 +241,11 @@ mod tests {
         let _ = v.write(100, &data());
         assert_eq!(v.stats().write_rank_accesses, 2, "cold write: 2 accesses");
         let _ = v.write(100, &data());
-        assert_eq!(v.stats().write_rank_accesses, 3, "cached external: 1 access");
+        assert_eq!(
+            v.stats().write_rank_accesses,
+            3,
+            "cached external: 1 access"
+        );
         assert_eq!(v.stats().external_cached_hits, 1);
     }
 

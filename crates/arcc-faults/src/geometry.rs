@@ -33,9 +33,7 @@ impl DimSel {
             // A single column index lies in exactly one half; without
             // tracking the index-to-half mapping we resolve the ambiguity
             // conservatively as overlapping when the halves could coincide.
-            (DimSel::One(a), DimSel::Half(h)) | (DimSel::Half(h), DimSel::One(a)) => {
-                (a & 1) == *h
-            }
+            (DimSel::One(a), DimSel::Half(h)) | (DimSel::Half(h), DimSel::One(a)) => (a & 1) == *h,
         }
     }
 
@@ -333,12 +331,10 @@ mod tests {
         // crosses every column half).
         assert!(a.codeword_overlap(&ev(FaultMode::SingleColumn, Some(0), 2, col_f), false));
         // Different bank: no.
-        assert!(!a.codeword_overlap(&ev(
-            FaultMode::SingleColumn,
-            Some(0),
-            2,
-            col_f_other_bank
-        ), false));
+        assert!(!a.codeword_overlap(
+            &ev(FaultMode::SingleColumn, Some(0), 2, col_f_other_bank),
+            false
+        ));
         // Two bit faults at different rows don't meet.
         let bit1 = g.address_set(FaultMode::SingleBit, 2, 100, 5);
         let bit2 = g.address_set(FaultMode::SingleBit, 2, 101, 5);
@@ -349,7 +345,9 @@ mod tests {
     #[test]
     fn small_fault_page_fractions() {
         let g = FaultGeometry::paper_channel();
-        assert!((g.affected_page_fraction(FaultMode::SingleBit) - 1.0 / g.pages as f64).abs() < 1e-18);
+        assert!(
+            (g.affected_page_fraction(FaultMode::SingleBit) - 1.0 / g.pages as f64).abs() < 1e-18
+        );
         assert!(
             (g.affected_page_fraction(FaultMode::SingleRow) - 2.0 / g.pages as f64).abs() < 1e-18
         );

@@ -201,7 +201,10 @@ mod tests {
         let one = sampler(1.0).expected_faulty_page_fraction(7.0 * HOURS_PER_YEAR);
         let four = sampler(4.0).expected_faulty_page_fraction(7.0 * HOURS_PER_YEAR);
         assert!((0.005..0.06).contains(&one), "1x fraction {one}");
-        assert!(four > 2.5 * one && four < 4.5 * one, "4x {four} vs 1x {one}");
+        assert!(
+            four > 2.5 * one && four < 4.5 * one,
+            "4x {four} vs 1x {one}"
+        );
     }
 
     #[test]

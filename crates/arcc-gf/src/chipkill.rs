@@ -143,7 +143,10 @@ impl fmt::Display for LineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LineError::Due { beat, source } => {
-                write!(f, "detected uncorrectable error in codeword {beat}: {source}")
+                write!(
+                    f,
+                    "detected uncorrectable error in codeword {beat}: {source}"
+                )
             }
         }
     }
@@ -271,7 +274,8 @@ impl LineCodec {
         for beat in 0..self.beats {
             // Beat b carries data bytes [b*k, (b+1)*k): consecutive bytes map
             // to consecutive devices, matching the bus interleaving.
-            cw_data.copy_from_slice(&data[beat * self.data_devices..(beat + 1) * self.data_devices]);
+            cw_data
+                .copy_from_slice(&data[beat * self.data_devices..(beat + 1) * self.data_devices]);
             let parity = self.rs.encode(&cw_data).expect("length checked above");
             for d in 0..self.data_devices {
                 symbols[d * self.beats + beat] = cw_data[d];
@@ -315,10 +319,13 @@ impl LineCodec {
         let mut symbols_corrected = 0usize;
         let mut cw = vec![0u8; self.devices];
         for beat in 0..self.beats {
-            for d in 0..self.devices {
-                cw[d] = line.symbols[d * self.beats + beat];
+            for (d, slot) in cw.iter_mut().enumerate() {
+                *slot = line.symbols[d * self.beats + beat];
             }
-            match self.rs.decode_with_limit(&mut cw, erased_devices, max_errors_per_cw) {
+            match self
+                .rs
+                .decode_with_limit(&mut cw, erased_devices, max_errors_per_cw)
+            {
                 Ok(outcome) => {
                     for c in outcome.corrections() {
                         if !corrected_devices.contains(&c.position) {
@@ -349,8 +356,8 @@ impl LineCodec {
         assert_eq!(line.beats, self.beats, "beat count mismatch");
         let mut cw = vec![0u8; self.devices];
         for beat in 0..self.beats {
-            for d in 0..self.devices {
-                cw[d] = line.symbols[d * self.beats + beat];
+            for (d, slot) in cw.iter_mut().enumerate() {
+                *slot = line.symbols[d * self.beats + beat];
             }
             if self.rs.detect(&cw) {
                 return true;
@@ -463,7 +470,9 @@ mod tests {
             LineCodec::sccdcd_x4(),
             LineCodec::upgraded_four_channel(),
         ] {
-            let data: Vec<u8> = (0..codec.data_bytes()).map(|i| (i * 31 + 7) as u8).collect();
+            let data: Vec<u8> = (0..codec.data_bytes())
+                .map(|i| (i * 31 + 7) as u8)
+                .collect();
             let clean = codec.encode_line(&data).unwrap();
             for victim in [0, codec.data_devices() - 1, codec.devices() - 1] {
                 let mut enc = clean.clone();
@@ -569,7 +578,7 @@ mod tests {
     #[test]
     fn detect_line_sees_single_symbol_corruption() {
         let codec = LineCodec::relaxed_x8();
-        let clean = codec.encode_line(&vec![9u8; 64]).unwrap();
+        let clean = codec.encode_line(&[9u8; 64]).unwrap();
         for beat in 0..4 {
             let mut enc = clean.clone();
             enc.corrupt_symbol(17, beat, 0x01);

@@ -59,10 +59,16 @@ impl fmt::Display for RsError {
                 "invalid RS parameters n={n}, k={k} (need 0 < k < n <= {max_n})"
             ),
             RsError::LengthMismatch { expected, got } => {
-                write!(f, "slice length {got} does not match code length {expected}")
+                write!(
+                    f,
+                    "slice length {got} does not match code length {expected}"
+                )
             }
             RsError::BadErasure { position, n } => {
-                write!(f, "erasure position {position} invalid for codeword length {n}")
+                write!(
+                    f,
+                    "erasure position {position} invalid for codeword length {n}"
+                )
             }
         }
     }
@@ -99,7 +105,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::Uncorrectable { erasures } => {
-                write!(f, "detected uncorrectable error ({erasures} declared erasures)")
+                write!(
+                    f,
+                    "detected uncorrectable error ({erasures} declared erasures)"
+                )
             }
             DecodeError::PolicyLimited { needed, limit } => write!(
                 f,
@@ -308,11 +317,7 @@ impl<F: GaloisField> ReedSolomon<F> {
     ///
     /// Panics if `cw.len() != n` or an erasure position is out of range or
     /// duplicated.
-    pub fn decode(
-        &self,
-        cw: &mut [u8],
-        erasures: &[usize],
-    ) -> Result<DecodeOutcome, DecodeError> {
+    pub fn decode(&self, cw: &mut [u8], erasures: &[usize]) -> Result<DecodeOutcome, DecodeError> {
         self.decode_with_limit(cw, erasures, self.max_correctable())
     }
 
@@ -380,7 +385,7 @@ impl<F: GaloisField> ReedSolomon<F> {
                 b = b.mul(&Poly::monomial(1, 1));
             } else {
                 let t = lambda.add(&b.mul(&Poly::monomial(discr, 1)));
-                if 2 * el <= r + nu - 1 {
+                if 2 * el < r + nu {
                     el = r + nu - el;
                     let dinv = F::inv(discr).expect("non-zero discrepancy");
                     b = lambda.scale(dinv);
@@ -501,7 +506,10 @@ mod tests {
         let code = rs(18, 16);
         assert!(matches!(
             code.encode(&[0u8; 15]),
-            Err(RsError::LengthMismatch { expected: 16, got: 15 })
+            Err(RsError::LengthMismatch {
+                expected: 16,
+                got: 15
+            })
         ));
     }
 
@@ -647,7 +655,13 @@ mod tests {
         cw[3] ^= 0x10;
         cw[21] ^= 0x99;
         let err = code.decode_with_limit(&mut cw, &[], 1).unwrap_err();
-        assert_eq!(err, DecodeError::PolicyLimited { needed: 2, limit: 1 });
+        assert_eq!(
+            err,
+            DecodeError::PolicyLimited {
+                needed: 2,
+                limit: 1
+            }
+        );
         // Single error still corrected under the policy.
         let mut cw2 = clean.clone();
         cw2[3] ^= 0x10;
@@ -691,7 +705,7 @@ mod tests {
         // §5.1: joined codeword over four channels, 8 check symbols.
         let code = rs(72, 64);
         assert_eq!(code.max_correctable(), 4);
-        let clean = code.encode_to_codeword(&vec![0x5a; 64]).unwrap();
+        let clean = code.encode_to_codeword(&[0x5a; 64]).unwrap();
         let mut cw = clean.clone();
         for &p in &[1usize, 18, 36, 54] {
             cw[p] ^= 0x81;

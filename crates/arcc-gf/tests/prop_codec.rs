@@ -7,7 +7,7 @@
 //! one with wrong corrections.
 
 use arcc_gf::chipkill::LineCodec;
-use arcc_gf::{DecodeError, Gf16, Gf256, GaloisField, ReedSolomon};
+use arcc_gf::{DecodeError, GaloisField, Gf16, Gf256, ReedSolomon};
 use proptest::collection::vec;
 use proptest::prelude::*;
 

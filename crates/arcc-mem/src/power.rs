@@ -104,11 +104,10 @@ pub(crate) fn compute_energy(
     let tck = t.t_ck_ns;
     let vdd = p.vdd;
 
-    let e_act_per = (p.idd0 * t.t_rc as f64
-        - p.idd3n * t.t_ras as f64
-        - p.idd2n * (t.t_rc - t.t_ras) as f64)
-        * vdd
-        * tck;
+    let e_act_per =
+        (p.idd0 * t.t_rc as f64 - p.idd3n * t.t_ras as f64 - p.idd2n * (t.t_rc - t.t_ras) as f64)
+            * vdd
+            * tck;
     let e_rd_per = (p.idd4r - p.idd3n) * vdd * tck * t.burst_cycles() as f64;
     let e_wr_per = (p.idd4w - p.idd3n) * vdd * tck * t.burst_cycles() as f64;
     let e_ref_per = (p.idd5 - p.idd3n) * vdd * tck * t.t_rfc as f64;
@@ -119,8 +118,7 @@ pub(crate) fn compute_energy(
         out.activate_pj += ch.acts as f64 * e_act_per * devices;
         out.read_pj += ch.reads as f64 * e_rd_per * devices;
         out.write_pj += ch.writes as f64 * e_wr_per * devices;
-        out.io_pj +=
-            (ch.reads + ch.writes) as f64 * t.bl as f64 * p.io_pj_per_beat * devices;
+        out.io_pj += (ch.reads + ch.writes) as f64 * t.bl as f64 * p.io_pj_per_beat * devices;
 
         // Background: rank_active_cycles is summed across ranks already.
         // Idle precharged ranks linger in IDD2N for a short CKE timeout
@@ -131,10 +129,8 @@ pub(crate) fn compute_energy(
         let precharged = (total_rank_cycles - active).max(0.0);
         let standby = precharged.min(ch.acts as f64 * CKE_TIMEOUT_CYCLES);
         let powered_down = precharged - standby;
-        out.background_pj += (active * p.idd3n + standby * p.idd2n + powered_down * p.idd2p)
-            * vdd
-            * tck
-            * devices;
+        out.background_pj +=
+            (active * p.idd3n + standby * p.idd2n + powered_down * p.idd2p) * vdd * tck * devices;
 
         // One refresh per rank per tREFI.
         let refreshes = ranks * (sim_cycles as f64 / t.t_refi as f64);
@@ -180,8 +176,10 @@ mod tests {
 
     #[test]
     fn report_power_math() {
-        let mut e = EnergyBreakdown::default();
-        e.activate_pj = 1000.0;
+        let e = EnergyBreakdown {
+            activate_pj: 1000.0,
+            ..Default::default()
+        };
         let r = PowerReport::new(e, 100.0);
         assert!((r.avg_power_mw - 10.0).abs() < 1e-12);
         let r0 = PowerReport::new(e, 0.0);

@@ -249,7 +249,9 @@ mod tests {
         assert!(arcc >= base, "arcc {arcc} < base {base}");
         assert!(arcc < 5.0, "arcc SDC rate implausibly high: {arcc}");
         // DUEs must dominate SDCs by orders of magnitude.
-        assert!(r.arcc_due_events + r.sccdcd_due_events > (r.arcc_sdc_machines + r.sccdcd_sdc_machines));
+        assert!(
+            r.arcc_due_events + r.sccdcd_due_events > (r.arcc_sdc_machines + r.sccdcd_sdc_machines)
+        );
     }
 
     #[test]
@@ -257,8 +259,7 @@ mod tests {
         let lo = quick(1.0, 30_000);
         let hi = quick(8.0, 30_000);
         assert!(
-            hi.arcc_due_events + hi.sccdcd_due_events
-                > lo.arcc_due_events + lo.sccdcd_due_events
+            hi.arcc_due_events + hi.sccdcd_due_events > lo.arcc_due_events + lo.sccdcd_due_events
         );
     }
 

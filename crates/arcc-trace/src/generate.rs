@@ -149,9 +149,8 @@ pub fn generate_mix(mix: &Mix, cfg: &TraceConfig) -> MixWorkload {
         .map(|(c, p)| TraceGenerator::new(p, c as u8, cfg.seed))
         .collect();
     // Pending next-event per core for time-ordered merging.
-    let mut pending: Vec<(TraceRequest, Option<TraceRequest>)> = (0..4)
-        .map(|c| gens[c].next_access(c as u8))
-        .collect();
+    let mut pending: Vec<(TraceRequest, Option<TraceRequest>)> =
+        (0..4).map(|c| gens[c].next_access(c as u8)).collect();
 
     let mut out = Vec::with_capacity(cfg.requests);
     while out.len() < cfg.requests {
@@ -210,7 +209,13 @@ mod tests {
     #[test]
     fn arrivals_sorted_and_sized() {
         let mix = paper_mixes()[4];
-        let wl = generate_mix(&mix, &TraceConfig { requests: 10_000, seed: 3 });
+        let wl = generate_mix(
+            &mix,
+            &TraceConfig {
+                requests: 10_000,
+                seed: 3,
+            },
+        );
         assert_eq!(wl.requests.len(), 10_000);
         for w in wl.requests.windows(2) {
             assert!(w[0].arrival <= w[1].arrival);
@@ -220,7 +225,13 @@ mod tests {
     #[test]
     fn cores_stay_in_their_slices() {
         let mix = paper_mixes()[9]; // mcf2006 etc: big working sets
-        let wl = generate_mix(&mix, &TraceConfig { requests: 20_000, seed: 5 });
+        let wl = generate_mix(
+            &mix,
+            &TraceConfig {
+                requests: 20_000,
+                seed: 5,
+            },
+        );
         for r in &wl.requests {
             let slice = r.line >> 24;
             assert_eq!(slice, r.core as u64, "core {} line {:#x}", r.core, r.line);
@@ -274,8 +285,20 @@ mod tests {
     #[test]
     fn memory_bound_mixes_request_faster() {
         // Mix10 (mcf+libquantum+omnetpp+astar) floods memory; Mix3 is light.
-        let heavy = generate_mix(&paper_mixes()[9], &TraceConfig { requests: 20_000, seed: 1 });
-        let light = generate_mix(&paper_mixes()[2], &TraceConfig { requests: 20_000, seed: 1 });
+        let heavy = generate_mix(
+            &paper_mixes()[9],
+            &TraceConfig {
+                requests: 20_000,
+                seed: 1,
+            },
+        );
+        let light = generate_mix(
+            &paper_mixes()[2],
+            &TraceConfig {
+                requests: 20_000,
+                seed: 1,
+            },
+        );
         let span = |wl: &MixWorkload| wl.requests.last().unwrap().arrival;
         assert!(
             span(&heavy) < span(&light),
@@ -288,7 +311,13 @@ mod tests {
     #[test]
     fn instructions_accumulate() {
         let mix = paper_mixes()[0];
-        let wl = generate_mix(&mix, &TraceConfig { requests: 8000, seed: 2 });
+        let wl = generate_mix(
+            &mix,
+            &TraceConfig {
+                requests: 8000,
+                seed: 2,
+            },
+        );
         for i in wl.instructions {
             assert!(i > 0);
         }

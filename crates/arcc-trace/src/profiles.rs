@@ -29,31 +29,231 @@ pub struct BenchmarkProfile {
 
 /// All modelled benchmarks (every name appearing in Table 7.3).
 pub const ALL_PROFILES: &[BenchmarkProfile] = &[
-    BenchmarkProfile { name: "mesa", mpki: 0.6, write_fraction: 0.30, spatial_locality: 0.70, working_set_lines: 1 << 14, base_ipc: 1.4, mlp: 2.0 },
-    BenchmarkProfile { name: "leslie3d", mpki: 13.0, write_fraction: 0.25, spatial_locality: 0.85, working_set_lines: 1 << 21, base_ipc: 0.9, mlp: 4.0 },
-    BenchmarkProfile { name: "GemsFDTD", mpki: 16.0, write_fraction: 0.30, spatial_locality: 0.80, working_set_lines: 1 << 22, base_ipc: 0.7, mlp: 3.5 },
-    BenchmarkProfile { name: "fma3d", mpki: 4.0, write_fraction: 0.30, spatial_locality: 0.60, working_set_lines: 1 << 20, base_ipc: 1.0, mlp: 2.0 },
-    BenchmarkProfile { name: "omnetpp", mpki: 21.0, write_fraction: 0.35, spatial_locality: 0.25, working_set_lines: 1 << 21, base_ipc: 0.5, mlp: 1.4 },
-    BenchmarkProfile { name: "soplex", mpki: 27.0, write_fraction: 0.25, spatial_locality: 0.45, working_set_lines: 1 << 22, base_ipc: 0.5, mlp: 1.8 },
-    BenchmarkProfile { name: "apsi", mpki: 4.5, write_fraction: 0.30, spatial_locality: 0.60, working_set_lines: 1 << 19, base_ipc: 1.1, mlp: 2.2 },
-    BenchmarkProfile { name: "sphinx3", mpki: 12.0, write_fraction: 0.10, spatial_locality: 0.55, working_set_lines: 1 << 20, base_ipc: 0.7, mlp: 2.5 },
-    BenchmarkProfile { name: "calculix", mpki: 1.2, write_fraction: 0.20, spatial_locality: 0.70, working_set_lines: 1 << 17, base_ipc: 1.5, mlp: 2.0 },
-    BenchmarkProfile { name: "wupwise", mpki: 2.5, write_fraction: 0.25, spatial_locality: 0.70, working_set_lines: 1 << 19, base_ipc: 1.3, mlp: 2.5 },
-    BenchmarkProfile { name: "lucas", mpki: 10.0, write_fraction: 0.30, spatial_locality: 0.65, working_set_lines: 1 << 20, base_ipc: 0.9, mlp: 3.0 },
-    BenchmarkProfile { name: "gromacs", mpki: 1.0, write_fraction: 0.25, spatial_locality: 0.60, working_set_lines: 1 << 17, base_ipc: 1.4, mlp: 2.0 },
-    BenchmarkProfile { name: "swim", mpki: 23.0, write_fraction: 0.35, spatial_locality: 0.90, working_set_lines: 1 << 22, base_ipc: 0.8, mlp: 5.0 },
-    BenchmarkProfile { name: "sjeng", mpki: 0.4, write_fraction: 0.20, spatial_locality: 0.30, working_set_lines: 1 << 16, base_ipc: 1.2, mlp: 1.5 },
-    BenchmarkProfile { name: "facerec", mpki: 8.0, write_fraction: 0.20, spatial_locality: 0.75, working_set_lines: 1 << 20, base_ipc: 1.0, mlp: 3.0 },
-    BenchmarkProfile { name: "ammp", mpki: 2.4, write_fraction: 0.25, spatial_locality: 0.45, working_set_lines: 1 << 19, base_ipc: 1.1, mlp: 1.8 },
-    BenchmarkProfile { name: "milc", mpki: 15.0, write_fraction: 0.30, spatial_locality: 0.70, working_set_lines: 1 << 22, base_ipc: 0.6, mlp: 3.0 },
-    BenchmarkProfile { name: "mgrid", mpki: 6.0, write_fraction: 0.30, spatial_locality: 0.85, working_set_lines: 1 << 21, base_ipc: 1.0, mlp: 3.5 },
-    BenchmarkProfile { name: "applu", mpki: 11.0, write_fraction: 0.35, spatial_locality: 0.80, working_set_lines: 1 << 21, base_ipc: 0.9, mlp: 3.5 },
-    BenchmarkProfile { name: "mcf2006", mpki: 60.0, write_fraction: 0.20, spatial_locality: 0.20, working_set_lines: 1 << 23, base_ipc: 0.25, mlp: 1.5 },
-    BenchmarkProfile { name: "libquantum", mpki: 25.0, write_fraction: 0.25, spatial_locality: 0.95, working_set_lines: 1 << 22, base_ipc: 0.6, mlp: 6.0 },
-    BenchmarkProfile { name: "astar", mpki: 8.0, write_fraction: 0.25, spatial_locality: 0.30, working_set_lines: 1 << 20, base_ipc: 0.8, mlp: 1.5 },
-    BenchmarkProfile { name: "art110", mpki: 45.0, write_fraction: 0.15, spatial_locality: 0.50, working_set_lines: 1 << 19, base_ipc: 0.4, mlp: 2.5 },
-    BenchmarkProfile { name: "lbm", mpki: 20.0, write_fraction: 0.45, spatial_locality: 0.90, working_set_lines: 1 << 22, base_ipc: 0.7, mlp: 4.5 },
-    BenchmarkProfile { name: "h264ref", mpki: 1.5, write_fraction: 0.25, spatial_locality: 0.65, working_set_lines: 1 << 18, base_ipc: 1.5, mlp: 2.0 },
+    BenchmarkProfile {
+        name: "mesa",
+        mpki: 0.6,
+        write_fraction: 0.30,
+        spatial_locality: 0.70,
+        working_set_lines: 1 << 14,
+        base_ipc: 1.4,
+        mlp: 2.0,
+    },
+    BenchmarkProfile {
+        name: "leslie3d",
+        mpki: 13.0,
+        write_fraction: 0.25,
+        spatial_locality: 0.85,
+        working_set_lines: 1 << 21,
+        base_ipc: 0.9,
+        mlp: 4.0,
+    },
+    BenchmarkProfile {
+        name: "GemsFDTD",
+        mpki: 16.0,
+        write_fraction: 0.30,
+        spatial_locality: 0.80,
+        working_set_lines: 1 << 22,
+        base_ipc: 0.7,
+        mlp: 3.5,
+    },
+    BenchmarkProfile {
+        name: "fma3d",
+        mpki: 4.0,
+        write_fraction: 0.30,
+        spatial_locality: 0.60,
+        working_set_lines: 1 << 20,
+        base_ipc: 1.0,
+        mlp: 2.0,
+    },
+    BenchmarkProfile {
+        name: "omnetpp",
+        mpki: 21.0,
+        write_fraction: 0.35,
+        spatial_locality: 0.25,
+        working_set_lines: 1 << 21,
+        base_ipc: 0.5,
+        mlp: 1.4,
+    },
+    BenchmarkProfile {
+        name: "soplex",
+        mpki: 27.0,
+        write_fraction: 0.25,
+        spatial_locality: 0.45,
+        working_set_lines: 1 << 22,
+        base_ipc: 0.5,
+        mlp: 1.8,
+    },
+    BenchmarkProfile {
+        name: "apsi",
+        mpki: 4.5,
+        write_fraction: 0.30,
+        spatial_locality: 0.60,
+        working_set_lines: 1 << 19,
+        base_ipc: 1.1,
+        mlp: 2.2,
+    },
+    BenchmarkProfile {
+        name: "sphinx3",
+        mpki: 12.0,
+        write_fraction: 0.10,
+        spatial_locality: 0.55,
+        working_set_lines: 1 << 20,
+        base_ipc: 0.7,
+        mlp: 2.5,
+    },
+    BenchmarkProfile {
+        name: "calculix",
+        mpki: 1.2,
+        write_fraction: 0.20,
+        spatial_locality: 0.70,
+        working_set_lines: 1 << 17,
+        base_ipc: 1.5,
+        mlp: 2.0,
+    },
+    BenchmarkProfile {
+        name: "wupwise",
+        mpki: 2.5,
+        write_fraction: 0.25,
+        spatial_locality: 0.70,
+        working_set_lines: 1 << 19,
+        base_ipc: 1.3,
+        mlp: 2.5,
+    },
+    BenchmarkProfile {
+        name: "lucas",
+        mpki: 10.0,
+        write_fraction: 0.30,
+        spatial_locality: 0.65,
+        working_set_lines: 1 << 20,
+        base_ipc: 0.9,
+        mlp: 3.0,
+    },
+    BenchmarkProfile {
+        name: "gromacs",
+        mpki: 1.0,
+        write_fraction: 0.25,
+        spatial_locality: 0.60,
+        working_set_lines: 1 << 17,
+        base_ipc: 1.4,
+        mlp: 2.0,
+    },
+    BenchmarkProfile {
+        name: "swim",
+        mpki: 23.0,
+        write_fraction: 0.35,
+        spatial_locality: 0.90,
+        working_set_lines: 1 << 22,
+        base_ipc: 0.8,
+        mlp: 5.0,
+    },
+    BenchmarkProfile {
+        name: "sjeng",
+        mpki: 0.4,
+        write_fraction: 0.20,
+        spatial_locality: 0.30,
+        working_set_lines: 1 << 16,
+        base_ipc: 1.2,
+        mlp: 1.5,
+    },
+    BenchmarkProfile {
+        name: "facerec",
+        mpki: 8.0,
+        write_fraction: 0.20,
+        spatial_locality: 0.75,
+        working_set_lines: 1 << 20,
+        base_ipc: 1.0,
+        mlp: 3.0,
+    },
+    BenchmarkProfile {
+        name: "ammp",
+        mpki: 2.4,
+        write_fraction: 0.25,
+        spatial_locality: 0.45,
+        working_set_lines: 1 << 19,
+        base_ipc: 1.1,
+        mlp: 1.8,
+    },
+    BenchmarkProfile {
+        name: "milc",
+        mpki: 15.0,
+        write_fraction: 0.30,
+        spatial_locality: 0.70,
+        working_set_lines: 1 << 22,
+        base_ipc: 0.6,
+        mlp: 3.0,
+    },
+    BenchmarkProfile {
+        name: "mgrid",
+        mpki: 6.0,
+        write_fraction: 0.30,
+        spatial_locality: 0.85,
+        working_set_lines: 1 << 21,
+        base_ipc: 1.0,
+        mlp: 3.5,
+    },
+    BenchmarkProfile {
+        name: "applu",
+        mpki: 11.0,
+        write_fraction: 0.35,
+        spatial_locality: 0.80,
+        working_set_lines: 1 << 21,
+        base_ipc: 0.9,
+        mlp: 3.5,
+    },
+    BenchmarkProfile {
+        name: "mcf2006",
+        mpki: 60.0,
+        write_fraction: 0.20,
+        spatial_locality: 0.20,
+        working_set_lines: 1 << 23,
+        base_ipc: 0.25,
+        mlp: 1.5,
+    },
+    BenchmarkProfile {
+        name: "libquantum",
+        mpki: 25.0,
+        write_fraction: 0.25,
+        spatial_locality: 0.95,
+        working_set_lines: 1 << 22,
+        base_ipc: 0.6,
+        mlp: 6.0,
+    },
+    BenchmarkProfile {
+        name: "astar",
+        mpki: 8.0,
+        write_fraction: 0.25,
+        spatial_locality: 0.30,
+        working_set_lines: 1 << 20,
+        base_ipc: 0.8,
+        mlp: 1.5,
+    },
+    BenchmarkProfile {
+        name: "art110",
+        mpki: 45.0,
+        write_fraction: 0.15,
+        spatial_locality: 0.50,
+        working_set_lines: 1 << 19,
+        base_ipc: 0.4,
+        mlp: 2.5,
+    },
+    BenchmarkProfile {
+        name: "lbm",
+        mpki: 20.0,
+        write_fraction: 0.45,
+        spatial_locality: 0.90,
+        working_set_lines: 1 << 22,
+        base_ipc: 0.7,
+        mlp: 4.5,
+    },
+    BenchmarkProfile {
+        name: "h264ref",
+        mpki: 1.5,
+        write_fraction: 0.25,
+        spatial_locality: 0.65,
+        working_set_lines: 1 << 18,
+        base_ipc: 1.5,
+        mlp: 2.0,
+    },
 ];
 
 /// Looks up a benchmark profile by Table 7.3 name.
@@ -94,18 +294,54 @@ impl Mix {
 /// The 12 mixes of Table 7.3, verbatim.
 pub fn paper_mixes() -> Vec<Mix> {
     vec![
-        Mix { name: "Mix1", benchmarks: ["mesa", "leslie3d", "GemsFDTD", "fma3d"] },
-        Mix { name: "Mix2", benchmarks: ["omnetpp", "soplex", "apsi", "mesa"] },
-        Mix { name: "Mix3", benchmarks: ["sphinx3", "calculix", "omnetpp", "wupwise"] },
-        Mix { name: "Mix4", benchmarks: ["lucas", "gromacs", "swim", "fma3di"] },
-        Mix { name: "Mix5", benchmarks: ["mesa", "swim", "apsi", "sphinx3"] },
-        Mix { name: "Mix6", benchmarks: ["sjeng", "swim", "facerec", "ammp"] },
-        Mix { name: "Mix7", benchmarks: ["milc", "GemsFDTD", "leslie3d", "omnetpp"] },
-        Mix { name: "Mix8", benchmarks: ["facerec", "leslie3d", "ammp", "mgrid"] },
-        Mix { name: "Mix9", benchmarks: ["applu", "soplex", "mcf2006", "GemsFDTD"] },
-        Mix { name: "Mix10", benchmarks: ["mcf2006", "libquantum", "omnetpp", "astar"] },
-        Mix { name: "Mix11", benchmarks: ["calculix", "swim", "art110", "omnetpp"] },
-        Mix { name: "Mix12", benchmarks: ["lbm", "facerec", "h264ref", "ammp"] },
+        Mix {
+            name: "Mix1",
+            benchmarks: ["mesa", "leslie3d", "GemsFDTD", "fma3d"],
+        },
+        Mix {
+            name: "Mix2",
+            benchmarks: ["omnetpp", "soplex", "apsi", "mesa"],
+        },
+        Mix {
+            name: "Mix3",
+            benchmarks: ["sphinx3", "calculix", "omnetpp", "wupwise"],
+        },
+        Mix {
+            name: "Mix4",
+            benchmarks: ["lucas", "gromacs", "swim", "fma3di"],
+        },
+        Mix {
+            name: "Mix5",
+            benchmarks: ["mesa", "swim", "apsi", "sphinx3"],
+        },
+        Mix {
+            name: "Mix6",
+            benchmarks: ["sjeng", "swim", "facerec", "ammp"],
+        },
+        Mix {
+            name: "Mix7",
+            benchmarks: ["milc", "GemsFDTD", "leslie3d", "omnetpp"],
+        },
+        Mix {
+            name: "Mix8",
+            benchmarks: ["facerec", "leslie3d", "ammp", "mgrid"],
+        },
+        Mix {
+            name: "Mix9",
+            benchmarks: ["applu", "soplex", "mcf2006", "GemsFDTD"],
+        },
+        Mix {
+            name: "Mix10",
+            benchmarks: ["mcf2006", "libquantum", "omnetpp", "astar"],
+        },
+        Mix {
+            name: "Mix11",
+            benchmarks: ["calculix", "swim", "art110", "omnetpp"],
+        },
+        Mix {
+            name: "Mix12",
+            benchmarks: ["lbm", "facerec", "h264ref", "ammp"],
+        },
     ]
 }
 
@@ -119,7 +355,11 @@ mod tests {
         assert_eq!(mixes.len(), 12);
         for m in &mixes {
             for b in m.benchmarks {
-                assert!(spec_profile(b).is_some(), "unknown benchmark {b} in {}", m.name);
+                assert!(
+                    spec_profile(b).is_some(),
+                    "unknown benchmark {b} in {}",
+                    m.name
+                );
             }
             let _ = m.profiles(); // must not panic
         }
@@ -148,10 +388,16 @@ mod tests {
         // The structural contrast the paper's Figure 7.3 discussion relies
         // on: libquantum/swim/lbm stream, mcf/omnetpp/astar chase pointers.
         for streamer in ["libquantum", "swim", "lbm", "leslie3d"] {
-            assert!(spec_profile(streamer).unwrap().spatial_locality >= 0.8, "{streamer}");
+            assert!(
+                spec_profile(streamer).unwrap().spatial_locality >= 0.8,
+                "{streamer}"
+            );
         }
         for chaser in ["mcf2006", "omnetpp", "astar", "sjeng"] {
-            assert!(spec_profile(chaser).unwrap().spatial_locality <= 0.35, "{chaser}");
+            assert!(
+                spec_profile(chaser).unwrap().spatial_locality <= 0.35,
+                "{chaser}"
+            );
         }
     }
 

@@ -3,7 +3,9 @@
 //! profile, seed, and mix.
 
 use arcc_trace::perf::{core_ipc, core_ipc_with_latency_cpu};
-use arcc_trace::{generate_mix, paper_mixes, spec_profile, TraceConfig, TraceGenerator, ALL_PROFILES};
+use arcc_trace::{
+    generate_mix, paper_mixes, spec_profile, TraceConfig, TraceGenerator, ALL_PROFILES,
+};
 use proptest::prelude::*;
 
 proptest! {

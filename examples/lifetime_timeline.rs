@@ -13,7 +13,9 @@ use arcc::core::{
 fn filled() -> Result<FunctionalMemory, Box<dyn std::error::Error>> {
     let mut mem = FunctionalMemory::new(6);
     for line in 0..mem.lines() {
-        let payload: Vec<u8> = (0..64).map(|i| (line as u8).wrapping_mul(7) ^ i as u8).collect();
+        let payload: Vec<u8> = (0..64)
+            .map(|i| (line as u8).wrapping_mul(7) ^ i as u8)
+            .collect();
         mem.write_line(line, &payload)?;
     }
     Ok(mem)
@@ -64,12 +66,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             TimelineEvent::FaultArrived { time_h, device } => {
                 println!("y{:.2}  fault arrives on device {device}", time_h / 8760.0)
             }
-            TimelineEvent::ScrubUpgraded { time_h, pages_flagged, pages_upgraded } => println!(
+            TimelineEvent::ScrubUpgraded {
+                time_h,
+                pages_flagged,
+                pages_upgraded,
+            } => println!(
                 "y{:.2}  scrub flags {pages_flagged} page(s), upgrades {pages_upgraded}",
                 time_h / 8760.0
             ),
             TimelineEvent::DeviceSpared { time_h, device } => {
-                println!("y{:.2}  device {device} spared out (decoded as erasure)", time_h / 8760.0)
+                println!(
+                    "y{:.2}  device {device} spared out (decoded as erasure)",
+                    time_h / 8760.0
+                )
             }
             TimelineEvent::DataLoss { time_h, pages } => {
                 println!("y{:.2}  DATA LOSS in {pages} page(s)!", time_h / 8760.0)
@@ -88,7 +97,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut verified = 0u64;
     for line in 0..mem.lines() {
         let (data, _) = mem.read_line(line)?;
-        let expect: Vec<u8> = (0..64).map(|i| (line as u8).wrapping_mul(7) ^ i as u8).collect();
+        let expect: Vec<u8> = (0..64)
+            .map(|i| (line as u8).wrapping_mul(7) ^ i as u8)
+            .collect();
         assert_eq!(data, expect, "line {line}");
         verified += 1;
     }

@@ -76,6 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let expect: Vec<u8> = (0..64).map(|i| (line as u8).wrapping_add(i)).collect();
         assert_eq!(data, expect, "line {line}");
     }
-    println!("\nall {} lines verified post-upgrade. stats: {:?}", mem.lines(), mem.stats());
+    println!(
+        "\nall {} lines verified post-upgrade. stats: {:?}",
+        mem.lines(),
+        mem.stats()
+    );
     Ok(())
 }

@@ -16,7 +16,7 @@ use arcc::core::{
 fn zero_filled_memory_with_hidden_fault() -> FunctionalMemory {
     let mut mem = FunctionalMemory::new(4);
     for line in 0..mem.lines() {
-        mem.write_line(line, &vec![0u8; 64]).expect("in range");
+        mem.write_line(line, &[0u8; 64]).expect("in range");
     }
     // Stuck-at-0 device in zero-filled memory: reads look perfectly clean.
     mem.inject_fault(InjectedFault::stuck_everywhere(3, 0x00));

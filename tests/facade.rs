@@ -1,0 +1,51 @@
+//! Workspace-wiring smoke test: every module path advertised by the `arcc`
+//! facade's crate table must resolve, and one representative type from each
+//! re-exported crate must be constructible. This pins the manifests'
+//! dependency graph — a crate dropped from the facade's `Cargo.toml` or a
+//! renamed re-export fails here, not in a downstream consumer.
+
+use arcc::core::{FunctionalMemory, ProtectionMode, Scrubber, UpgradeEngine};
+
+#[test]
+fn gf_resolves_and_constructs() {
+    let rs = arcc::gf::ReedSolomon::<arcc::gf::Gf256>::new(18, 16).unwrap();
+    assert_eq!(rs.nroots(), 2);
+}
+
+#[test]
+fn mem_resolves_and_constructs() {
+    let cfg = arcc::mem::SystemConfig::arcc_x8();
+    assert!(cfg.channels >= 2, "ARCC needs paired channels");
+}
+
+#[test]
+fn cache_resolves_and_constructs() {
+    use arcc::cache::CacheModel;
+    let llc = arcc::cache::PairedTagLlc::new(arcc::cache::CacheConfig::paper_llc());
+    assert!(!llc.contains(0));
+}
+
+#[test]
+fn faults_resolves_and_constructs() {
+    let rates = arcc::faults::FitRates::sridharan_sc12();
+    assert!(rates.total_fit() > 0.0);
+}
+
+#[test]
+fn trace_resolves_and_constructs() {
+    let mixes = arcc::trace::paper_mixes();
+    assert!(!mixes.is_empty());
+}
+
+#[test]
+fn core_resolves_and_constructs() {
+    let mem = FunctionalMemory::new(1);
+    assert_eq!(mem.page_table().mode(0), ProtectionMode::Relaxed);
+    let _ = (Scrubber::default(), UpgradeEngine::new());
+}
+
+#[test]
+fn reliability_resolves_and_constructs() {
+    let cfg = arcc::reliability::LifetimeConfig::default();
+    assert!(cfg.years >= 1);
+}

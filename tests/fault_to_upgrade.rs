@@ -3,10 +3,10 @@
 //! (arcc-core), the test-pattern scrubber finds them, the upgrade engine
 //! strengthens exactly the affected pages, and all data survives.
 
+use arcc::core::image::FaultBehavior;
 use arcc::core::{
     FunctionalMemory, InjectedFault, ProtectionMode, ScrubStrategy, Scrubber, UpgradeEngine,
 };
-use arcc::core::image::FaultBehavior;
 use arcc::faults::montecarlo::FaultSampler;
 use arcc::faults::{FaultGeometry, FaultMode, FitRates};
 use rand::rngs::StdRng;
@@ -44,7 +44,9 @@ fn materialise(mem: &mut FunctionalMemory, mode: FaultMode, device: u32, geometr
 fn filled() -> FunctionalMemory {
     let mut mem = FunctionalMemory::new(PAGES);
     for l in 0..mem.lines() {
-        let payload: Vec<u8> = (0..64).map(|i| (l as u8).wrapping_mul(3) ^ i as u8).collect();
+        let payload: Vec<u8> = (0..64)
+            .map(|i| (l as u8).wrapping_mul(3) ^ i as u8)
+            .collect();
         mem.write_line(l, &payload).expect("in range");
     }
     mem
@@ -73,12 +75,18 @@ fn sampled_faults_survive_scrub_and_upgrade() {
     let engine = UpgradeEngine::new();
     let scrubber = Scrubber::new(ScrubStrategy::TestPattern);
     let (outcome, report) = engine.scrub_and_upgrade(&mut mem, &scrubber);
-    assert!(!outcome.pages_with_errors.is_empty(), "faults must be detected");
+    assert!(
+        !outcome.pages_with_errors.is_empty(),
+        "faults must be detected"
+    );
     assert_eq!(
         outcome.pages_with_errors.len(),
         report.pages_upgraded.len() + report.pages_saturated.len() + report.failed_pages.len()
     );
-    assert!(report.failed_pages.is_empty(), "single faults are correctable");
+    assert!(
+        report.failed_pages.is_empty(),
+        "single faults are correctable"
+    );
 
     // Every flagged page is upgraded; every other page stays relaxed.
     for (p, mode) in mem.page_table().iter() {
@@ -92,7 +100,9 @@ fn sampled_faults_survive_scrub_and_upgrade() {
     // All data still reads back correctly through the live faults.
     for l in 0..mem.lines() {
         let (data, _) = mem.read_line(l).unwrap_or_else(|e| panic!("line {l}: {e}"));
-        let expect: Vec<u8> = (0..64).map(|i| (l as u8).wrapping_mul(3) ^ i as u8).collect();
+        let expect: Vec<u8> = (0..64)
+            .map(|i| (l as u8).wrapping_mul(3) ^ i as u8)
+            .collect();
         assert_eq!(data, expect, "line {l}");
     }
 }
@@ -101,10 +111,10 @@ fn sampled_faults_survive_scrub_and_upgrade() {
 fn upgrade_fraction_tracks_table_7_4() {
     let geometry = FaultGeometry::paper_channel();
     for (mode, expect_pages) in [
-        (FaultMode::MultiRank, PAGES),          // lane: 100%
-        (FaultMode::MultiBank, PAGES / 2),      // device: 1/2
-        (FaultMode::SingleBank, 1),             // subbank: 1/16 -> ceil
-        (FaultMode::SingleColumn, 1),           // column: 1/32 -> ceil
+        (FaultMode::MultiRank, PAGES),     // lane: 100%
+        (FaultMode::MultiBank, PAGES / 2), // device: 1/2
+        (FaultMode::SingleBank, 1),        // subbank: 1/16 -> ceil
+        (FaultMode::SingleColumn, 1),      // column: 1/32 -> ceil
     ] {
         let mut mem = filled();
         materialise(&mut mem, mode, 4, &geometry);

@@ -14,7 +14,10 @@ fn descriptors_match_codecs() {
     let arcc = ArccScheme::commercial();
     let relaxed = SchemeKind::RelaxedCk2.descriptor();
     assert_eq!(relaxed.rank_size, arcc.relaxed_devices());
-    assert_eq!(relaxed.check_symbols as usize, arcc.relaxed().check_symbols());
+    assert_eq!(
+        relaxed.check_symbols as usize,
+        arcc.relaxed().check_symbols()
+    );
 
     let sccdcd = SchemeKind::Sccdcd.descriptor();
     let codec = LineCodec::sccdcd_x4();
@@ -33,7 +36,9 @@ fn guarantee_table_is_honoured_by_the_rs_codecs() {
 
     let mut one = clean.clone();
     one.kill_device(7, 0xAA);
-    codec.decode_line(&mut one, &[], 1).expect("single chipkill corrected");
+    codec
+        .decode_line(&mut one, &[], 1)
+        .expect("single chipkill corrected");
     assert_eq!(codec.extract_data(&one), data);
 
     let mut two = clean.clone();
