@@ -1,51 +1,10 @@
-//! Supplementary analysis: empirical miscorrection (SDC escape) rates of
-//! every code/policy the paper's Chapter 6 reasons about, measured against
-//! the real decoder. Quantifies the footnote-level assumptions behind
-//! Figure 6.1: a relaxed codeword that takes a second bad symbol escapes
-//! detection only a few percent of the time; SCCDCD's deliberate
-//! under-decoding keeps double faults at exactly zero escapes.
-
-use arcc_bench::banner;
-use arcc_gf::analysis::measure_miscorrection_rate;
-use arcc_gf::{Gf256, ReedSolomon};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Supplementary analysis: empirical miscorrection (SDC escape) rates
+//! of every code/policy Chapter 6 reasons about.
+//!
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner(
-        "Escape-rate analysis (supplementary)",
-        "Probability that an overload error pattern silently miscorrects",
-    );
-    let trials = 40_000;
-    let mut rng = StdRng::seed_from_u64(0xE5CA9E);
-    println!(
-        "{:<34} {:>7} {:>7} {:>9} {:>12}",
-        "Code / policy", "errors", "limit", "trials", "escape prob"
-    );
-    let cases: [(&str, usize, usize, usize, usize); 6] = [
-        ("relaxed RS(18,16) t=1", 18, 16, 2, 1),
-        ("relaxed RS(18,16) t=1", 18, 16, 3, 1),
-        ("SCCDCD RS(36,32) t=1 (detect 2)", 36, 32, 2, 1),
-        ("SCCDCD RS(36,32) t=1 overload", 36, 32, 3, 1),
-        ("full-power RS(36,32) t=2", 36, 32, 3, 2),
-        ("upgraded2 RS(72,64) t=1", 72, 64, 2, 1),
-    ];
-    for (name, n, k, errors, limit) in cases {
-        let rs = ReedSolomon::<Gf256>::new(n, k).expect("valid parameters");
-        let m = measure_miscorrection_rate(&rs, errors, limit, trials, &mut rng);
-        println!(
-            "{:<34} {:>7} {:>7} {:>9} {:>11.4}%",
-            name,
-            errors,
-            limit,
-            m.trials,
-            m.escape_probability() * 100.0
-        );
-    }
-    println!();
-    println!("Reading: the relaxed mode's double-fault escape rate (~7%) is the");
-    println!("multiplier on the already-tiny scrub-window overlap probability —");
-    println!("why Figure 6.1's ARCC and SCCDCD columns are indistinguishable.");
-    println!("SCCDCD's guaranteed detect-2 measures exactly 0, and its correct-1");
-    println!("policy beats full-power decoding on triple-fault escapes.");
+    arcc_exp::main_for("escape_rates");
 }

@@ -1,42 +1,10 @@
 //! Figure 3.1: average fraction of 4 KB pages affected by faults vs.
-//! operational lifespan, for 1x/2x/4x field fault rates.
-
-use arcc_bench::{banner, mc_channels};
-use arcc_reliability::faulty_fraction_curve;
+//! operational lifespan.
+//!
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner(
-        "Figure 3.1",
-        "Faulty memory vs time: fraction of 4 KB pages affected by faults",
-    );
-    let channels = mc_channels();
-    let pts = faulty_fraction_curve(7, &[1.0, 2.0, 4.0], channels, 0x31A);
-    println!("(Monte Carlo over {channels} channels; closed form in parentheses)");
-    println!(
-        "{:<6} {:>18} {:>18} {:>18}",
-        "Years", "1x rate", "2x rate", "4x rate"
-    );
-    for y in 1..=7 {
-        let cell = |m: f64| {
-            let p = pts
-                .iter()
-                .find(|p| p.years == y as f64 && p.rate_multiplier == m)
-                .expect("grid point");
-            format!(
-                "{:.3}% ({:.3}%)",
-                p.monte_carlo * 100.0,
-                p.closed_form * 100.0
-            )
-        };
-        println!(
-            "{:<6} {:>18} {:>18} {:>18}",
-            y,
-            cell(1.0),
-            cell(2.0),
-            cell(4.0)
-        );
-    }
-    println!();
-    println!("Paper anchor: 'just a few percent during most of the lifetime of the");
-    println!("memory channel, even for a worst case failure rate 4X as high'.");
+    arcc_exp::main_for("fig3_1");
 }

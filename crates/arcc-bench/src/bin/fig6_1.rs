@@ -1,38 +1,10 @@
-//! Figure 6.1: SDCs per 1000 machine-years — always-on double error
-//! detection (commercial SCCDCD) vs. the reduced detection of
-//! SCCDCD+ARCC, across lifespans and fault-rate multipliers.
-
-use arcc_bench::{banner, mc_machines};
-use arcc_reliability::sdc::figure_6_1_grid;
+//! Figure 6.1: SDCs per 1000 machine-years, commercial DED vs the
+//! reduced detection of SCCDCD+ARCC.
+//!
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner(
-        "Figure 6.1",
-        "SDC comparison: commercial DED vs ARCC DED (SDCs / 1000 machine-years)",
-    );
-    let machines = mc_machines();
-    println!("(Monte Carlo over {machines} machines per point; 4 h scrub period)");
-    println!(
-        "{:<6} {:<6} {:>14} {:>14} {:>12} {:>12}",
-        "Rate", "Years", "SCCDCD SDC", "ARCC SDC", "SCCDCD DUE", "ARCC DUE"
-    );
-    let grid = figure_6_1_grid(7, &[1.0, 2.0, 4.0], machines, 0x61F);
-    for (years, mult, r) in &grid {
-        if (*years as u32).is_multiple_of(2) && *years > 1.0 {
-            continue; // print odd years + year 1, like the paper's sparse axis
-        }
-        println!(
-            "{:<6} {:<6} {:>14.4} {:>14.4} {:>12} {:>12}",
-            format!("{mult}x"),
-            years,
-            r.sccdcd_sdc_per_1000_machine_years(),
-            r.arcc_sdc_per_1000_machine_years(),
-            r.sccdcd_due_events,
-            r.arcc_due_events,
-        );
-    }
-    println!();
-    println!("Paper anchor: 'the increase to the SDC rate of SCCDCD+ARCC over");
-    println!("SCCDCD alone is insignificant' — both columns should be the same");
-    println!("order of magnitude, with ARCC slightly higher.");
+    arcc_exp::main_for("fig6_1");
 }

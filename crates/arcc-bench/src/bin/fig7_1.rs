@@ -1,46 +1,10 @@
 //! Figure 7.1: DRAM power and performance improvement of ARCC over
 //! commercial chipkill correct, fault-free, per workload mix.
 //!
-//! Paper anchors: −36.7 % power, +5.9 % performance on average; power
-//! gains near-uniform across mixes, performance gains varying with each
-//! mix's sensitivity to rank-level parallelism.
-
-use arcc_bench::{banner, mean, pct, run_arcc, run_baseline};
-use arcc_trace::paper_mixes;
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner(
-        "Figure 7.1",
-        "Power and performance improvements (ARCC vs SCCDCD baseline, fault-free)",
-    );
-    println!(
-        "{:<8} {:>12} {:>12} {:>10} {:>9} {:>9} {:>10}",
-        "Mix", "base mW", "ARCC mW", "power", "base IPC", "ARCC IPC", "perf"
-    );
-    let mut power_savings = Vec::new();
-    let mut perf_gains = Vec::new();
-    for mix in paper_mixes() {
-        let base = run_baseline(&mix);
-        let arcc = run_arcc(&mix, 0.0);
-        let dp = 1.0 - arcc.power_mw / base.power_mw;
-        let dperf = arcc.perf.total_ipc / base.perf.total_ipc - 1.0;
-        power_savings.push(dp);
-        perf_gains.push(dperf);
-        println!(
-            "{:<8} {:>12.0} {:>12.0} {:>10} {:>9.2} {:>9.2} {:>10}",
-            mix.name,
-            base.power_mw,
-            arcc.power_mw,
-            pct(-dp),
-            base.perf.total_ipc,
-            arcc.perf.total_ipc,
-            pct(dperf)
-        );
-    }
-    println!("------------------------------------------------------------------");
-    println!(
-        "Average: power {} (paper: -36.7%), performance {} (paper: +5.9%)",
-        pct(-mean(&power_savings)),
-        pct(mean(&perf_gains))
-    );
+    arcc_exp::main_for("fig7_1");
 }

@@ -1,59 +1,10 @@
-//! Figure 7.2: power consumption of ARCC with a single device-level fault
-//! in memory, normalised to fault-free, per mix and fault type — plus the
-//! worst-case (no spatial locality) estimate.
-
-use arcc_bench::{banner, mean, run_arcc};
-use arcc_core::system::worst_case_power_factor;
-use arcc_faults::{FaultGeometry, FaultMode};
-use arcc_trace::paper_mixes;
+//! Figure 7.2: power consumption of ARCC with a single device-level
+//! fault, normalised to fault-free.
+//!
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner(
-        "Figure 7.2",
-        "Power with one device-level fault, normalised to fault-free ARCC",
-    );
-    let g = FaultGeometry::paper_channel();
-    let fault_types = [
-        ("Lane", FaultMode::MultiRank),
-        ("Device", FaultMode::MultiBank),
-        ("Subbank", FaultMode::SingleBank),
-        ("Column", FaultMode::SingleColumn),
-    ];
-    print!("{:<8}", "Mix");
-    for (name, _) in &fault_types {
-        print!(" {:>9}", name);
-    }
-    println!();
-
-    let mut per_type_means = vec![Vec::new(); fault_types.len()];
-    for mix in paper_mixes() {
-        let clean = run_arcc(&mix, 0.0);
-        print!("{:<8}", mix.name);
-        for (ti, (_, mode)) in fault_types.iter().enumerate() {
-            let frac = g.affected_page_fraction(*mode);
-            let faulty = run_arcc(&mix, frac);
-            let ratio = faulty.power_mw / clean.power_mw;
-            per_type_means[ti].push(ratio);
-            print!(" {:>9.3}", ratio);
-        }
-        println!();
-    }
-    println!("------------------------------------------------------------------");
-    print!("{:<8}", "mean");
-    for m in &per_type_means {
-        print!(" {:>9.3}", mean(m));
-    }
-    println!();
-    print!("{:<8}", "worstest");
-    for (_, mode) in &fault_types {
-        print!(
-            " {:>9.3}",
-            worst_case_power_factor(g.affected_page_fraction(*mode))
-        );
-    }
-    println!("   <- worst case est. (paper's rightmost bars)");
-    println!();
-    println!("Paper anchor: measured overhead well below the worst-case estimate");
-    println!("(spatial locality makes the second 64 B line useful), ordering");
-    println!("lane > device > subbank > column.");
+    arcc_exp::main_for("fig7_2");
 }

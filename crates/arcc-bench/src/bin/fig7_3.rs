@@ -1,73 +1,10 @@
 //! Figure 7.3: performance of ARCC with a single device-level fault,
-//! normalised to fault-free — high-spatial-locality mixes can *improve*
-//! (the 128 B fetch acts as a prefetch), low-locality mixes degrade.
-
-use arcc_bench::{banner, mean, run_arcc};
-use arcc_core::system::worst_case_perf_factor;
-use arcc_faults::{FaultGeometry, FaultMode};
-use arcc_trace::paper_mixes;
+//! normalised to fault-free.
+//!
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner(
-        "Figure 7.3",
-        "Performance with one device-level fault, normalised to fault-free ARCC",
-    );
-    let g = FaultGeometry::paper_channel();
-    let fault_types = [
-        ("Lane", FaultMode::MultiRank),
-        ("Device", FaultMode::MultiBank),
-        ("Subbank", FaultMode::SingleBank),
-        ("Column", FaultMode::SingleColumn),
-    ];
-    print!("{:<8}", "Mix");
-    for (name, _) in &fault_types {
-        print!(" {:>9}", name);
-    }
-    println!();
-
-    let mut per_type_means = vec![Vec::new(); fault_types.len()];
-    let mut lane_ratios: Vec<(&str, f64)> = Vec::new();
-    for mix in paper_mixes() {
-        let clean = run_arcc(&mix, 0.0);
-        print!("{:<8}", mix.name);
-        for (ti, (_, mode)) in fault_types.iter().enumerate() {
-            let frac = g.affected_page_fraction(*mode);
-            let faulty = run_arcc(&mix, frac);
-            let ratio = faulty.perf.total_ipc / clean.perf.total_ipc;
-            per_type_means[ti].push(ratio);
-            if ti == 0 {
-                lane_ratios.push((mix.name, ratio));
-            }
-            print!(" {:>9.3}", ratio);
-        }
-        println!();
-    }
-    println!("------------------------------------------------------------------");
-    print!("{:<8}", "mean");
-    for m in &per_type_means {
-        print!(" {:>9.3}", mean(m));
-    }
-    println!();
-    print!("{:<8}", "worstest");
-    for (_, mode) in &fault_types {
-        print!(
-            " {:>9.3}",
-            worst_case_perf_factor(g.affected_page_fraction(*mode))
-        );
-    }
-    println!("   <- worst case est. (no locality, bandwidth-bound)");
-    println!();
-    let best = lane_ratios
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("twelve mixes");
-    let worst = lane_ratios
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("twelve mixes");
-    println!(
-        "Lane-fault spread: best {} ({:.3}), worst {} ({:.3}) — the paper sees",
-        best.0, best.1, worst.0, worst.1
-    );
-    println!("both improvements (prefetch effect) and degradations across mixes.");
+    arcc_exp::main_for("fig7_3");
 }

@@ -1,96 +1,10 @@
 //! Figure 7.4: average increase in power consumption as a function of
-//! time (years 1..7), compared to fault-free memory — worst-case estimate
-//! and measured curves, at 1x/2x/4x fault rates.
-
-use arcc_bench::{banner, mc_channels, mean, run_arcc};
-use arcc_core::system::worst_case_power_factor;
-use arcc_faults::{FaultGeometry, FaultMode};
-use arcc_reliability::{lifetime_overhead_curve, LifetimeConfig, OverheadModel};
-use arcc_trace::paper_mixes;
-
-/// Measures the per-fault-type power overhead over a few representative
-/// mixes (step 1 of §7.1), returning an [`OverheadModel`].
-fn measured_power_model(g: &FaultGeometry) -> OverheadModel {
-    // One streaming, one pointer-chasing, one balanced mix.
-    let mixes = paper_mixes();
-    let sample = [mixes[3], mixes[9], mixes[0]];
-    let overhead_at = |frac: f64| -> f64 {
-        let mut ratios = Vec::new();
-        for mix in &sample {
-            let clean = run_arcc(mix, 0.0);
-            let faulty = run_arcc(mix, frac);
-            ratios.push(faulty.power_mw / clean.power_mw - 1.0);
-        }
-        mean(&ratios).max(0.0)
-    };
-    let lane = overhead_at(g.affected_page_fraction(FaultMode::MultiRank));
-    let device = overhead_at(g.affected_page_fraction(FaultMode::MultiBank));
-    let bank = overhead_at(g.affected_page_fraction(FaultMode::SingleBank));
-    let column = overhead_at(g.affected_page_fraction(FaultMode::SingleColumn));
-    // Tiny-footprint modes scale linearly from the column measurement.
-    let col_frac = g.affected_page_fraction(FaultMode::SingleColumn);
-    let per_frac = if col_frac > 0.0 {
-        column / col_frac
-    } else {
-        0.0
-    };
-    let g2 = *g;
-    OverheadModel::from_fn(move |m| match m {
-        FaultMode::MultiRank => lane,
-        FaultMode::MultiBank => device,
-        FaultMode::SingleBank => bank,
-        FaultMode::SingleColumn => column,
-        other => per_frac * g2.affected_page_fraction(other),
-    })
-}
+//! time (years 1..7).
+//!
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner(
-        "Figure 7.4",
-        "Power overhead of error correction vs time (avg over channel fleet)",
-    );
-    let g = FaultGeometry::paper_channel();
-    let worst = OverheadModel::worst_case_arcc_power(&g);
-    let measured = measured_power_model(&g);
-    let channels = mc_channels();
-    println!("(Monte Carlo over {channels} channels)");
-    println!(
-        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "Year", "wc 1x", "meas 1x", "wc 2x", "meas 2x", "wc 4x", "meas 4x"
-    );
-    let mut curves = Vec::new();
-    for mult in [1.0, 2.0, 4.0] {
-        let cfg = LifetimeConfig {
-            rate_multiplier: mult,
-            channels,
-            ..LifetimeConfig::default()
-        };
-        curves.push((
-            lifetime_overhead_curve(&cfg, &worst),
-            lifetime_overhead_curve(&cfg, &measured),
-        ));
-    }
-    for y in 0..7 {
-        print!("{:<6}", y + 1);
-        for (wc, ms) in &curves {
-            print!(
-                " {:>11.3}% {:>11.3}%",
-                wc[y].avg_overhead * 100.0,
-                ms[y].avg_overhead * 100.0
-            );
-        }
-        println!();
-    }
-    println!();
-    let wc_7y_4x = curves[2].0.last().expect("7 points").avg_overhead;
-    // The paper: the fault-free saving is 36.7% and the benefit at 7y/4x is
-    // still >= 30%, so the tolerable average overhead is ~10% of fault-free
-    // power (1.367 * 0.30 / 0.367 ~ overhead budget).
-    let residual_saving = 1.0 - worst_case_power_factor(wc_7y_4x) * (1.0 - 0.353);
-    println!(
-        "Worst-case overhead at 7y/4x: {:.2}% -> residual ARCC power benefit {:.1}%",
-        wc_7y_4x * 100.0,
-        residual_saving * 100.0
-    );
-    println!("(paper anchor: benefit 'no less than 30%' at the end of 7 years, 4x rate).");
+    arcc_exp::main_for("fig7_4");
 }

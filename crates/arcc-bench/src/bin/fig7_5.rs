@@ -1,83 +1,9 @@
-//! Figure 7.5: average decrease in performance as a function of time,
-//! compared to fault-free memory — worst-case and measured curves.
-
-use arcc_bench::{banner, mc_channels, mean, run_arcc};
-use arcc_faults::{FaultGeometry, FaultMode};
-use arcc_reliability::{lifetime_overhead_curve, LifetimeConfig, OverheadModel};
-use arcc_trace::paper_mixes;
-
-/// Per-fault-type *performance loss* measured over representative mixes.
-/// Negative losses (prefetch wins) clamp to zero for the overhead curve.
-fn measured_perf_model(g: &FaultGeometry) -> OverheadModel {
-    let mixes = paper_mixes();
-    let sample = [mixes[3], mixes[9], mixes[0]];
-    let loss_at = |frac: f64| -> f64 {
-        let mut losses = Vec::new();
-        for mix in &sample {
-            let clean = run_arcc(mix, 0.0);
-            let faulty = run_arcc(mix, frac);
-            losses.push(1.0 - faulty.perf.total_ipc / clean.perf.total_ipc);
-        }
-        mean(&losses).max(0.0)
-    };
-    let lane = loss_at(g.affected_page_fraction(FaultMode::MultiRank));
-    let device = loss_at(g.affected_page_fraction(FaultMode::MultiBank));
-    let bank = loss_at(g.affected_page_fraction(FaultMode::SingleBank));
-    let column = loss_at(g.affected_page_fraction(FaultMode::SingleColumn));
-    let col_frac = g.affected_page_fraction(FaultMode::SingleColumn);
-    let per_frac = if col_frac > 0.0 {
-        column / col_frac
-    } else {
-        0.0
-    };
-    let g2 = *g;
-    OverheadModel::from_fn(move |m| match m {
-        FaultMode::MultiRank => lane,
-        FaultMode::MultiBank => device,
-        FaultMode::SingleBank => bank,
-        FaultMode::SingleColumn => column,
-        other => per_frac * g2.affected_page_fraction(other),
-    })
-}
+//! Figure 7.5: average decrease in performance as a function of time.
+//!
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner(
-        "Figure 7.5",
-        "Performance overhead of error correction vs time (avg over fleet)",
-    );
-    let g = FaultGeometry::paper_channel();
-    let worst = OverheadModel::worst_case_arcc_perf(&g);
-    let measured = measured_perf_model(&g);
-    let channels = mc_channels();
-    println!("(Monte Carlo over {channels} channels)");
-    println!(
-        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "Year", "wc 1x", "meas 1x", "wc 2x", "meas 2x", "wc 4x", "meas 4x"
-    );
-    let mut curves = Vec::new();
-    for mult in [1.0, 2.0, 4.0] {
-        let cfg = LifetimeConfig {
-            rate_multiplier: mult,
-            channels,
-            ..LifetimeConfig::default()
-        };
-        curves.push((
-            lifetime_overhead_curve(&cfg, &worst),
-            lifetime_overhead_curve(&cfg, &measured),
-        ));
-    }
-    for y in 0..7 {
-        print!("{:<6}", y + 1);
-        for (wc, ms) in &curves {
-            print!(
-                " {:>11.3}% {:>11.3}%",
-                wc[y].avg_overhead * 100.0,
-                ms[y].avg_overhead * 100.0
-            );
-        }
-        println!();
-    }
-    println!();
-    println!("Paper anchor: 'negligible performance degradation on average' —");
-    println!("measured curves far below the worst-case estimate, both small.");
+    arcc_exp::main_for("fig7_5");
 }

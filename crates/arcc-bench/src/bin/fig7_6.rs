@@ -1,61 +1,10 @@
-//! Figure 7.6: worst-case power/performance overhead of ARCC applied to
-//! LOT-ECC (9-device relaxed -> 18-device double-chip-sparing upgraded)
-//! as a function of time. An upgraded access costs 4x a relaxed one
-//! (twice the devices and an extra checksum-line access per read).
-
-use arcc_bench::{banner, mc_channels};
-use arcc_core::SchemeKind;
-use arcc_faults::FaultGeometry;
-use arcc_reliability::{lifetime_overhead_curve, LifetimeConfig, OverheadModel};
+//! Figure 7.6: worst-case overhead of ARCC applied to LOT-ECC as a
+//! function of time.
+//!
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner(
-        "Figure 7.6",
-        "ARCC+LOT-ECC vs nine-device LOT-ECC: worst-case overhead vs time",
-    );
-    let g = FaultGeometry::paper_channel();
-    let model = OverheadModel::worst_case_lotecc(&g);
-    let channels = mc_channels();
-    println!("(Monte Carlo over {channels} channels; overhead = power increase =");
-    println!(" performance decrease in the worst-case application scenario)");
-    println!("{:<6} {:>10} {:>10} {:>10}", "Year", "1x", "2x", "4x");
-    let mut avgs = Vec::new();
-    let mut curves = Vec::new();
-    for mult in [1.0, 2.0, 4.0] {
-        let cfg = LifetimeConfig {
-            rate_multiplier: mult,
-            channels,
-            ..LifetimeConfig::default()
-        };
-        let c = lifetime_overhead_curve(&cfg, &model);
-        avgs.push(c.iter().map(|p| p.avg_overhead).sum::<f64>() / c.len() as f64);
-        curves.push(c);
-    }
-    for (y, ((one_x, two_x), four_x)) in curves[0]
-        .iter()
-        .zip(&curves[1])
-        .zip(&curves[2])
-        .take(7)
-        .enumerate()
-    {
-        println!(
-            "{:<6} {:>9.2}% {:>9.2}% {:>9.2}%",
-            y + 1,
-            one_x.avg_overhead * 100.0,
-            two_x.avg_overhead * 100.0,
-            four_x.avg_overhead * 100.0
-        );
-    }
-    println!();
-    println!(
-        "7-year average overhead: 1x {:.2}% (paper: 1.6%), 4x {:.2}% (paper: <= 6.3%)",
-        avgs[0] * 100.0,
-        avgs[2] * 100.0
-    );
-    let lot18 = SchemeKind::LotEcc18.descriptor();
-    println!(
-        "Bought with it: {}+{} sequential chip correction (a 17x DUE reduction",
-        lot18.guarantees.correct, lot18.guarantees.sequential_correct
-    );
-    println!("per the paper's double chip sparing citation).");
+    arcc_exp::main_for("fig7_6");
 }

@@ -1,64 +1,10 @@
-//! Figures 2.1 and 4.1: the chipkill data layouts, rendered from the
-//! actual codec geometry (not hand-drawn) — each symbol of a codeword in a
-//! different device, and the relaxed/upgraded page layouts with their
-//! check-symbol placement.
-
-use arcc_bench::banner;
-use arcc_core::ArccScheme;
-use arcc_gf::chipkill::LineCodec;
-
-fn draw_rank(codec: &LineCodec, label: &str) {
-    println!(
-        "\n{label}: {} devices/codeword, {} data + {} check, {} codewords per {}B line",
-        codec.devices(),
-        codec.data_devices(),
-        codec.check_symbols(),
-        codec.beats(),
-        codec.data_bytes(),
-    );
-    let mut row = String::new();
-    for d in 0..codec.devices() {
-        row.push_str(if d < codec.data_devices() {
-            "[D]"
-        } else {
-            "[R]"
-        });
-        if (d + 1) % 18 == 0 {
-            row.push_str("  ");
-        }
-    }
-    println!("  {row}");
-}
+//! Figures 2.1 and 4.1: chipkill data layouts rendered from the actual
+//! codec geometry.
+//!
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner(
-        "Figure 2.1",
-        "Commercial chipkill layout: one symbol per device, D=data R=redundant",
-    );
-    draw_rank(
-        &LineCodec::sccdcd_x4(),
-        "SCCDCD rank (two lockstep physical channels)",
-    );
-
-    banner(
-        "Figure 4.1",
-        "ARCC data layout: relaxed vs upgraded pages (X/Y = channel)",
-    );
-    let scheme = ArccScheme::commercial();
-    draw_rank(scheme.relaxed(), "Relaxed line (one channel)");
-    draw_rank(scheme.upgraded(), "Upgraded line (channels X+Y lockstep)");
-    if let Some(up2) = scheme.upgraded2() {
-        draw_rank(up2, "Doubly-upgraded line (§5.1, four channels)");
-    }
-
-    println!("\nRelaxed page (64 lines, alternating channels):");
-    println!("  line 0X | line 1Y | line 2X | line 3Y | ... | line 63Y");
-    println!("  each 64B line: 4 codewords of 16 data + 2 check symbols (shaded)");
-    println!("\nUpgraded page (32 joined lines):");
-    println!("  [line 0X + line 1Y] | [line 2X + line 3Y] | ... | [62X + 63Y]");
-    println!("  each 128B line: 4 codewords of 32 data + 4 check symbols");
-    println!(
-        "\nStorage overhead identical in both modes: {:.1}% — the joining trick.",
-        scheme.storage_overhead() * 100.0
-    );
+    arcc_exp::main_for("fig_layouts");
 }

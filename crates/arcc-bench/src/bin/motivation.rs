@@ -1,39 +1,10 @@
-//! Chapter 3 motivation experiment: reducing the rank size from 36 to 18
-//! devices (4 -> 2 check symbols at constant storage overhead) cuts DRAM
-//! power by 36.7 % on average over the quad-core SPEC mixes — the gap ARCC
-//! closes without giving up reliability.
-
-use arcc_bench::{banner, mean, pct, run_arcc, run_baseline};
-use arcc_trace::paper_mixes;
+//! Chapter 3 motivation experiment: rank size 18 vs 36 at equal storage
+//! overhead.
+//!
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner(
-        "Chapter 3 motivation",
-        "Rank size 18 vs 36 at equal storage overhead (fault-free power)",
-    );
-    println!(
-        "{:<8} {:>14} {:>14} {:>10}",
-        "Mix", "36-dev mW", "18-dev mW", "saving"
-    );
-    let mut savings = Vec::new();
-    for mix in paper_mixes() {
-        let wide = run_baseline(&mix);
-        let narrow = run_arcc(&mix, 0.0);
-        let s = 1.0 - narrow.power_mw / wide.power_mw;
-        savings.push(s);
-        println!(
-            "{:<8} {:>14.0} {:>14.0} {:>10}",
-            mix.name,
-            wide.power_mw,
-            narrow.power_mw,
-            pct(-s)
-        );
-    }
-    println!("------------------------------------------------------------------");
-    println!(
-        "Average saving: {} (paper: 36.7%) — the reliability cost is dropping",
-        pct(-mean(&savings))
-    );
-    println!("from guaranteed double-symbol detection to single-symbol detection,");
-    println!("which is exactly what ARCC repairs adaptively.");
+    arcc_exp::main_for("motivation");
 }

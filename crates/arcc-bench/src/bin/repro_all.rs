@@ -1,34 +1,9 @@
-//! Runs every table/figure reproduction in order (the EXPERIMENTS.md
-//! generator). Each artefact is also available as its own binary.
-
-use std::process::Command;
+//! Runs every table/figure reproduction in order through the in-process
+//! scenario registry (no subprocess chaining), writing a machine-readable
+//! JSON report per artefact under `target/repro/` (override with
+//! `ARCC_REPORT_DIR`). Exits non-zero naming the failing scenario if one
+//! panics.
 
 fn main() {
-    let bins = [
-        "fig_layouts",
-        "table7_1",
-        "table7_4",
-        "fig3_1",
-        "motivation",
-        "fig6_1",
-        "fig7_1",
-        "fig7_2",
-        "fig7_3",
-        "fig7_4",
-        "fig7_5",
-        "fig7_6",
-        "escape_rates",
-    ];
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    for bin in bins {
-        let path = dir.join(bin);
-        let status = Command::new(&path)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
-        if !status.success() {
-            eprintln!("{bin} exited with {status}");
-            std::process::exit(1);
-        }
-    }
+    std::process::exit(arcc_exp::repro_all_main());
 }

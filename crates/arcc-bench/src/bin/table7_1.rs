@@ -1,50 +1,10 @@
-//! Table 7.1: memory configurations, plus the scheme descriptor table of
-//! Chapter 2 that motivates them.
-
-use arcc_bench::banner;
-use arcc_core::SchemeKind;
-use arcc_mem::SystemConfig;
+//! Table 7.1: memory configurations, plus the Chapter 2 scheme
+//! descriptor table that motivates them.
+//!
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner("Table 7.1", "Memory configurations");
-    println!(
-        "{:<10} {:<6} {:<5} {:>5} {:>11} {:>10} {:>14}",
-        "Name", "Tech", "I/O", "Chan", "Ranks/Chan", "Rank Size", "Total devices"
-    );
-    for (name, cfg) in [
-        ("Baseline", SystemConfig::sccdcd_baseline()),
-        ("ARCC", SystemConfig::arcc_x8()),
-    ] {
-        println!(
-            "{:<10} {:<6} {:<5} {:>5} {:>11} {:>10} {:>14}",
-            name,
-            "DDR2",
-            format!("X{}", cfg.device.io_width),
-            cfg.channels,
-            cfg.geometry.ranks,
-            cfg.devices_per_rank,
-            cfg.total_devices(),
-        );
-    }
-
-    banner("Chapter 2", "Chipkill scheme descriptors");
-    println!(
-        "{:<42} {:>5} {:>7} {:>9} {:>8} {:>8} {:>16}",
-        "Scheme", "rank", "checks", "overhead", "rd cost", "wr cost", "correct/detect"
-    );
-    for kind in SchemeKind::ALL {
-        let d = kind.descriptor();
-        println!(
-            "{:<42} {:>5} {:>7} {:>8.1}% {:>8.2} {:>8.2} {:>11}+{}/{}",
-            d.name,
-            d.rank_size,
-            d.check_symbols,
-            d.storage_overhead * 100.0,
-            d.relative_read_cost(),
-            d.relative_write_cost(),
-            d.guarantees.correct,
-            d.guarantees.sequential_correct,
-            d.guarantees.detect,
-        );
-    }
+    arcc_exp::main_for("table7_1");
 }

@@ -1,38 +1,10 @@
 //! Table 7.4: fraction of pages upgraded per device-level fault type,
-//! derived from the channel geometry rather than hard-coded.
-
-use arcc_bench::banner;
-use arcc_faults::{FaultGeometry, FaultMode, FitRates};
+//! derived from the channel geometry.
+//!
+//! Shim: the logic lives in the `arcc-exp` scenario registry; knobs are
+//! typed on `arcc_exp::Experiment` (legacy `ARCC_*` env vars honoured as
+//! a deprecated fallback).
 
 fn main() {
-    banner(
-        "Table 7.4",
-        "Fault modelling details (fraction of pages upgraded)",
-    );
-    let g = FaultGeometry::paper_channel();
-    let rates = FitRates::sridharan_sc12();
-    println!(
-        "{:<22} {:>18} {:>12}",
-        "Fault type", "pages upgraded", "FIT/device"
-    );
-    for mode in FaultMode::ALL.iter().rev() {
-        let frac = g.affected_page_fraction(*mode);
-        let display = if frac >= 0.01 {
-            format!("{:.2}% (1/{:.0})", frac * 100.0, 1.0 / frac)
-        } else {
-            format!("{:.6}%", frac * 100.0)
-        };
-        println!(
-            "{:<22} {:>18} {:>12.1}",
-            mode.name(),
-            display,
-            rates.fit(*mode)
-        );
-    }
-    println!();
-    println!("Paper rows: lane 100%, device 1/2, subbank 1/16, column 1/32 — the");
-    println!(
-        "geometry above reproduces them ({} ranks x {} banks, 2 pages/row).",
-        g.ranks, g.banks
-    );
+    arcc_exp::main_for("table7_4");
 }

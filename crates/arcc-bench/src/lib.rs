@@ -1,61 +1,56 @@
 //! Shared harness for the experiment binaries that regenerate every table
 //! and figure of the ARCC paper.
 //!
-//! Each binary under `src/bin/` reproduces one artefact (see DESIGN.md §5
-//! for the index); `repro_all` chains them. Knobs are environment
-//! variables so CI can run cheap versions:
+//! Each binary under `src/bin/` is a thin shim over the in-process
+//! scenario registry in [`arcc_exp`] (`arcc::exp`): it calls
+//! [`arcc_exp::main_for`] with its artefact name, and `repro_all` loops
+//! the whole registry via [`arcc_exp::repro_all_main`], writing JSON
+//! reports under `target/repro/`.
 //!
-//! * `ARCC_TRACE_REQUESTS` — requests per mix simulation (default 120 000);
-//! * `ARCC_MC_CHANNELS` — Monte-Carlo channels/machines (default 10 000);
-//! * `ARCC_MC_MACHINES` — machines for the SDC study (default 200 000).
+//! Knobs are typed on [`arcc_exp::Experiment`]; the legacy environment
+//! variables (`ARCC_TRACE_REQUESTS`, `ARCC_MC_CHANNELS`,
+//! `ARCC_MC_MACHINES`) survive as a deprecated fallback through
+//! [`arcc_exp::Experiment::from_env`], which the shims use so existing CI
+//! configurations keep working.
 
-use arcc_core::{MixResult, SimConfig, SystemSim};
+use arcc_core::MixResult;
+use arcc_exp::Experiment;
 use arcc_trace::{Mix, TraceConfig};
 
 /// Requests per trace simulation (env `ARCC_TRACE_REQUESTS`).
+#[deprecated(note = "use arcc_exp::Experiment::trace_requests / from_env")]
 pub fn trace_requests() -> usize {
-    std::env::var("ARCC_TRACE_REQUESTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(120_000)
+    Experiment::from_env().trace_config().requests
 }
 
 /// Channels for lifetime Monte Carlos (env `ARCC_MC_CHANNELS`).
+#[deprecated(note = "use arcc_exp::Experiment::mc_channels / from_env")]
 pub fn mc_channels() -> u32 {
-    std::env::var("ARCC_MC_CHANNELS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10_000)
+    Experiment::from_env().mc_channel_count()
 }
 
 /// Machines for the SDC Monte Carlo (env `ARCC_MC_MACHINES`).
+#[deprecated(note = "use arcc_exp::Experiment::mc_machines / from_env")]
 pub fn mc_machines() -> u32 {
-    std::env::var("ARCC_MC_MACHINES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200_000)
+    Experiment::from_env().mc_machine_count()
 }
 
 /// The deterministic trace configuration shared by all experiments.
+#[deprecated(note = "use arcc_exp::Experiment::trace_config")]
 pub fn trace_config() -> TraceConfig {
-    TraceConfig {
-        requests: trace_requests(),
-        seed: 0xA2CC,
-    }
+    Experiment::from_env().trace_config()
 }
 
 /// Runs one mix under the SCCDCD baseline.
+#[deprecated(note = "use arcc_exp::Experiment::run_baseline")]
 pub fn run_baseline(mix: &Mix) -> MixResult {
-    let mut cfg = SimConfig::baseline();
-    cfg.trace = trace_config();
-    SystemSim::new(cfg).run_mix(mix)
+    Experiment::from_env().run_baseline(mix)
 }
 
 /// Runs one mix under ARCC with the given upgraded-page fraction.
+#[deprecated(note = "use arcc_exp::Experiment::run_arcc")]
 pub fn run_arcc(mix: &Mix, upgraded_fraction: f64) -> MixResult {
-    let mut cfg = SimConfig::arcc(upgraded_fraction);
-    cfg.trace = trace_config();
-    SystemSim::new(cfg).run_mix(mix)
+    Experiment::from_env().run_arcc(mix, upgraded_fraction)
 }
 
 /// Prints a figure/table banner.
@@ -103,10 +98,12 @@ mod tests {
     }
 
     #[test]
-    fn env_defaults() {
-        // Without env vars set, defaults apply.
+    #[allow(deprecated)]
+    fn env_fallbacks_still_answer() {
+        // The deprecated wrappers delegate to Experiment::from_env.
         assert!(trace_requests() >= 1000);
         assert!(mc_channels() >= 100);
         assert!(mc_machines() >= 100);
+        assert_eq!(trace_config().requests, trace_requests());
     }
 }

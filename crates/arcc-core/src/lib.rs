@@ -41,6 +41,6 @@ pub use image::{FunctionalMemory, InjectedFault, ReadEvent};
 pub use page::{PageTable, ProtectionMode};
 pub use schemes::{ArccApplication, ArccScheme, SchemeDescriptor, SchemeKind};
 pub use scrub::{ScrubCost, ScrubOutcome, ScrubStrategy, Scrubber};
-pub use system::{MixResult, SimConfig, SystemSim};
+pub use system::{cell_seed, splitmix64, MixResult, SimConfig, SimConfigBuilder, SystemSim};
 pub use timeline::{run_timeline, LifetimeReport, ScheduledFault, TimelineConfig, TimelineEvent};
 pub use upgrade::UpgradeEngine;

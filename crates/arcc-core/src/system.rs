@@ -52,6 +52,98 @@ impl SimConfig {
             trace: TraceConfig::default(),
         }
     }
+
+    /// A typed builder starting from the fault-free ARCC configuration.
+    ///
+    /// ```
+    /// use arcc_core::SimConfig;
+    ///
+    /// let cfg = SimConfig::builder()
+    ///     .baseline()
+    ///     .trace_requests(10_000)
+    ///     .trace_seed(7)
+    ///     .build();
+    /// assert!(!cfg.arcc);
+    /// assert_eq!(cfg.trace.requests, 10_000);
+    /// ```
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: Self::arcc(0.0),
+        }
+    }
+
+    /// Sweep hook: this configuration re-seeded for sweep cell `cell`.
+    ///
+    /// Derives a deterministic per-cell trace seed via [`cell_seed`] —
+    /// the same derivation the `arcc-exp` sweep engine uses for its
+    /// Monte-Carlo cells — so sweep engines can give every cell an
+    /// independent trace while keeping results bit-identical regardless
+    /// of the order (or parallelism) in which cells execute. Every cell,
+    /// including cell 0, is reseeded.
+    pub fn for_cell(&self, cell: u64) -> Self {
+        let mut cfg = self.clone();
+        cfg.trace.seed = cell_seed(self.trace.seed, cell);
+        cfg
+    }
+}
+
+/// Builder for [`SimConfig`] (see [`SimConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Switches to the commercial SCCDCD baseline scheme.
+    pub fn baseline(mut self) -> Self {
+        self.cfg.mem = SystemConfig::sccdcd_baseline();
+        self.cfg.arcc = false;
+        self.cfg.upgraded_fraction = 0.0;
+        self
+    }
+
+    /// Switches to ARCC with the given upgraded-page fraction.
+    pub fn arcc(mut self, upgraded_fraction: f64) -> Self {
+        self.cfg.mem = SystemConfig::arcc_x8();
+        self.cfg.arcc = true;
+        self.cfg.upgraded_fraction = upgraded_fraction;
+        self
+    }
+
+    /// Sets the fraction of pages in upgraded mode.
+    pub fn upgraded_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.upgraded_fraction = fraction;
+        self
+    }
+
+    /// Sets the trace length in requests.
+    pub fn trace_requests(mut self, requests: usize) -> Self {
+        self.cfg.trace.requests = requests;
+        self
+    }
+
+    /// Sets the trace RNG seed.
+    pub fn trace_seed(mut self, seed: u64) -> Self {
+        self.cfg.trace.seed = seed;
+        self
+    }
+
+    /// Replaces the LLC geometry.
+    pub fn llc(mut self, llc: CacheConfig) -> Self {
+        self.cfg.llc = llc;
+        self
+    }
+
+    /// Replaces the memory-system configuration.
+    pub fn mem(mut self, mem: SystemConfig) -> Self {
+        self.cfg.mem = mem;
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(self) -> SimConfig {
+        self.cfg
+    }
 }
 
 /// Result of simulating one mix under one configuration.
@@ -63,7 +155,7 @@ pub struct MixResult {
     pub power_mw: f64,
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
-    /// Performance (sum of the four cores' IPCs).
+    /// Performance (sum of the per-core IPCs).
     pub perf: MixPerformance,
     /// Mean demand-read latency in memory cycles.
     pub avg_read_latency: f64,
@@ -77,6 +169,24 @@ pub struct MixResult {
     pub sim_cycles: u64,
 }
 
+/// The splitmix64 finaliser: a cheap, high-quality 64-bit mix used for
+/// deterministic page-set assignment and per-cell sweep seeds.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic seed for sweep cell `cell` under base seed `base`
+/// (splitmix64 of the golden-ratio-spread cell index). The single source
+/// of truth for per-cell seeds: [`SimConfig::for_cell`] and the
+/// `arcc-exp` sweep engine both derive from it, so a cell's results are
+/// comparable across both paths.
+pub fn cell_seed(base: u64, cell: u64) -> u64 {
+    splitmix64(base.wrapping_add(cell.wrapping_mul(0x9E3779B97F4A7C15)))
+}
+
 /// Deterministically assigns pages to upgraded mode with probability
 /// `fraction` (splitmix64 hash), so equal fractions give equal page sets
 /// across configurations.
@@ -87,11 +197,7 @@ pub fn page_is_upgraded(page: u64, fraction: f64) -> bool {
     if fraction >= 1.0 {
         return true;
     }
-    let mut z = page.wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^= z >> 31;
-    (z as f64 / u64::MAX as f64) < fraction
+    (splitmix64(page) as f64 / u64::MAX as f64) < fraction
 }
 
 /// Worst-case power factor of the paper's "worst case est." bars: with no
@@ -143,17 +249,21 @@ impl SystemSim {
         let cfg = &self.config;
         let workload = generate_mix(mix, &cfg.trace);
         let profiles = mix.profiles();
+        let cores = profiles.len();
         let mut llc = PairedTagLlc::new(cfg.llc);
         let mut mem = MemorySystem::new(cfg.mem.clone());
 
-        // Closed-loop core state.
-        let mut core_clock = [0.0f64; 4]; // memory-cycle domain
-        let mut last_trace_arrival = [0u64; 4];
-        let mut outstanding: [std::collections::VecDeque<u64>; 4] = Default::default();
-        let windows: [usize; 4] = std::array::from_fn(|c| (profiles[c].mlp.ceil() as usize).max(1));
+        // Closed-loop core state, one slot per core in the mix.
+        let mut core_clock = vec![0.0f64; cores]; // memory-cycle domain
+        let mut last_trace_arrival = vec![0u64; cores];
+        let mut outstanding = vec![std::collections::VecDeque::<u64>::new(); cores];
+        let windows: Vec<usize> = profiles
+            .iter()
+            .map(|p| (p.mlp.ceil() as usize).max(1))
+            .collect();
 
-        let mut lat_sum = [0.0f64; 4];
-        let mut lat_n = [0u64; 4];
+        let mut lat_sum = vec![0.0f64; cores];
+        let mut lat_n = vec![0u64; cores];
         let mut mem_requests = 0u64;
 
         for r in &workload.requests {
@@ -214,7 +324,7 @@ impl SystemSim {
             }
         }
         // Drain: cores wait for their last misses.
-        for core in 0..4 {
+        for core in 0..cores {
             if let Some(&last) = outstanding[core].back() {
                 core_clock[core] = core_clock[core].max(last as f64);
             }
@@ -223,15 +333,17 @@ impl SystemSim {
         let stats = mem.finish();
 
         // Direct per-core IPC from the simulated timeline.
-        let mut core_ipc = [0.0f64; 4];
-        for c in 0..4 {
-            let cpu_cycles = core_clock[c].max(1.0) * arcc_trace::perf::CPU_CYCLES_PER_MEM_CYCLE;
-            core_ipc[c] = workload.instructions[c] as f64 / cpu_cycles;
-        }
+        let core_ipc: Vec<f64> = (0..cores)
+            .map(|c| {
+                let cpu_cycles =
+                    core_clock[c].max(1.0) * arcc_trace::perf::CPU_CYCLES_PER_MEM_CYCLE;
+                workload.instructions[c] as f64 / cpu_cycles
+            })
+            .collect();
         let perf = MixPerformance {
             name: mix.name,
-            core_ipc,
             total_ipc: core_ipc.iter().sum(),
+            core_ipc,
         };
 
         let total_lat: f64 = lat_sum.iter().sum();
@@ -278,6 +390,16 @@ mod tests {
         assert!(page_is_upgraded(7, 1.0));
         assert!(!page_is_upgraded(7, 0.0));
         assert_eq!(page_is_upgraded(123, 0.5), page_is_upgraded(123, 0.5));
+    }
+
+    #[test]
+    fn for_cell_uses_the_shared_cell_seed_derivation() {
+        let cfg = SimConfig::arcc(0.0);
+        assert_eq!(cfg.for_cell(3).trace.seed, cell_seed(cfg.trace.seed, 3));
+        assert_ne!(cfg.for_cell(0).trace.seed, cfg.for_cell(1).trace.seed);
+        // Only the trace seed changes.
+        assert_eq!(cfg.for_cell(5).trace.requests, cfg.trace.requests);
+        assert_eq!(cfg.for_cell(5).upgraded_fraction, cfg.upgraded_fraction);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! **`arcc-exp`** — the unified experiment API of the ARCC workspace
+//! (re-exported as `arcc::exp`).
+//!
+//! The paper's evaluation is a grid of scenarios — schemes × workload
+//! mixes × upgraded-page fractions × Monte-Carlo depths. This crate makes
+//! that grid a first-class, typed, parallel API instead of a zoo of
+//! hand-rolled binaries and environment variables:
+//!
+//! * [`Experiment`] — a builder carrying every knob (trace length and
+//!   seed, Monte-Carlo channels/machines, mix filter, scheme selection,
+//!   upgraded-fraction grid, worker count). The legacy `ARCC_*`
+//!   environment variables survive as the deprecated
+//!   [`Experiment::from_env`] fallback.
+//! * [`Scenario`] + [`registry`] — the ~13 named paper artefacts
+//!   (`fig_layouts`, `table7_1`, `table7_4`, `fig3_1`, `motivation`,
+//!   `fig6_1`, `fig7_1`–`fig7_6`, `escape_rates`), each runnable
+//!   in-process via [`run`]. The figure binaries in `arcc-bench` are thin
+//!   shims; `repro_all` is an in-process loop ([`run_all`]) rather than a
+//!   subprocess chain.
+//! * [`sweep`] — a deterministic parallel sweep engine: ordered
+//!   [`parallel_map`] over `std::thread::scope`, per-cell seeds
+//!   ([`cell_seed`]), and Monte-Carlo channel sharding
+//!   ([`lifetime_curve_sharded`]). Parallel runs are bit-identical to
+//!   sequential ones for the same seeds.
+//! * [`Report`] — structured results (metadata + typed tables + notes)
+//!   with human-table, CSV, and hand-rolled JSON emitters; `repro_all`
+//!   writes them to `target/repro/*.json` for trajectory tooling.
+//!
+//! # Running a paper artefact
+//!
+//! ```
+//! use arcc_exp::Experiment;
+//!
+//! // Quick-mode knobs; the same call at the defaults reproduces the
+//! // paper-scale figure.
+//! let exp = Experiment::quick().trace_requests(2_000).mixes(["Mix1"]);
+//! let report = arcc_exp::run("fig7_1", &exp).unwrap();
+//!
+//! // Typed access to the results...
+//! let saving = report.meta_value("avg_power_saving").unwrap().as_f64().unwrap();
+//! assert!(saving > 0.0, "ARCC saves power fault-free");
+//!
+//! // ...and machine-readable emission.
+//! assert!(report.to_json().starts_with("{\"scenario\":\"fig7_1\""));
+//! assert!(report.to_csv().contains("baseline_power_mw"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod scenarios;
+pub mod sweep;
+
+pub use experiment::{Experiment, DEFAULT_FRACTION_GRID};
+pub use report::{Report, Table, Value};
+pub use runner::{default_report_dir, main_for, repro_all_main, run_all, run_and_print};
+pub use scenario::{find, names, registry, run, ExpError, Scenario};
+pub use sweep::{cell_seed, default_threads, lifetime_curve_sharded, parallel_map, MC_CHUNK};

@@ -1,0 +1,132 @@
+//! Driving scenarios from binaries: single-artefact shims and the
+//! in-process `repro_all` loop with JSON report emission.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use crate::experiment::Experiment;
+use crate::report::Report;
+use crate::scenario::{registry, run, ExpError, Scenario};
+
+/// Runs one scenario and prints its human rendering to stdout.
+pub fn run_and_print(name: &str, exp: &Experiment) -> Result<Report, ExpError> {
+    let report = run(name, exp)?;
+    print!("{}", report.render());
+    Ok(report)
+}
+
+/// Entry point for the single-artefact shim binaries under `arcc-bench`:
+/// builds an [`Experiment`] from the deprecated `ARCC_*` environment
+/// fallback, runs `name`, prints the rendering, and exits.
+pub fn main_for(name: &str) -> ! {
+    let exp = Experiment::from_env();
+    match run_and_print(name, &exp) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_caught(s: &'static dyn Scenario, exp: &Experiment) -> Result<Report, ExpError> {
+    catch_unwind(AssertUnwindSafe(|| s.run(exp))).map_err(|payload| ExpError::ScenarioPanicked {
+        name: s.name(),
+        message: panic_message(payload),
+    })
+}
+
+/// Runs every registered scenario in order, printing each rendering and
+/// writing `<out_dir>/<name>.json`.
+///
+/// Stops at the first failure: a panicking scenario is reported by name
+/// (instead of the process dying inside it), so `repro_all` can exit
+/// non-zero with a useful message.
+pub fn run_all(exp: &Experiment, out_dir: &Path) -> Result<Vec<Report>, ExpError> {
+    std::fs::create_dir_all(out_dir).map_err(|error| ExpError::Io {
+        path: out_dir.to_path_buf(),
+        error,
+    })?;
+    let mut reports = Vec::new();
+    for s in registry() {
+        let report = run_caught(*s, exp)?;
+        print!("{}", report.render());
+        let path = out_dir.join(format!("{}.json", report.scenario));
+        std::fs::write(&path, report.to_json()).map_err(|error| ExpError::Io { path, error })?;
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+/// Report directory: `ARCC_REPORT_DIR` if set, else `target/repro`
+/// (resolved against `CARGO_TARGET_DIR`-less workspace-root invocation,
+/// which is how `cargo run` launches the binaries).
+pub fn default_report_dir() -> PathBuf {
+    std::env::var_os("ARCC_REPORT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("repro"))
+}
+
+/// Entry point for the `repro_all` binary: runs the whole registry
+/// in-process, returns the process exit code. On failure the failing
+/// scenario's name is printed to stderr.
+pub fn repro_all_main() -> i32 {
+    let exp = Experiment::from_env();
+    let dir = default_report_dir();
+    match run_all(&exp, &dir) {
+        Ok(reports) => {
+            println!();
+            println!(
+                "repro_all: {} scenarios OK, reports under {}",
+                reports.len(),
+                dir.display()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("repro_all FAILED: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Panicker;
+    impl Scenario for Panicker {
+        fn name(&self) -> &'static str {
+            "panicker"
+        }
+        fn title(&self) -> &'static str {
+            "always panics"
+        }
+        fn run(&self, _exp: &Experiment) -> Report {
+            panic!("boom: {}", 42);
+        }
+    }
+
+    #[test]
+    fn panics_become_named_errors() {
+        static P: Panicker = Panicker;
+        // Silence the default hook's backtrace spam for this test.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = run_caught(&P, &Experiment::new()).unwrap_err();
+        std::panic::set_hook(prev);
+        let msg = err.to_string();
+        assert!(msg.contains("panicker"), "{msg}");
+        assert!(msg.contains("boom: 42"), "{msg}");
+    }
+}

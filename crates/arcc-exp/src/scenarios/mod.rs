@@ -1,0 +1,25 @@
+//! The thirteen paper artefacts as [`Scenario`](crate::Scenario)
+//! implementations. Each module groups related figures; the binaries in
+//! `arcc-bench` are shims over these via [`crate::run`].
+
+mod lifetime;
+mod power_perf;
+mod reliability;
+mod tables;
+
+pub use lifetime::{Fig3_1, Fig7_4, Fig7_5, Fig7_6};
+pub use power_perf::{Fig7_1, Fig7_2, Fig7_3, Motivation};
+pub use reliability::{EscapeRates, Fig6_1};
+pub use tables::{FigLayouts, Table7_1, Table7_4};
+
+use arcc_faults::FaultMode;
+
+/// The four device-level fault types of Figures 7.2/7.3, in paper order.
+/// The first element is the machine-readable column key used verbatim in
+/// report tables.
+pub(crate) const FAULT_TYPES: [(&str, FaultMode); 4] = [
+    ("lane", FaultMode::MultiRank),
+    ("device", FaultMode::MultiBank),
+    ("subbank", FaultMode::SingleBank),
+    ("column", FaultMode::SingleColumn),
+];

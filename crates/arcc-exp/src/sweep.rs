@@ -1,0 +1,170 @@
+//! Deterministic parallel sweep engine.
+//!
+//! Experiment grids (mixes × upgraded fractions × Monte-Carlo chunks) are
+//! embarrassingly parallel, but naive parallelism breaks reproducibility:
+//! shared RNG streams make results depend on scheduling. The engine here
+//! sidesteps that by construction:
+//!
+//! * every sweep **cell** is an independent computation with a
+//!   deterministic per-cell seed ([`cell_seed`]);
+//! * [`parallel_map`] always collects results in input order, so folding
+//!   them is bit-identical no matter how many workers ran or how the OS
+//!   scheduled them;
+//! * Monte-Carlo workloads are sharded into fixed-size channel chunks
+//!   ([`lifetime_curve_sharded`]), each chunk seeded by its index, and
+//!   combined in chunk order.
+//!
+//! Running any sweep with `threads = 1` therefore produces byte-identical
+//! output to running it with every core in the machine — a property the
+//! `arcc-exp` test suite pins.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use arcc_reliability::{lifetime_overhead_curve, LifetimeConfig, LifetimePoint, OverheadModel};
+
+/// Channels per Monte-Carlo shard (see [`lifetime_curve_sharded`]).
+pub const MC_CHUNK: u32 = 1024;
+
+/// Worker count for sweeps that were not given an explicit thread count:
+/// one per available hardware thread.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+pub use arcc_core::cell_seed;
+
+/// Maps `f` over `items` on up to `threads` workers, returning results in
+/// input order.
+///
+/// Work is distributed by an atomic cursor (cheap work stealing), but the
+/// result vector is indexed by item position, so the output — and any
+/// sequential fold over it — is invariant to scheduling. `f` receives the
+/// item index alongside the item so cells can derive per-cell seeds.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("every cell computed")
+        })
+        .collect()
+}
+
+/// The lifetime Monte Carlo of Figures 7.4–7.6, sharded over
+/// [`MC_CHUNK`]-channel cells so it uses every core.
+///
+/// Each shard runs [`lifetime_overhead_curve`] over its own channels with
+/// a [`cell_seed`]-derived seed; shard curves are combined by a
+/// channel-weighted average **in shard order**, so the result is
+/// bit-identical whether shards ran sequentially or in parallel.
+pub fn lifetime_curve_sharded(
+    threads: usize,
+    cfg: &LifetimeConfig,
+    model: &OverheadModel,
+) -> Vec<LifetimePoint> {
+    let mut chunks: Vec<u32> = Vec::new();
+    let mut left = cfg.channels.max(1);
+    while left > 0 {
+        let n = left.min(MC_CHUNK);
+        chunks.push(n);
+        left -= n;
+    }
+    let curves = parallel_map(threads, &chunks, |i, &n| {
+        let sub = LifetimeConfig {
+            channels: n,
+            seed: cell_seed(cfg.seed, i as u64),
+            ..*cfg
+        };
+        lifetime_overhead_curve(&sub, model)
+    });
+    let total: f64 = chunks.iter().map(|&n| n as f64).sum();
+    let years = cfg.years as usize;
+    let mut combined: Vec<LifetimePoint> = (0..years)
+        .map(|yi| LifetimePoint {
+            years: yi as f64 + 1.0,
+            rate_multiplier: cfg.rate_multiplier,
+            avg_overhead: 0.0,
+        })
+        .collect();
+    for (curve, &n) in curves.iter().zip(&chunks) {
+        for (acc, pt) in combined.iter_mut().zip(curve) {
+            acc.avg_overhead += pt.avg_overhead * (n as f64 / total);
+        }
+    }
+    combined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcc_faults::FaultGeometry;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq = parallel_map(1, &items, |i, &x| x * 2 + i as u64);
+        let par = parallel_map(8, &items, |i, &x| x * 2 + i as u64);
+        assert_eq!(seq, par);
+        assert_eq!(seq[3], 9);
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn cell_seeds_distinct_and_deterministic() {
+        let a = cell_seed(1, 0);
+        let b = cell_seed(1, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, cell_seed(1, 0));
+        assert_ne!(cell_seed(2, 0), a);
+    }
+
+    #[test]
+    fn sharded_curve_thread_invariant() {
+        let g = FaultGeometry::paper_channel();
+        let model = OverheadModel::worst_case_arcc_power(&g);
+        let cfg = LifetimeConfig {
+            channels: 2500, // three chunks, one partial
+            ..LifetimeConfig::default()
+        };
+        let seq = lifetime_curve_sharded(1, &cfg, &model);
+        let par = lifetime_curve_sharded(8, &cfg, &model);
+        assert_eq!(seq.len(), cfg.years as usize);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.avg_overhead.to_bits(), b.avg_overhead.to_bits());
+        }
+        assert!(seq.last().unwrap().avg_overhead > 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Emitter tests: CSV/JSON escaping, non-finite float handling, and a
+//! smoke-parse of the emitted JSON with a minimal in-test parser (the
+//! build is offline — no serde).
+
+use arcc_exp::{Report, Table, Value};
+
+fn sample_report() -> Report {
+    let mut report = Report::new("emitter_test", "Escaping and non-finite handling");
+    report.push_meta("seed", Value::Int(42));
+    report.push_meta("note", Value::from("quote \" comma , done"));
+    let mut t = Table::new("cells", &["label", "value"]);
+    t.push_row(vec![Value::from("plain"), Value::Float(1.5)]);
+    t.push_row(vec![Value::from("comma, field"), Value::Float(f64::NAN)]);
+    t.push_row(vec![
+        Value::from("quote \"q\" and\nnewline"),
+        Value::Float(f64::INFINITY),
+    ]);
+    t.push_row(vec![
+        Value::from("tab\tand\\backslash"),
+        Value::Float(f64::NEG_INFINITY),
+    ]);
+    t.push_row(vec![Value::Null, Value::Int(-7)]);
+    t.push_row(vec![Value::Bool(true), Value::Float(2.0)]);
+    report.push_table(t);
+    report.push_note("control char \u{1} survives escaped");
+    report
+}
+
+#[test]
+fn csv_escapes_rfc4180() {
+    let csv = sample_report().to_csv();
+    // Quoted comma field, doubled quotes, quoted newline.
+    assert!(csv.contains("\"comma, field\""), "{csv}");
+    assert!(csv.contains("\"quote \"\"q\"\" and\nnewline\""), "{csv}");
+    // Unquoted plain fields stay bare.
+    assert!(csv.contains("plain,1.5"), "{csv}");
+    // Non-finite floats keep their textual names in CSV.
+    assert!(csv.contains("NaN"), "{csv}");
+    assert!(csv.contains("inf"), "{csv}");
+    assert!(csv.contains("-inf"), "{csv}");
+    // Header line present and first.
+    assert!(csv.starts_with("# table: cells\nlabel,value\n"), "{csv}");
+}
+
+#[test]
+fn json_escapes_and_nulls_nonfinite() {
+    let json = sample_report().to_json();
+    assert!(json.contains(r#""quote \"q\" and\nnewline""#), "{json}");
+    assert!(json.contains(r#""tab\tand\\backslash""#), "{json}");
+    // The raw control char must not appear; its \u escape must.
+    assert!(!json.contains('\u{1}'), "{json}");
+    assert!(json.contains(r"control char \u0001 survives"), "{json}");
+    // JSON has no NaN/Infinity: they must be emitted as null.
+    assert!(!json.contains("NaN"), "{json}");
+    assert!(!json.to_lowercase().contains("inf"), "{json}");
+    assert!(json.contains("[\"comma, field\",null]"), "{json}");
+    // Integer-valued floats keep a dot so the column stays float-typed.
+    assert!(json.contains("[true,2.0]"), "{json}");
+}
+
+#[test]
+fn emitted_json_smoke_parses() {
+    let json = sample_report().to_json();
+    let value = parse_json(&json).expect("report JSON must parse");
+    // Shape: object with scenario/title/meta/tables/notes.
+    let obj = match value {
+        Json::Object(o) => o,
+        other => panic!("expected object, got {other:?}"),
+    };
+    assert_eq!(
+        obj.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+        vec!["scenario", "title", "meta", "tables", "notes"]
+    );
+    let tables = match &obj[3].1 {
+        Json::Array(a) => a,
+        other => panic!("tables not an array: {other:?}"),
+    };
+    assert_eq!(tables.len(), 1);
+    // And the real scenario registry output parses too.
+    let exp = arcc_exp::Experiment::quick()
+        .trace_requests(1_000)
+        .mixes(["Mix1"]);
+    let fig = arcc_exp::run("table7_1", &exp).unwrap();
+    parse_json(&fig.to_json()).expect("scenario JSON must parse");
+}
+
+// --- minimal JSON parser (test-only) ----------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut pos = 0;
+    let v = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing garbage at {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(c: &[char], p: &mut usize) {
+    while *p < c.len() && c[*p].is_whitespace() {
+        *p += 1;
+    }
+}
+
+fn expect(c: &[char], p: &mut usize, ch: char) -> Result<(), String> {
+    if *p < c.len() && c[*p] == ch {
+        *p += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {ch:?} at {p}"))
+    }
+}
+
+fn parse_value(c: &[char], p: &mut usize) -> Result<Json, String> {
+    skip_ws(c, p);
+    match c.get(*p) {
+        Some('{') => {
+            *p += 1;
+            let mut out = Vec::new();
+            skip_ws(c, p);
+            if c.get(*p) == Some(&'}') {
+                *p += 1;
+                return Ok(Json::Object(out));
+            }
+            loop {
+                skip_ws(c, p);
+                let key = match parse_value(c, p)? {
+                    Json::String(s) => s,
+                    other => return Err(format!("non-string key {other:?}")),
+                };
+                skip_ws(c, p);
+                expect(c, p, ':')?;
+                out.push((key, parse_value(c, p)?));
+                skip_ws(c, p);
+                match c.get(*p) {
+                    Some(',') => *p += 1,
+                    Some('}') => {
+                        *p += 1;
+                        return Ok(Json::Object(out));
+                    }
+                    other => return Err(format!("bad object separator {other:?}")),
+                }
+            }
+        }
+        Some('[') => {
+            *p += 1;
+            let mut out = Vec::new();
+            skip_ws(c, p);
+            if c.get(*p) == Some(&']') {
+                *p += 1;
+                return Ok(Json::Array(out));
+            }
+            loop {
+                out.push(parse_value(c, p)?);
+                skip_ws(c, p);
+                match c.get(*p) {
+                    Some(',') => *p += 1,
+                    Some(']') => {
+                        *p += 1;
+                        return Ok(Json::Array(out));
+                    }
+                    other => return Err(format!("bad array separator {other:?}")),
+                }
+            }
+        }
+        Some('"') => {
+            *p += 1;
+            let mut out = String::new();
+            while let Some(&ch) = c.get(*p) {
+                *p += 1;
+                match ch {
+                    '"' => return Ok(Json::String(out)),
+                    '\\' => {
+                        let esc = c.get(*p).ok_or("eof in escape")?;
+                        *p += 1;
+                        match esc {
+                            '"' => out.push('"'),
+                            '\\' => out.push('\\'),
+                            '/' => out.push('/'),
+                            'n' => out.push('\n'),
+                            't' => out.push('\t'),
+                            'r' => out.push('\r'),
+                            'b' => out.push('\u{8}'),
+                            'f' => out.push('\u{c}'),
+                            'u' => {
+                                let hex: String = c[*p..*p + 4].iter().collect();
+                                *p += 4;
+                                let code =
+                                    u32::from_str_radix(&hex, 16).map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                    }
+                    ch if (ch as u32) < 0x20 => return Err("unescaped control char".to_string()),
+                    ch => out.push(ch),
+                }
+            }
+            Err("eof in string".to_string())
+        }
+        Some('t') if c[*p..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *p += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if c[*p..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *p += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if c[*p..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *p += 4;
+            Ok(Json::Null)
+        }
+        Some(&ch) if ch == '-' || ch.is_ascii_digit() => {
+            let start = *p;
+            while *p < c.len()
+                && (c[*p].is_ascii_digit() || matches!(c[*p], '-' | '+' | '.' | 'e' | 'E'))
+            {
+                *p += 1;
+            }
+            let text: String = c[start..*p].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Number)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+        other => Err(format!("unexpected {other:?} at {p}")),
+    }
+}

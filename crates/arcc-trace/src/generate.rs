@@ -34,7 +34,7 @@ pub struct TraceRequest {
     pub line: u64,
     /// Writeback (true) or demand read (false).
     pub write: bool,
-    /// Core (0..4) that produced the request.
+    /// Core that produced the request.
     pub core: u8,
 }
 
@@ -45,8 +45,9 @@ pub struct MixWorkload {
     pub mix: Mix,
     /// Requests sorted by arrival cycle.
     pub requests: Vec<TraceRequest>,
-    /// Instructions each core executed while producing its share.
-    pub instructions: [u64; 4],
+    /// Instructions each core executed while producing its share (one
+    /// entry per core in the mix).
+    pub instructions: Vec<u64>,
 }
 
 /// Per-core miss-stream generator.
@@ -140,9 +141,11 @@ impl TraceGenerator {
     }
 }
 
-/// Generates the merged 4-core trace for `mix`.
+/// Generates the merged multi-core trace for `mix` (one generator per
+/// benchmark; the paper's mixes are quad-core).
 pub fn generate_mix(mix: &Mix, cfg: &TraceConfig) -> MixWorkload {
     let profiles = mix.profiles();
+    let cores = profiles.len();
     let mut gens: Vec<TraceGenerator> = profiles
         .iter()
         .enumerate()
@@ -150,14 +153,14 @@ pub fn generate_mix(mix: &Mix, cfg: &TraceConfig) -> MixWorkload {
         .collect();
     // Pending next-event per core for time-ordered merging.
     let mut pending: Vec<(TraceRequest, Option<TraceRequest>)> =
-        (0..4).map(|c| gens[c].next_access(c as u8)).collect();
+        (0..cores).map(|c| gens[c].next_access(c as u8)).collect();
 
     let mut out = Vec::with_capacity(cfg.requests);
     while out.len() < cfg.requests {
         // Pick the core whose pending read arrives first.
-        let c = (0..4)
+        let c = (0..cores)
             .min_by_key(|&i| pending[i].0.arrival)
-            .expect("four cores");
+            .expect("at least one core");
         let (read, wb) = pending[c];
         out.push(read);
         if let Some(w) = wb {
@@ -168,12 +171,7 @@ pub fn generate_mix(mix: &Mix, cfg: &TraceConfig) -> MixWorkload {
         pending[c] = gens[c].next_access(c as u8);
     }
     out.sort_by_key(|r| r.arrival);
-    let instructions = [
-        gens[0].instructions(),
-        gens[1].instructions(),
-        gens[2].instructions(),
-        gens[3].instructions(),
-    ];
+    let instructions = gens.iter().map(|g| g.instructions()).collect();
     MixWorkload {
         mix: *mix,
         requests: out,

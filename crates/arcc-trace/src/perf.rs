@@ -47,24 +47,35 @@ pub fn core_ipc(p: &BenchmarkProfile, avg_read_latency_mem_cycles: f64) -> f64 {
 pub struct MixPerformance {
     /// Mix name.
     pub name: &'static str,
-    /// Per-core IPCs.
-    pub core_ipc: [f64; 4],
-    /// The paper's metric: sum of the four IPCs.
+    /// Per-core IPCs (one entry per core in the mix).
+    pub core_ipc: Vec<f64>,
+    /// The paper's metric: sum of the per-core IPCs.
     pub total_ipc: f64,
 }
 
 /// Computes a mix's performance from per-core average read latencies (in
 /// memory cycles).
-pub fn mix_performance(mix: &Mix, per_core_latency_mem: [f64; 4]) -> MixPerformance {
+///
+/// # Panics
+///
+/// Panics if `per_core_latency_mem` has a different length than the mix's
+/// benchmark list.
+pub fn mix_performance(mix: &Mix, per_core_latency_mem: &[f64]) -> MixPerformance {
     let profiles = mix.profiles();
-    let mut core_ipc_arr = [0.0f64; 4];
-    for c in 0..4 {
-        core_ipc_arr[c] = core_ipc(profiles[c], per_core_latency_mem[c]);
-    }
+    assert_eq!(
+        profiles.len(),
+        per_core_latency_mem.len(),
+        "one latency per core"
+    );
+    let core_ipc_vec: Vec<f64> = profiles
+        .iter()
+        .zip(per_core_latency_mem)
+        .map(|(p, &lat)| core_ipc(p, lat))
+        .collect();
     MixPerformance {
         name: mix.name,
-        core_ipc: core_ipc_arr,
-        total_ipc: core_ipc_arr.iter().sum(),
+        total_ipc: core_ipc_vec.iter().sum(),
+        core_ipc: core_ipc_vec,
     }
 }
 
@@ -105,7 +116,7 @@ mod tests {
     #[test]
     fn mix_performance_sums_cores() {
         let mix = paper_mixes()[0];
-        let perf = mix_performance(&mix, [15.0; 4]);
+        let perf = mix_performance(&mix, &[15.0; 4]);
         let sum: f64 = perf.core_ipc.iter().sum();
         assert!((perf.total_ipc - sum).abs() < 1e-12);
         assert!(perf.total_ipc > 0.0 && perf.total_ipc < 8.0);

@@ -265,29 +265,35 @@ pub fn spec_profile(name: &str) -> Option<&'static BenchmarkProfile> {
     ALL_PROFILES.iter().find(|p| p.name == name)
 }
 
-/// A 4-benchmark multiprogrammed mix.
+/// A multiprogrammed mix: one benchmark per core.
+///
+/// The paper's mixes are quad-core (Table 7.3), but the core count is
+/// derived from the benchmark list, so future trace configurations with
+/// more or fewer cores flow through the whole stack unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mix {
     /// Mix name ("Mix1".."Mix12").
     pub name: &'static str,
-    /// The four benchmarks, one per core.
-    pub benchmarks: [&'static str; 4],
+    /// The benchmarks, one per core.
+    pub benchmarks: &'static [&'static str],
 }
 
 impl Mix {
-    /// Profiles of the four benchmarks.
+    /// Number of cores (one per benchmark).
+    pub fn cores(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Profiles of the benchmarks, one per core.
     ///
     /// # Panics
     ///
     /// Panics if a name is unknown (cannot happen for [`paper_mixes`]).
-    pub fn profiles(&self) -> [&'static BenchmarkProfile; 4] {
-        let get = |n| spec_profile(n).unwrap_or_else(|| panic!("unknown benchmark {n}"));
-        [
-            get(self.benchmarks[0]),
-            get(self.benchmarks[1]),
-            get(self.benchmarks[2]),
-            get(self.benchmarks[3]),
-        ]
+    pub fn profiles(&self) -> Vec<&'static BenchmarkProfile> {
+        self.benchmarks
+            .iter()
+            .map(|n| spec_profile(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+            .collect()
     }
 }
 
@@ -296,51 +302,51 @@ pub fn paper_mixes() -> Vec<Mix> {
     vec![
         Mix {
             name: "Mix1",
-            benchmarks: ["mesa", "leslie3d", "GemsFDTD", "fma3d"],
+            benchmarks: &["mesa", "leslie3d", "GemsFDTD", "fma3d"],
         },
         Mix {
             name: "Mix2",
-            benchmarks: ["omnetpp", "soplex", "apsi", "mesa"],
+            benchmarks: &["omnetpp", "soplex", "apsi", "mesa"],
         },
         Mix {
             name: "Mix3",
-            benchmarks: ["sphinx3", "calculix", "omnetpp", "wupwise"],
+            benchmarks: &["sphinx3", "calculix", "omnetpp", "wupwise"],
         },
         Mix {
             name: "Mix4",
-            benchmarks: ["lucas", "gromacs", "swim", "fma3di"],
+            benchmarks: &["lucas", "gromacs", "swim", "fma3di"],
         },
         Mix {
             name: "Mix5",
-            benchmarks: ["mesa", "swim", "apsi", "sphinx3"],
+            benchmarks: &["mesa", "swim", "apsi", "sphinx3"],
         },
         Mix {
             name: "Mix6",
-            benchmarks: ["sjeng", "swim", "facerec", "ammp"],
+            benchmarks: &["sjeng", "swim", "facerec", "ammp"],
         },
         Mix {
             name: "Mix7",
-            benchmarks: ["milc", "GemsFDTD", "leslie3d", "omnetpp"],
+            benchmarks: &["milc", "GemsFDTD", "leslie3d", "omnetpp"],
         },
         Mix {
             name: "Mix8",
-            benchmarks: ["facerec", "leslie3d", "ammp", "mgrid"],
+            benchmarks: &["facerec", "leslie3d", "ammp", "mgrid"],
         },
         Mix {
             name: "Mix9",
-            benchmarks: ["applu", "soplex", "mcf2006", "GemsFDTD"],
+            benchmarks: &["applu", "soplex", "mcf2006", "GemsFDTD"],
         },
         Mix {
             name: "Mix10",
-            benchmarks: ["mcf2006", "libquantum", "omnetpp", "astar"],
+            benchmarks: &["mcf2006", "libquantum", "omnetpp", "astar"],
         },
         Mix {
             name: "Mix11",
-            benchmarks: ["calculix", "swim", "art110", "omnetpp"],
+            benchmarks: &["calculix", "swim", "art110", "omnetpp"],
         },
         Mix {
             name: "Mix12",
-            benchmarks: ["lbm", "facerec", "h264ref", "ammp"],
+            benchmarks: &["lbm", "facerec", "h264ref", "ammp"],
         },
     ]
 }
