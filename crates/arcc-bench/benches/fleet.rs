@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the `arcc-fleet` event engine, plus the
+//! `BENCH_fleet.json` throughput record.
+//!
+//! The criterion groups time one shard and a small sharded fleet; after
+//! they run, a custom `main` measures end-to-end channels/second at
+//! 10 000 and 100 000 channels and writes `BENCH_fleet.json` (path
+//! overridable via `ARCC_BENCH_OUT`) so the perf trajectory of the
+//! engine is recorded from its first PR.
+
+use std::time::Instant;
+
+use arcc_fleet::{run_fleet, run_shard, FleetSpec};
+use criterion::{black_box, criterion_group, Criterion, Throughput};
+
+fn bench_shard(c: &mut Criterion) {
+    let spec = FleetSpec::baseline(4096);
+    let mut g = c.benchmark_group("fleet_shard");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("one_shard_4096_channels", |b| {
+        b.iter(|| run_shard(black_box(&spec), 0))
+    });
+    g.finish();
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let spec = FleetSpec::baseline(20_000);
+    let mut g = c.benchmark_group("fleet_run");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("sharded_20k_channels", |b| {
+        b.iter(|| run_fleet(black_box(4), black_box(&spec)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_shard, bench_fleet);
+
+/// Measures one fleet run end to end, returning (seconds, channels/sec).
+fn measure(channels: u64) -> (f64, f64) {
+    let threads = arcc_core::default_threads();
+    let spec = FleetSpec::baseline(channels);
+    let start = Instant::now();
+    let stats = run_fleet(threads, &spec);
+    assert_eq!(stats.channels, channels);
+    let secs = start.elapsed().as_secs_f64();
+    (secs, channels as f64 / secs)
+}
+
+fn main() {
+    benches();
+
+    // `cargo bench` passes `--bench`; anything else (notably `cargo test`,
+    // which runs harness = false bench targets as smoke tests) gets a tiny
+    // ladder and no throughput record.
+    if !std::env::args().any(|a| a == "--bench") {
+        let (secs, _) = measure(1_000);
+        println!("fleet smoke: 1000 channels in {secs:.3}s");
+        return;
+    }
+
+    let sizes = [10_000u64, 100_000u64];
+    let mut entries = Vec::new();
+    for &channels in &sizes {
+        let (secs, rate) = measure(channels);
+        println!("fleet throughput: {channels} channels in {secs:.3}s ({rate:.0} channels/sec)");
+        entries.push(format!(
+            "{{\"channels\":{channels},\"seconds\":{secs},\"channels_per_sec\":{rate}}}"
+        ));
+    }
+    let json = format!(
+        "{{\"bench\":\"fleet\",\"threads\":{},\"results\":[{}]}}\n",
+        arcc_core::default_threads(),
+        entries.join(",")
+    );
+    // Benches run with the package as CWD; anchor the record at the
+    // workspace root where the trajectory tooling looks for it.
+    let path = std::env::var("ARCC_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("fleet throughput record written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

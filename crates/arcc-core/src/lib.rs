@@ -30,6 +30,7 @@
 pub mod image;
 pub mod lotecc;
 pub mod page;
+pub mod par;
 pub mod schemes;
 pub mod scrub;
 pub mod system;
@@ -39,6 +40,7 @@ pub mod vecc;
 
 pub use image::{FunctionalMemory, InjectedFault, ReadEvent};
 pub use page::{PageTable, ProtectionMode};
+pub use par::{default_threads, parallel_map};
 pub use schemes::{ArccApplication, ArccScheme, SchemeDescriptor, SchemeKind};
 pub use scrub::{ScrubCost, ScrubOutcome, ScrubStrategy, Scrubber};
 pub use system::{cell_seed, splitmix64, MixResult, SimConfig, SimConfigBuilder, SystemSim};

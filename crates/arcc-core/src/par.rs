@@ -1,0 +1,99 @@
+//! Deterministic parallel primitives shared by the sweep and fleet
+//! engines.
+//!
+//! Naive parallelism breaks reproducibility: shared RNG streams make
+//! results depend on scheduling. The workspace-wide contract is instead
+//! built from two pieces that live here, next to [`cell_seed`]
+//! (see [`crate::system`]):
+//!
+//! * every unit of work is an independent computation with a
+//!   deterministic per-unit seed derived via [`cell_seed`];
+//! * [`parallel_map`] always collects results in input order, so any
+//!   sequential fold over them is bit-identical no matter how many
+//!   workers ran or how the OS scheduled them.
+//!
+//! `arcc-exp` re-exports these for experiment sweeps; `arcc-fleet` builds
+//! its sharded event-driven runner on the same primitives, so "parallel
+//! equals sequential byte-for-byte" holds across both engines by
+//! construction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+#[cfg(doc)]
+use crate::system::cell_seed;
+
+/// Worker count for jobs that were not given an explicit thread count:
+/// one per available hardware thread.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` workers, returning results in
+/// input order.
+///
+/// Work is distributed by an atomic cursor (cheap work stealing), but the
+/// result vector is indexed by item position, so the output — and any
+/// sequential fold over it — is invariant to scheduling. `f` receives the
+/// item index alongside the item so cells can derive per-cell seeds.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("every cell computed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq = parallel_map(1, &items, |i, &x| x * 2 + i as u64);
+        let par = parallel_map(8, &items, |i, &x| x * 2 + i as u64);
+        assert_eq!(seq, par);
+        assert_eq!(seq[3], 9);
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

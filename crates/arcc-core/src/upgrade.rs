@@ -204,6 +204,74 @@ mod tests {
     }
 
     #[test]
+    fn uncorrectable_line_mid_upgrade_surfaces_as_failed_page() {
+        // Two dead devices in the same 18-device relaxed span put two bad
+        // symbols into every even line's codeword — beyond the relaxed
+        // correct-1 guarantee — so the read-out half of the conversion
+        // raises a DUE and the page lands in `failed_pages`, not in
+        // `pages_upgraded`. The data is lost; the report must say so.
+        let mut mem = filled(2);
+        mem.inject_fault(InjectedFault::stuck_everywhere(3, 0xFF));
+        mem.inject_fault(InjectedFault::stuck_everywhere(7, 0x00));
+        let engine = UpgradeEngine::new();
+        let scrubber = Scrubber::new(ScrubStrategy::TestPattern);
+        let (outcome, report) = engine.scrub_and_upgrade(&mut mem, &scrubber);
+        assert_eq!(outcome.pages_with_errors, vec![0, 1]);
+        assert_eq!(report.failed_pages, vec![0, 1]);
+        assert!(report.pages_upgraded.is_empty());
+        assert!(report.pages_saturated.is_empty());
+        // The failed pages keep their (still unreadable) relaxed mode —
+        // the engine must not advance the page table past lost data.
+        assert_eq!(mem.page_table().mode(0), ProtectionMode::Relaxed);
+        assert_eq!(mem.page_table().mode(1), ProtectionMode::Relaxed);
+        assert!(mem.read_line(0).is_err(), "even lines stay uncorrectable");
+    }
+
+    #[test]
+    fn failed_pages_do_not_block_healthy_upgrades() {
+        // One uncorrectable page and one single-device page in the same
+        // scrub round: the engine must upgrade the latter while reporting
+        // the former, so a fleet-wide DUE never stalls the upgrade queue.
+        let mut mem = filled(2);
+        // Page 0: double fault in the channel-0 span (uncorrectable).
+        mem.inject_fault(InjectedFault {
+            device: 2,
+            first_page: 0,
+            last_page: 1,
+            behavior: crate::image::FaultBehavior::Stuck(0xAA),
+            transient: false,
+        });
+        mem.inject_fault(InjectedFault {
+            device: 9,
+            first_page: 0,
+            last_page: 1,
+            behavior: crate::image::FaultBehavior::Stuck(0x55),
+            transient: false,
+        });
+        // Page 1: a lone stuck device (correctable, upgradeable).
+        mem.inject_fault(InjectedFault {
+            device: 12,
+            first_page: 1,
+            last_page: 2,
+            behavior: crate::image::FaultBehavior::Stuck(0x00),
+            transient: false,
+        });
+        let engine = UpgradeEngine::new();
+        let scrubber = Scrubber::new(ScrubStrategy::TestPattern);
+        let (outcome, report) = engine.scrub_and_upgrade(&mut mem, &scrubber);
+        assert_eq!(outcome.pages_with_errors, vec![0, 1]);
+        assert_eq!(report.failed_pages, vec![0]);
+        assert_eq!(report.pages_upgraded, vec![1]);
+        assert_eq!(mem.page_table().mode(1), ProtectionMode::Upgraded);
+        // The upgraded page reads back intact through its fault.
+        for l in 64..128 {
+            let (data, _) = mem.read_line(l).unwrap();
+            let expect: Vec<u8> = (0..64).map(|i| (l as u8) ^ (i as u8)).collect();
+            assert_eq!(data, expect, "line {l}");
+        }
+    }
+
+    #[test]
     fn repeated_scrubs_converge() {
         let mut mem = filled(2);
         mem.inject_fault(InjectedFault::stuck_everywhere(5, 0x00));

@@ -13,7 +13,9 @@
 //!   [`Experiment::from_env`] fallback.
 //! * [`Scenario`] + [`registry`] — the ~13 named paper artefacts
 //!   (`fig_layouts`, `table7_1`, `table7_4`, `fig3_1`, `motivation`,
-//!   `fig6_1`, `fig7_1`–`fig7_6`, `escape_rates`), each runnable
+//!   `fig6_1`, `fig7_1`–`fig7_6`, `escape_rates`) plus the fleet-scale
+//!   studies over the `arcc-fleet` event engine (`fleet_baseline`,
+//!   `fleet_mixed_population`, `fleet_repair_policies`), each runnable
 //!   in-process via [`run`]. The figure binaries in `arcc-bench` are thin
 //!   shims; `repro_all` is an in-process loop ([`run_all`]) rather than a
 //!   subprocess chain.

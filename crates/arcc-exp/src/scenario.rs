@@ -4,9 +4,11 @@
 //! A [`Scenario`] turns an [`Experiment`] into a [`Report`]. The registry
 //! holds the ~13 artefacts of the paper's evaluation (`fig_layouts`,
 //! `table7_1`, `table7_4`, `fig3_1`, `motivation`, `fig6_1`,
-//! `fig7_1`–`fig7_6`, `escape_rates`); the figure/table binaries under
-//! `arcc-bench` are thin shims over [`crate::run`], and `repro_all` loops
-//! the whole registry in-process.
+//! `fig7_1`–`fig7_6`, `escape_rates`) plus the fleet-scale studies over
+//! the `arcc-fleet` event engine (`fleet_baseline`,
+//! `fleet_mixed_population`, `fleet_repair_policies`); the figure/table
+//! binaries under `arcc-bench` are thin shims over [`crate::run`], and
+//! `repro_all` loops the whole registry in-process.
 
 use std::fmt;
 
@@ -40,6 +42,9 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &Fig7_5,
         &Fig7_6,
         &EscapeRates,
+        &FleetBaseline,
+        &FleetMixedPopulation,
+        &FleetRepairPolicies,
     ];
     REGISTRY
 }
@@ -126,9 +131,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_thirteen_unique_scenarios() {
+    fn registry_has_sixteen_unique_scenarios() {
         let ns = names();
-        assert_eq!(ns.len(), 13);
+        assert_eq!(ns.len(), 16);
         let unique: std::collections::HashSet<_> = ns.iter().collect();
         assert_eq!(unique.len(), ns.len());
         for expected in [
@@ -145,6 +150,9 @@ mod tests {
             "fig7_5",
             "fig7_6",
             "escape_rates",
+            "fleet_baseline",
+            "fleet_mixed_population",
+            "fleet_repair_policies",
         ] {
             assert!(find(expected).is_some(), "{expected} missing");
         }

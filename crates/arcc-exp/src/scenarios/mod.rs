@@ -1,12 +1,15 @@
-//! The thirteen paper artefacts as [`Scenario`](crate::Scenario)
-//! implementations. Each module groups related figures; the binaries in
-//! `arcc-bench` are shims over these via [`crate::run`].
+//! The thirteen paper artefacts plus the fleet-scale studies as
+//! [`Scenario`](crate::Scenario) implementations. Each module groups
+//! related figures; the binaries in `arcc-bench` are shims over these via
+//! [`crate::run`].
 
+mod fleet;
 mod lifetime;
 mod power_perf;
 mod reliability;
 mod tables;
 
+pub use fleet::{FleetBaseline, FleetMixedPopulation, FleetRepairPolicies};
 pub use lifetime::{Fig3_1, Fig7_4, Fig7_5, Fig7_6};
 pub use power_perf::{Fig7_1, Fig7_2, Fig7_3, Motivation};
 pub use reliability::{EscapeRates, Fig6_1};

@@ -18,64 +18,16 @@
 //! output to running it with every core in the machine — a property the
 //! `arcc-exp` test suite pins.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use arcc_reliability::{lifetime_overhead_curve, LifetimeConfig, LifetimePoint, OverheadModel};
 
 /// Channels per Monte-Carlo shard (see [`lifetime_curve_sharded`]).
 pub const MC_CHUNK: u32 = 1024;
 
-/// Worker count for sweeps that were not given an explicit thread count:
-/// one per available hardware thread.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-pub use arcc_core::cell_seed;
-
-/// Maps `f` over `items` on up to `threads` workers, returning results in
-/// input order.
-///
-/// Work is distributed by an atomic cursor (cheap work stealing), but the
-/// result vector is indexed by item position, so the output — and any
-/// sequential fold over it — is invariant to scheduling. `f` receives the
-/// item index alongside the item so cells can derive per-cell seeds.
-pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(i, &items[i]);
-                *slots[i].lock().expect("slot lock") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("slot lock")
-                .expect("every cell computed")
-        })
-        .collect()
-}
+// The primitives themselves live in `arcc-core` (next to `cell_seed`,
+// their seed-derivation counterpart) so that `arcc-fleet` can build its
+// sharded runner on the same determinism contract without a dependency
+// cycle; the canonical experiment-facing paths remain these re-exports.
+pub use arcc_core::{cell_seed, default_threads, parallel_map};
 
 /// The lifetime Monte Carlo of Figures 7.4–7.6, sharded over
 /// [`MC_CHUNK`]-channel cells so it uses every core.

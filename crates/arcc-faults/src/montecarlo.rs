@@ -15,6 +15,28 @@ use crate::modes::{FaultMode, FitRates};
 /// Hours per (365-day) year, the unit the paper's lifetime axes use.
 pub const HOURS_PER_YEAR: f64 = 8760.0;
 
+/// Draws one exponential inter-arrival gap (in hours) for a Poisson
+/// process of `rate_per_hour`, via the standard inverse CDF
+/// `-ln(1 - u)` with `u ∈ [0, 1)`.
+///
+/// Mapping `u` through `1 - u` keeps the draw unbiased at both tails:
+/// `u = 0` is in range (yielding a zero gap, as the true distribution
+/// allows) while `ln(0)` is never taken, and no probability mass is
+/// shaved off the long-gap tail the way an `(ε..1)` draw on `-ln(u)`
+/// does.
+///
+/// # Panics
+///
+/// Panics if `rate_per_hour` is not strictly positive.
+pub fn exp_interarrival<R: Rng + ?Sized>(rng: &mut R, rate_per_hour: f64) -> f64 {
+    assert!(
+        rate_per_hour > 0.0,
+        "inter-arrival rate must be positive, got {rate_per_hour}"
+    );
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() / rate_per_hour
+}
+
 /// Draws fault timelines for one channel organisation at one rate point.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultSampler {
@@ -40,22 +62,27 @@ impl FaultSampler {
 
     /// Expected faults per channel over `hours`.
     pub fn expected_faults(&self, hours: f64) -> f64 {
-        self.geometry.total_devices() as f64 * self.rates.total_fit() * 1e-9 * hours
+        self.channel_rate_per_hour() * hours
+    }
+
+    /// The channel-level superposed Poisson rate, in faults per hour:
+    /// `devices * total_fit * 1e-9`. This is the rate the event-driven
+    /// fleet engine feeds back into [`exp_interarrival`].
+    pub fn channel_rate_per_hour(&self) -> f64 {
+        self.geometry.total_devices() as f64 * self.rates.total_fit() * 1e-9
     }
 
     /// Samples every fault arriving in `[0, hours)` for one channel,
     /// time-ordered.
     pub fn sample_lifetime<R: Rng + ?Sized>(&self, rng: &mut R, hours: f64) -> Vec<FaultEvent> {
-        let channel_rate = self.geometry.total_devices() as f64 * self.rates.total_fit() * 1e-9;
+        let channel_rate = self.channel_rate_per_hour();
         let mut events = Vec::new();
         if channel_rate <= 0.0 {
             return events;
         }
         let mut t = 0.0f64;
         loop {
-            // Exponential inter-arrival via inverse CDF.
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            t += -u.ln() / channel_rate;
+            t += exp_interarrival(rng, channel_rate);
             if t >= hours {
                 break;
             }
@@ -125,6 +152,36 @@ mod tests {
             FaultGeometry::paper_channel(),
             FitRates::sridharan_sc12().scaled(mult),
         )
+    }
+
+    #[test]
+    fn exp_interarrival_mean_and_variance_match_distribution() {
+        // Exp(λ) has mean 1/λ and variance 1/λ². The biased `-ln(u)` draw
+        // over `(ε..1)` this replaced under-weighted both tails; pin the
+        // first two moments so the regression cannot quietly return.
+        let mut rng = StdRng::seed_from_u64(0xE4B);
+        let lambda = 2.5f64;
+        let n = 200_000usize;
+        let samples: Vec<f64> = (0..n).map(|_| exp_interarrival(&mut rng, lambda)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let expect_mean = 1.0 / lambda;
+        let expect_var = 1.0 / (lambda * lambda);
+        // Standard error of the mean is (1/λ)/√n ≈ 0.0009; of the sample
+        // variance ≈ √8/λ²/√n ≈ 0.0025. 2% tolerances are > 8σ.
+        assert!(
+            (mean - expect_mean).abs() < 0.02 * expect_mean,
+            "mean {mean} vs {expect_mean}"
+        );
+        assert!(
+            (var - expect_var).abs() < 0.03 * expect_var,
+            "variance {var} vs {expect_var}"
+        );
+        // Both tails are reachable: gaps below the old ε-floor region and
+        // well past the mean must occur, and none may be negative.
+        assert!(samples.iter().all(|&x| x >= 0.0));
+        assert!(samples.iter().any(|&x| x < 1e-4));
+        assert!(samples.iter().any(|&x| x > 3.0 * expect_mean));
     }
 
     #[test]

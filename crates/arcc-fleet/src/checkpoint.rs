@@ -1,0 +1,319 @@
+//! Checkpoint/resume of fleet runs at shard granularity.
+//!
+//! Shards are independent and merged in shard order, so the prefix of
+//! merged shard aggregates *is* the engine's durable state: a
+//! [`FleetCheckpoint`] records how many shards completed plus their merged
+//! [`FleetStats`], guarded by the spec fingerprint. Resuming runs the
+//! remaining shards and produces bit-identical results to an uninterrupted
+//! run (pinned by the crate's tests).
+//!
+//! The serialisation is a hand-rolled, versioned `key=value` text format
+//! (the build environment is offline — no serde), round-tripping floats
+//! through their IEEE-754 bit patterns so checkpoints survive re-parsing
+//! without rounding drift.
+
+use std::fmt;
+
+use crate::spec::FleetSpec;
+use crate::stats::{FleetStats, PopulationStats, MODE_COUNT};
+
+/// A resumable fleet-run prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCheckpoint {
+    /// Fingerprint of the spec the prefix was computed under.
+    pub fingerprint: u64,
+    /// Shards completed (shard ids `0..shards_done`).
+    pub shards_done: u64,
+    /// Merged aggregate of the completed shards, in shard order.
+    pub stats: FleetStats,
+}
+
+/// Errors parsing or applying a checkpoint.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The text was not a valid checkpoint serialisation.
+    Malformed(String),
+    /// The checkpoint belongs to a different spec.
+    SpecMismatch {
+        /// Fingerprint recorded in the checkpoint.
+        expected: u64,
+        /// Fingerprint of the spec being resumed.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            CheckpointError::SpecMismatch { expected, actual } => write!(
+                f,
+                "checkpoint fingerprint {expected:#x} does not match spec {actual:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl FleetCheckpoint {
+    /// The empty prefix for `spec` (nothing run yet).
+    pub fn start(spec: &FleetSpec) -> Self {
+        Self {
+            fingerprint: spec.fingerprint(),
+            shards_done: 0,
+            stats: FleetStats::empty(spec.epochs(), spec.populations.len()),
+        }
+    }
+
+    /// Does this checkpoint belong to `spec`?
+    pub fn matches(&self, spec: &FleetSpec) -> bool {
+        self.fingerprint == spec.fingerprint()
+    }
+
+    /// Serialises to the versioned text format.
+    pub fn to_text(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::new();
+        out.push_str("arcc-fleet-checkpoint v1\n");
+        out.push_str(&format!("fingerprint={:#x}\n", self.fingerprint));
+        out.push_str(&format!("shards_done={}\n", self.shards_done));
+        out.push_str(&format!("channels={}\n", s.channels));
+        out.push_str(&format!("horizon_hours={:#x}\n", s.horizon_hours.to_bits()));
+        out.push_str(&format!("channel_hours={:#x}\n", s.channel_hours.to_bits()));
+        out.push_str(&format!("faults={}\n", s.faults));
+        let modes: Vec<String> = s.faults_by_mode.iter().map(|m| m.to_string()).collect();
+        out.push_str(&format!("faults_by_mode={}\n", modes.join(",")));
+        out.push_str(&format!("transient_cleared={}\n", s.transient_cleared));
+        out.push_str(&format!("detections={}\n", s.detections));
+        out.push_str(&format!("due_events={}\n", s.due_events));
+        out.push_str(&format!("sdc_channels={}\n", s.sdc_channels));
+        out.push_str(&format!(
+            "channels_with_faults={}\n",
+            s.channels_with_faults
+        ));
+        out.push_str(&format!("channels_with_due={}\n", s.channels_with_due));
+        out.push_str(&format!("channels_failed={}\n", s.channels_failed));
+        out.push_str(&format!("replacements={}\n", s.replacements));
+        out.push_str(&format!("spares_consumed={}\n", s.spares_consumed));
+        out.push_str(&format!(
+            "upgraded_page_mass={:#x}\n",
+            s.upgraded_page_mass.to_bits()
+        ));
+        let epochs: Vec<String> = s
+            .epoch_upgraded_hours
+            .iter()
+            .map(|h| format!("{:#x}", h.to_bits()))
+            .collect();
+        out.push_str(&format!("epoch_upgraded_hours={}\n", epochs.join(",")));
+        for (i, p) in s.populations.iter().enumerate() {
+            out.push_str(&format!(
+                "population.{i}={},{},{},{},{},{:#x}\n",
+                p.channels,
+                p.faults,
+                p.due_events,
+                p.sdc_channels,
+                p.replacements,
+                p.upgraded_page_mass.to_bits()
+            ));
+        }
+        // Trailing marker: a truncated write (crash mid-flush) must not
+        // parse as a smaller-but-valid checkpoint.
+        out.push_str("end=1\n");
+        out
+    }
+
+    /// Parses the text format produced by [`Self::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        if header != "arcc-fleet-checkpoint v1" {
+            return Err(CheckpointError::Malformed(format!(
+                "unknown header {header:?}"
+            )));
+        }
+        let mut ckpt = FleetCheckpoint {
+            fingerprint: 0,
+            shards_done: 0,
+            stats: FleetStats::default(),
+        };
+        let mut complete = false;
+        for line in lines {
+            if complete {
+                return Err(CheckpointError::Malformed(format!(
+                    "content after end marker: {line:?}"
+                )));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| CheckpointError::Malformed(format!("no '=' in {line:?}")))?;
+            let s = &mut ckpt.stats;
+            match key {
+                "fingerprint" => ckpt.fingerprint = parse_u64(value)?,
+                "shards_done" => ckpt.shards_done = parse_u64(value)?,
+                "channels" => s.channels = parse_u64(value)?,
+                "horizon_hours" => s.horizon_hours = f64::from_bits(parse_u64(value)?),
+                "channel_hours" => s.channel_hours = f64::from_bits(parse_u64(value)?),
+                "faults" => s.faults = parse_u64(value)?,
+                "faults_by_mode" => {
+                    let parts: Vec<u64> =
+                        value.split(',').map(parse_u64).collect::<Result<_, _>>()?;
+                    if parts.len() != MODE_COUNT {
+                        return Err(CheckpointError::Malformed(format!(
+                            "expected {MODE_COUNT} mode counters, got {}",
+                            parts.len()
+                        )));
+                    }
+                    s.faults_by_mode.copy_from_slice(&parts);
+                }
+                "transient_cleared" => s.transient_cleared = parse_u64(value)?,
+                "detections" => s.detections = parse_u64(value)?,
+                "due_events" => s.due_events = parse_u64(value)?,
+                "sdc_channels" => s.sdc_channels = parse_u64(value)?,
+                "channels_with_faults" => s.channels_with_faults = parse_u64(value)?,
+                "channels_with_due" => s.channels_with_due = parse_u64(value)?,
+                "channels_failed" => s.channels_failed = parse_u64(value)?,
+                "replacements" => s.replacements = parse_u64(value)?,
+                "spares_consumed" => s.spares_consumed = parse_u64(value)?,
+                "upgraded_page_mass" => s.upgraded_page_mass = f64::from_bits(parse_u64(value)?),
+                "epoch_upgraded_hours" => {
+                    s.epoch_upgraded_hours = if value.is_empty() {
+                        Vec::new()
+                    } else {
+                        value
+                            .split(',')
+                            .map(|v| parse_u64(v).map(f64::from_bits))
+                            .collect::<Result<_, _>>()?
+                    };
+                }
+                k if k.starts_with("population.") => {
+                    let idx: usize = k["population.".len()..].parse().map_err(|_| {
+                        CheckpointError::Malformed(format!("bad population index in {k:?}"))
+                    })?;
+                    let parts: Vec<&str> = value.split(',').collect();
+                    if parts.len() != 6 {
+                        return Err(CheckpointError::Malformed(format!(
+                            "population line needs 6 fields, got {}",
+                            parts.len()
+                        )));
+                    }
+                    if s.populations.len() <= idx {
+                        s.populations.resize(idx + 1, PopulationStats::default());
+                    }
+                    s.populations[idx] = PopulationStats {
+                        channels: parse_u64(parts[0])?,
+                        faults: parse_u64(parts[1])?,
+                        due_events: parse_u64(parts[2])?,
+                        sdc_channels: parse_u64(parts[3])?,
+                        replacements: parse_u64(parts[4])?,
+                        upgraded_page_mass: f64::from_bits(parse_u64(parts[5])?),
+                    };
+                }
+                "end" => complete = true,
+                other => {
+                    return Err(CheckpointError::Malformed(format!("unknown key {other:?}")));
+                }
+            }
+        }
+        if !complete {
+            return Err(CheckpointError::Malformed(
+                "missing end marker (truncated checkpoint)".to_string(),
+            ));
+        }
+        Ok(ckpt)
+    }
+}
+
+fn parse_u64(v: &str) -> Result<u64, CheckpointError> {
+    let v = v.trim();
+    let parsed = if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    parsed.map_err(|_| CheckpointError::Malformed(format!("bad integer {v:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DimmPopulation;
+
+    fn spec() -> FleetSpec {
+        FleetSpec::baseline(2000)
+            .population(DimmPopulation::paper("extra").weight(0.5))
+            .shard_channels(512)
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let mut ckpt = FleetCheckpoint::start(&spec());
+        ckpt.shards_done = 2;
+        ckpt.stats.channels = 1024;
+        ckpt.stats.channel_hours = 1024.0 * 61320.0 + 0.125;
+        ckpt.stats.faults = 37;
+        ckpt.stats.faults_by_mode[6] = 3;
+        ckpt.stats.upgraded_page_mass = 0.123_456_789_012_345_67;
+        ckpt.stats.epoch_upgraded_hours[3] = 1.0e-17;
+        ckpt.stats.populations[1].faults = 12;
+        ckpt.stats.populations[1].upgraded_page_mass = 3.25;
+        let parsed = FleetCheckpoint::from_text(&ckpt.to_text()).expect("round trip");
+        assert_eq!(parsed, ckpt);
+        // Bit-exact float round trip, not just approximate.
+        assert_eq!(
+            parsed.stats.upgraded_page_mass.to_bits(),
+            ckpt.stats.upgraded_page_mass.to_bits()
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(matches!(
+            FleetCheckpoint::from_text("not a checkpoint"),
+            Err(CheckpointError::Malformed(_))
+        ));
+        assert!(matches!(
+            FleetCheckpoint::from_text("arcc-fleet-checkpoint v1\nchannels=abc\n"),
+            Err(CheckpointError::Malformed(_))
+        ));
+        assert!(matches!(
+            FleetCheckpoint::from_text("arcc-fleet-checkpoint v1\nmystery=1\n"),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_checkpoints_are_rejected() {
+        let mut ckpt = FleetCheckpoint::start(&spec());
+        ckpt.shards_done = 3;
+        ckpt.stats.faults = 99;
+        let text = ckpt.to_text();
+        // Dropping any suffix of whole lines (a crash mid-write) must fail
+        // to parse, never round-trip to a checkpoint with zeroed counters.
+        let lines: Vec<&str> = text.lines().collect();
+        for keep in 1..lines.len() {
+            let truncated = lines[..keep].join("\n") + "\n";
+            assert!(
+                matches!(
+                    FleetCheckpoint::from_text(&truncated),
+                    Err(CheckpointError::Malformed(_))
+                ),
+                "truncation to {keep} lines parsed successfully"
+            );
+        }
+        // Trailing garbage after the end marker is rejected too.
+        let padded = text.clone() + "faults=1\n";
+        assert!(FleetCheckpoint::from_text(&padded).is_err());
+        assert_eq!(FleetCheckpoint::from_text(&text).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn fingerprint_guards_spec_identity() {
+        let ckpt = FleetCheckpoint::start(&spec());
+        assert!(ckpt.matches(&spec()));
+        assert!(!ckpt.matches(&spec().seed(99)));
+    }
+}

@@ -1,0 +1,491 @@
+//! The per-shard discrete-event engine.
+//!
+//! One [`ShardEngine`] owns a slice of the fleet's channels and a single
+//! time-ordered event queue. Three event kinds drive a channel through
+//! its service life:
+//!
+//! * **fault arrivals** — drawn lazily, one exponential gap at a time
+//!   ([`arcc_faults::exp_interarrival`]), so no per-channel fault vector
+//!   is ever materialised. Arrival processing classifies the fault
+//!   against the channel's *active* fault set with exactly the
+//!   `arcc-reliability` SDC-model predicates (undetected relaxed-codeword
+//!   overlap or upgraded triple overlap ⇒ SDC, other overlap ⇒ DUE);
+//! * **scrub detections** — scheduled at the first scrub tick after each
+//!   arrival ([`arcc_reliability::detection_time`]). Detection cures a
+//!   transient fault (write-back) or upgrades the pages a permanent
+//!   fault touches, streaming the upgraded-page mass into the shard's
+//!   power-epoch histogram;
+//! * **replacements** — scheduled by the operator policy on a DUE and
+//!   resolved in event-time order, which is what couples channels: a
+//!   shard-level spare pool must grant spares in the order failures are
+//!   detected, not in channel-index order.
+//!
+//! Determinism: every channel owns its own RNG stream
+//! (`cell_seed(shard_seed, channel_index)`), so results are independent
+//! of event interleaving across channels; ties in time are broken by a
+//! monotone sequence number, making the replay itself deterministic too.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use arcc_core::cell_seed;
+use arcc_faults::montecarlo::FaultSampler;
+use arcc_faults::{exp_interarrival, FaultEvent, FaultMode, HOURS_PER_YEAR};
+use arcc_reliability::{active_at, arcc_arrival_is_sdc, detection_time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::spec::{FleetSpec, OperatorPolicy};
+use crate::stats::FleetStats;
+
+/// One fault currently resident in a channel.
+#[derive(Debug, Clone)]
+struct ActiveFault {
+    event: FaultEvent,
+    /// Cleared by its detection scrub (transients only); kept in place so
+    /// indices held by queued detection events stay stable.
+    cleared: bool,
+}
+
+/// Live state of one channel slot — O(1) in fleet size and horizon: an
+/// RNG, a handful of flags, and the (rare, field-rate-bounded) active
+/// fault list.
+#[derive(Debug)]
+struct ChannelState {
+    rng: StdRng,
+    population: usize,
+    /// Bumped on replacement/retirement; queued events carry the
+    /// generation they were scheduled under and are dropped when stale.
+    generation: u32,
+    faults: Vec<ActiveFault>,
+    /// Product of `(1 - affected_fraction)` over detected permanent
+    /// faults: `1 - not_upgraded` is the channel's upgraded page mass.
+    not_upgraded: f64,
+    sdc: bool,
+    had_fault: bool,
+    had_due: bool,
+    /// Set when the channel leaves service early (spare pool dry).
+    retired_at: Option<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A fault arrives (payload drawn at processing time).
+    Fault,
+    /// The scrub tick that detects fault `fault_idx`.
+    Detection { fault_idx: usize },
+    /// Policy-scheduled DIMM swap (resolved against the pool on pop).
+    Replacement,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedEvent {
+    time_h: f64,
+    /// Monotone tie-breaker: equal-time events replay in schedule order.
+    seq: u64,
+    channel: u32,
+    generation: u32,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_h == other.time_h && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops
+        // first. Times are finite and non-negative by construction.
+        other
+            .time_h
+            .partial_cmp(&self.time_h)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Event-driven simulator for one shard of the fleet.
+pub struct ShardEngine {
+    horizon_h: f64,
+    policy: OperatorPolicy,
+    samplers: Vec<FaultSampler>,
+    scrub_h: Vec<f64>,
+    channels: Vec<ChannelState>,
+    queue: BinaryHeap<QueuedEvent>,
+    seq: u64,
+    spares_left: u32,
+    stats: FleetStats,
+}
+
+impl ShardEngine {
+    /// Builds the engine for shard `shard` of `spec` and primes every
+    /// channel's first fault arrival.
+    pub fn new(spec: &FleetSpec, shard: u64) -> Self {
+        let shard_channels = spec.shard_size(shard);
+        let shard_seed = cell_seed(spec.seed, shard);
+        let first_channel = shard * spec.shard_channels as u64;
+        let samplers: Vec<FaultSampler> = spec
+            .populations
+            .iter()
+            .map(|p| FaultSampler::new(p.geometry, p.rates()))
+            .collect();
+        let scrub_h: Vec<f64> = spec
+            .populations
+            .iter()
+            .map(|p| p.scrub_interval_h)
+            .collect();
+        let mut engine = Self {
+            horizon_h: spec.horizon_hours(),
+            policy: spec.policy,
+            samplers,
+            scrub_h,
+            channels: Vec::with_capacity(shard_channels as usize),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            spares_left: spec
+                .policy
+                .spares_for_range(first_channel, shard_channels as u64),
+            stats: FleetStats::empty(spec.epochs(), spec.populations.len()),
+        };
+        engine.stats.horizon_hours = engine.horizon_h;
+        for c in 0..shard_channels {
+            let population = spec.population_for(first_channel + c as u64);
+            let mut state = ChannelState {
+                rng: StdRng::seed_from_u64(cell_seed(shard_seed, c as u64)),
+                population,
+                generation: 0,
+                faults: Vec::new(),
+                not_upgraded: 1.0,
+                sdc: false,
+                had_fault: false,
+                had_due: false,
+                retired_at: None,
+            };
+            engine.stats.channels += 1;
+            engine.stats.populations[population].channels += 1;
+            let rate = engine.samplers[population].channel_rate_per_hour();
+            if rate > 0.0 {
+                let t = exp_interarrival(&mut state.rng, rate);
+                engine.channels.push(state);
+                engine.schedule(t, c, 0, EventKind::Fault);
+            } else {
+                engine.channels.push(state);
+            }
+        }
+        engine
+    }
+
+    fn schedule(&mut self, time_h: f64, channel: u32, generation: u32, kind: EventKind) {
+        if time_h >= self.horizon_h {
+            return;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedEvent {
+            time_h,
+            seq,
+            channel,
+            generation,
+            kind,
+        });
+    }
+
+    /// Runs the shard to the horizon and returns its aggregate.
+    pub fn run(mut self) -> FleetStats {
+        while let Some(ev) = self.queue.pop() {
+            let state = &mut self.channels[ev.channel as usize];
+            if ev.generation != state.generation {
+                continue; // scheduled before a replacement/retirement
+            }
+            match ev.kind {
+                EventKind::Fault => self.on_fault(ev.channel, ev.time_h),
+                EventKind::Detection { fault_idx } => {
+                    self.on_detection(ev.channel, ev.time_h, fault_idx)
+                }
+                EventKind::Replacement => self.on_replacement(ev.channel, ev.time_h),
+            }
+        }
+        self.finalize()
+    }
+
+    fn on_fault(&mut self, channel: u32, t: f64) {
+        let state = &mut self.channels[channel as usize];
+        let pop = state.population;
+        let scrub = self.scrub_h[pop];
+        let fault = self.samplers[pop].draw_fault(&mut state.rng, t);
+
+        self.stats.faults += 1;
+        self.stats.populations[pop].faults += 1;
+        let mode_idx = FaultMode::ALL
+            .iter()
+            .position(|m| *m == fault.mode)
+            .expect("every mode is in ALL");
+        self.stats.faults_by_mode[mode_idx] += 1;
+        if !state.had_fault {
+            state.had_fault = true;
+            self.stats.channels_with_faults += 1;
+        }
+
+        // Classify against active earlier faults — the arcc-reliability
+        // SDC model, evaluated incrementally via the shared predicate.
+        // Once a channel has silently corrupted it is retired from the
+        // overlap accounting (the reference Monte Carlo's "machines are
+        // retired at their first SDC"), so DUE counts and policy
+        // replacements match `run_sdc_monte_carlo`'s bookkeeping exactly.
+        let mut due = false;
+        if !state.sdc {
+            let overlapping: Vec<&FaultEvent> = state
+                .faults
+                .iter()
+                .filter(|a| !a.cleared)
+                .map(|a| &a.event)
+                .filter(|a| active_at(a, t, scrub))
+                .filter(|a| a.codeword_overlap(&fault, false))
+                .collect();
+            if !overlapping.is_empty() {
+                if arcc_arrival_is_sdc(&overlapping, &fault, scrub) {
+                    state.sdc = true;
+                    self.stats.sdc_channels += 1;
+                    self.stats.populations[pop].sdc_channels += 1;
+                } else {
+                    due = true;
+                }
+            }
+        }
+        if due {
+            self.stats.due_events += 1;
+            self.stats.populations[pop].due_events += 1;
+            if !state.had_due {
+                state.had_due = true;
+                self.stats.channels_with_due += 1;
+            }
+        }
+
+        let generation = state.generation;
+        state.faults.push(ActiveFault {
+            event: fault,
+            cleared: false,
+        });
+        let fault_idx = state.faults.len() - 1;
+        let detect_at = detection_time(t, scrub);
+        let rate = self.samplers[pop].channel_rate_per_hour();
+        let next = t + exp_interarrival(&mut state.rng, rate);
+        self.schedule(
+            detect_at,
+            channel,
+            generation,
+            EventKind::Detection { fault_idx },
+        );
+        self.schedule(next, channel, generation, EventKind::Fault);
+        // The DUE is serviced at the scrub that detects it.
+        if due && !matches!(self.policy, OperatorPolicy::None) {
+            self.schedule(detect_at, channel, generation, EventKind::Replacement);
+        }
+    }
+
+    fn on_detection(&mut self, channel: u32, t: f64, fault_idx: usize) {
+        let state = &mut self.channels[channel as usize];
+        let pop = state.population;
+        let fault = &mut state.faults[fault_idx];
+        if fault.cleared {
+            return;
+        }
+        self.stats.detections += 1;
+        if fault.event.transient {
+            // The scrub's corrected write-back cures it; the page was
+            // never permanently damaged, so no upgrade.
+            fault.cleared = true;
+            self.stats.transient_cleared += 1;
+            return;
+        }
+        // Permanent fault: upgrade every page it touches (union via the
+        // spared-product form, so overlapping faults never double-count).
+        let frac = self.samplers[pop]
+            .geometry()
+            .affected_page_fraction(fault.event.mode);
+        let before = 1.0 - state.not_upgraded;
+        state.not_upgraded *= 1.0 - frac;
+        let delta = (1.0 - state.not_upgraded) - before;
+        if delta > 0.0 {
+            self.add_epoch_mass(delta, t);
+        }
+    }
+
+    fn on_replacement(&mut self, channel: u32, t: f64) {
+        if let OperatorPolicy::SparePool { .. } = self.policy {
+            if self.spares_left == 0 {
+                self.retire(channel, t);
+                return;
+            }
+            self.spares_left -= 1;
+            self.stats.spares_consumed += 1;
+        }
+        let state = &mut self.channels[channel as usize];
+        let pop = state.population;
+        self.stats.replacements += 1;
+        self.stats.populations[pop].replacements += 1;
+        // The fresh DIMM starts fully relaxed: withdraw the upgraded mass
+        // this slot would otherwise have carried to the horizon.
+        let upgraded = 1.0 - state.not_upgraded;
+        if upgraded > 0.0 {
+            self.add_epoch_mass(-upgraded, t);
+        }
+        let state = &mut self.channels[channel as usize];
+        state.generation += 1;
+        state.faults.clear();
+        state.not_upgraded = 1.0;
+        let generation = state.generation;
+        let rate = self.samplers[pop].channel_rate_per_hour();
+        if rate > 0.0 {
+            let next = t + exp_interarrival(&mut state.rng, rate);
+            self.schedule(next, channel, generation, EventKind::Fault);
+        }
+    }
+
+    fn retire(&mut self, channel: u32, t: f64) {
+        let state = &mut self.channels[channel as usize];
+        self.stats.channels_failed += 1;
+        let upgraded = 1.0 - state.not_upgraded;
+        if upgraded > 0.0 {
+            self.add_epoch_mass(-upgraded, t);
+        }
+        let state = &mut self.channels[channel as usize];
+        state.retired_at = Some(t);
+        state.generation += 1; // drop every queued event for this slot
+    }
+
+    /// Streams `delta` pages-fraction of upgraded mass into every year
+    /// epoch from `from_h` to the horizon (time-weighted).
+    fn add_epoch_mass(&mut self, delta: f64, from_h: f64) {
+        for (y, acc) in self.stats.epoch_upgraded_hours.iter_mut().enumerate() {
+            let lo = (y as f64 * HOURS_PER_YEAR).max(from_h);
+            let hi = ((y + 1) as f64 * HOURS_PER_YEAR).min(self.horizon_h);
+            if hi > lo {
+                *acc += delta * (hi - lo);
+            }
+        }
+    }
+
+    fn finalize(mut self) -> FleetStats {
+        for state in &self.channels {
+            let end = state.retired_at.unwrap_or(self.horizon_h);
+            self.stats.channel_hours += end;
+            if state.retired_at.is_none() {
+                let upgraded = 1.0 - state.not_upgraded;
+                self.stats.upgraded_page_mass += upgraded;
+                self.stats.populations[state.population].upgraded_page_mass += upgraded;
+            }
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DimmPopulation;
+
+    fn quick_spec(channels: u64, mult: f64) -> FleetSpec {
+        FleetSpec::baseline(channels)
+            .populations(vec![DimmPopulation::paper("p").rate_multiplier(mult)])
+            .shard_channels(channels.max(1) as u32)
+    }
+
+    #[test]
+    fn shard_runs_are_deterministic() {
+        let spec = quick_spec(500, 4.0);
+        let a = ShardEngine::new(&spec, 0).run();
+        let b = ShardEngine::new(&spec, 0).run();
+        assert_eq!(a, b);
+        assert_eq!(a.channels, 500);
+        assert!(a.faults > 0, "4x rates over 7y must produce faults");
+    }
+
+    #[test]
+    fn fault_count_tracks_poisson_expectation() {
+        let spec = quick_spec(4000, 4.0);
+        let stats = ShardEngine::new(&spec, 0).run();
+        let sampler = FaultSampler::new(spec.populations[0].geometry, spec.populations[0].rates());
+        let expect = sampler.expected_faults(spec.horizon_hours()) * 4000.0;
+        let got = stats.faults as f64;
+        assert!(
+            (got - expect).abs() < 0.1 * expect,
+            "faults {got} vs expected {expect}"
+        );
+        // P(>=1 fault) matches 1 - exp(-lambda).
+        let p_expect = 1.0 - (-sampler.expected_faults(spec.horizon_hours())).exp();
+        let p_got = stats.fault_probability();
+        assert!(
+            (p_got - p_expect).abs() < 0.02,
+            "fault probability {p_got} vs {p_expect}"
+        );
+    }
+
+    #[test]
+    fn transients_clear_and_permanents_upgrade() {
+        let spec = quick_spec(3000, 8.0);
+        let stats = ShardEngine::new(&spec, 0).run();
+        assert!(stats.transient_cleared > 0);
+        assert!(stats.detections >= stats.transient_cleared);
+        assert!(stats.avg_upgraded_fraction() > 0.0);
+        assert!(stats.avg_upgraded_fraction() < 1.0);
+        // Epoch histogram is monotone-ish: later years carry at least as
+        // much upgraded mass as the first (faults accumulate).
+        let by_year = stats.avg_power_overhead_by_year();
+        assert_eq!(by_year.len(), 7);
+        assert!(by_year[6] > by_year[0]);
+    }
+
+    #[test]
+    fn replace_on_due_resets_channels() {
+        // High rates make DUE overlaps likely enough to exercise the path.
+        let base = quick_spec(3000, 30.0);
+        let none = ShardEngine::new(&base, 0).run();
+        let replace = ShardEngine::new(&base.clone().policy(OperatorPolicy::ReplaceOnDue), 0).run();
+        assert!(none.due_events > 0, "need DUEs to compare policies");
+        assert!(replace.replacements > 0);
+        assert_eq!(replace.channels_failed, 0);
+        // Replacement discards accumulated upgrades, so the replaced fleet
+        // ends with at most the unmanaged fleet's upgraded mass.
+        assert!(replace.avg_upgraded_fraction() <= none.avg_upgraded_fraction());
+    }
+
+    #[test]
+    fn spare_pool_exhaustion_fails_channels() {
+        // 10/10k over 3000 channels stocks exactly 3 spares; 30x rates
+        // raise far more DUEs than that, so the pool must drain fully and
+        // then start retiring channels.
+        let spec = quick_spec(3000, 30.0).policy(OperatorPolicy::SparePool { spares_per_10k: 10 });
+        let stocked = spec.policy.spares_for_range(0, 3000) as u64;
+        assert_eq!(stocked, 3);
+        let stats = ShardEngine::new(&spec, 0).run();
+        assert_eq!(stats.spares_consumed, stocked, "pool must drain fully");
+        assert_eq!(stats.replacements, stocked);
+        assert!(
+            stats.due_events > stocked,
+            "need more DUEs ({}) than spares to exercise exhaustion",
+            stats.due_events
+        );
+        assert!(stats.channels_failed > 0, "dry pool must retire channels");
+        // Failed channels stop accruing service hours.
+        assert!(stats.channel_hours < stats.channels as f64 * spec.horizon_hours());
+    }
+
+    #[test]
+    fn zero_rate_population_is_inert() {
+        let spec = quick_spec(100, 0.0);
+        let stats = ShardEngine::new(&spec, 0).run();
+        assert_eq!(stats.faults, 0);
+        assert_eq!(stats.channels, 100);
+        assert_eq!(stats.channel_hours, 100.0 * spec.horizon_hours());
+        assert_eq!(stats.avg_upgraded_fraction(), 0.0);
+    }
+}

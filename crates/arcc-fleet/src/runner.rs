@@ -1,0 +1,161 @@
+//! The sharded fleet runner: windowed parallel execution with a
+//! streaming, shard-ordered merge.
+//!
+//! Shards execute on the workspace's deterministic
+//! [`parallel_map`](arcc_core::parallel_map) (results collected in input
+//! order), in bounded windows of `threads * WINDOW_FACTOR` shards: each
+//! window's aggregates are folded into the running total before the next
+//! window starts, so peak memory is `O(threads * shard_channels)` channel
+//! states plus `O(threads)` shard aggregates — independent of fleet size.
+//! Because the fold is always in shard order and every shard derives its
+//! RNG streams from `cell_seed(spec.seed, shard)`, a parallel run is
+//! byte-identical to a sequential one, and a resumed run byte-identical
+//! to an uninterrupted one.
+
+use arcc_core::parallel_map;
+
+use crate::checkpoint::{CheckpointError, FleetCheckpoint};
+use crate::engine::ShardEngine;
+use crate::spec::FleetSpec;
+use crate::stats::FleetStats;
+
+/// Shards in flight per merge window, as a multiple of the worker count.
+const WINDOW_FACTOR: usize = 4;
+
+/// Runs one shard to completion (the unit the runner parallelises).
+pub fn run_shard(spec: &FleetSpec, shard: u64) -> FleetStats {
+    ShardEngine::new(spec, shard).run()
+}
+
+/// Runs the whole fleet on up to `threads` workers and returns the merged
+/// aggregate.
+pub fn run_fleet(threads: usize, spec: &FleetSpec) -> FleetStats {
+    let ckpt = FleetCheckpoint::start(spec);
+    run_span(threads, spec, ckpt, spec.shard_count()).stats
+}
+
+/// Runs shards `[ckpt.shards_done, until)` and returns the extended
+/// checkpoint; `until` is clamped to the shard count. Feeding the result
+/// back in (with a larger `until`) continues the same run.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::SpecMismatch`] when `ckpt` was produced
+/// under a different spec.
+pub fn run_fleet_until(
+    threads: usize,
+    spec: &FleetSpec,
+    ckpt: FleetCheckpoint,
+    until: u64,
+) -> Result<FleetCheckpoint, CheckpointError> {
+    if !ckpt.matches(spec) {
+        return Err(CheckpointError::SpecMismatch {
+            expected: ckpt.fingerprint,
+            actual: spec.fingerprint(),
+        });
+    }
+    Ok(run_span(threads, spec, ckpt, until.min(spec.shard_count())))
+}
+
+/// Resumes a checkpointed run to completion.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::SpecMismatch`] when `ckpt` was produced
+/// under a different spec.
+pub fn resume_fleet(
+    threads: usize,
+    spec: &FleetSpec,
+    ckpt: FleetCheckpoint,
+) -> Result<FleetStats, CheckpointError> {
+    run_fleet_until(threads, spec, ckpt, spec.shard_count()).map(|c| c.stats)
+}
+
+fn run_span(
+    threads: usize,
+    spec: &FleetSpec,
+    mut ckpt: FleetCheckpoint,
+    until: u64,
+) -> FleetCheckpoint {
+    let window = (threads.max(1) * WINDOW_FACTOR).max(1) as u64;
+    while ckpt.shards_done < until {
+        let hi = (ckpt.shards_done + window).min(until);
+        let shards: Vec<u64> = (ckpt.shards_done..hi).collect();
+        let aggregates = parallel_map(threads, &shards, |_, &shard| run_shard(spec, shard));
+        for agg in &aggregates {
+            ckpt.stats.merge(agg);
+        }
+        ckpt.shards_done = hi;
+    }
+    ckpt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DimmPopulation;
+
+    fn spec() -> FleetSpec {
+        // 5 shards, one partial; hot rates so every counter moves.
+        FleetSpec::baseline(2_100)
+            .populations(vec![DimmPopulation::paper("hot").rate_multiplier(8.0)])
+            .shard_channels(512)
+            .seed(0xBEEF)
+    }
+
+    #[test]
+    fn parallel_equals_sequential_bit_for_bit() {
+        let s = spec();
+        let seq = run_fleet(1, &s);
+        let par = run_fleet(8, &s);
+        assert_eq!(seq, par);
+        assert_eq!(
+            seq.channel_hours.to_bits(),
+            par.channel_hours.to_bits(),
+            "float sums must fold in shard order regardless of parallelism"
+        );
+        assert_eq!(seq.channels, 2_100);
+        assert!(seq.faults > 0);
+    }
+
+    #[test]
+    fn fleet_equals_manual_shard_merge() {
+        let s = spec();
+        let fleet = run_fleet(4, &s);
+        let mut manual = FleetStats::empty(s.epochs(), s.populations.len());
+        for shard in 0..s.shard_count() {
+            manual.merge(&run_shard(&s, shard));
+        }
+        assert_eq!(fleet, manual);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let s = spec();
+        let full = run_fleet(4, &s);
+        // Stop after 2 shards, round-trip through text, resume.
+        let half = run_fleet_until(4, &s, FleetCheckpoint::start(&s), 2).expect("prefix");
+        assert_eq!(half.shards_done, 2);
+        let parsed = FleetCheckpoint::from_text(&half.to_text()).expect("round trip");
+        let resumed = resume_fleet(4, &s, parsed).expect("resume");
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_refused() {
+        let s = spec();
+        let ckpt = FleetCheckpoint::start(&s.clone().seed(1));
+        assert!(matches!(
+            resume_fleet(1, &s, ckpt),
+            Err(CheckpointError::SpecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn until_clamps_to_shard_count() {
+        let s = spec();
+        let done = run_fleet_until(2, &s, FleetCheckpoint::start(&s), 999).expect("run");
+        assert_eq!(done.shards_done, s.shard_count());
+        assert_eq!(done.stats, run_fleet(2, &s));
+    }
+}

@@ -1,0 +1,197 @@
+//! Golden tests: the event-driven fleet engine must agree with the
+//! paper-path `arcc-reliability` Monte Carlo at the paper's own scale
+//! (10 000 channels × 7 years), and the streaming-aggregation contract
+//! must hold under arbitrary merge orders.
+
+use arcc_faults::montecarlo::FaultSampler;
+use arcc_faults::{FaultGeometry, FitRates, HOURS_PER_YEAR};
+use arcc_fleet::{run_fleet, run_shard, DimmPopulation, FleetSpec, FleetStats};
+use arcc_reliability::faulty_fraction_curve;
+use arcc_reliability::sdc::{run_sdc_monte_carlo, SdcConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// ±2 percentage points: the ISSUE's CI tolerance for agreement between
+/// the event-driven engine and the eager Monte Carlo.
+const TOL_PP: f64 = 0.02;
+
+fn paper_fleet(mult: f64) -> FleetSpec {
+    FleetSpec::baseline(10_000)
+        .populations(vec![DimmPopulation::paper("paper").rate_multiplier(mult)])
+        .years(7.0)
+        .seed(0x90D)
+}
+
+/// Lifetime fault probability: the engine's P(channel sees ≥1 fault over
+/// 7 years) must match the Poisson closed form the eager sampler is built
+/// on, at 1x and 4x rates.
+#[test]
+fn fault_probability_matches_closed_form() {
+    for mult in [1.0, 4.0] {
+        let stats = run_fleet(4, &paper_fleet(mult));
+        let sampler = FaultSampler::new(
+            FaultGeometry::paper_channel(),
+            FitRates::sridharan_sc12().scaled(mult),
+        );
+        let lambda = sampler.expected_faults(7.0 * HOURS_PER_YEAR);
+        let expect = 1.0 - (-lambda).exp();
+        let got = stats.fault_probability();
+        assert!(
+            (got - expect).abs() <= TOL_PP,
+            "{mult}x: fleet fault probability {got:.4} vs closed form {expect:.4}"
+        );
+        // Mean fault count must track lambda too (stronger than P(>=1)).
+        let per_channel = stats.faults as f64 / stats.channels as f64;
+        assert!(
+            (per_channel - lambda).abs() <= 0.05 * lambda + 0.005,
+            "{mult}x: faults/channel {per_channel:.4} vs lambda {lambda:.4}"
+        );
+    }
+}
+
+/// Upgraded-page mass: the engine's end-of-life fleet-average upgraded
+/// fraction must agree with the Figure 3.1 faulty-fraction Monte Carlo
+/// within ±2pp (transient faults are cured before upgrading, so the
+/// engine sits slightly below the any-fault curve — well inside the
+/// tolerance at paper rates).
+#[test]
+fn upgraded_mass_matches_faulty_fraction_monte_carlo() {
+    for mult in [1.0, 4.0] {
+        let stats = run_fleet(4, &paper_fleet(mult));
+        let curve = faulty_fraction_curve(7, &[mult], 10_000, 0x31A);
+        let eager_7y = curve
+            .iter()
+            .find(|p| p.years == 7.0)
+            .expect("7-year point")
+            .monte_carlo;
+        let got = stats.avg_upgraded_fraction();
+        assert!(
+            (got - eager_7y).abs() <= TOL_PP,
+            "{mult}x: fleet upgraded fraction {got:.4} vs eager faulty fraction {eager_7y:.4}"
+        );
+        assert!(got > 0.0 && got < eager_7y, "{mult}x: {got} vs {eager_7y}");
+        // The power-epoch histogram must end at the same magnitude: the
+        // year-7 average upgraded mass is below the end-of-life value but
+        // the same order.
+        let by_year = stats.avg_power_overhead_by_year();
+        assert!(by_year[6] <= got + 1e-12);
+        assert!(
+            by_year[6] >= 0.3 * got,
+            "year-7 epoch {} vs final {got}",
+            by_year[6]
+        );
+    }
+}
+
+/// Silent-corruption probability: must agree with the `arcc-reliability`
+/// SDC Monte Carlo (both are tiny at paper rates; the tolerance is the
+/// same ±2pp).
+#[test]
+fn sdc_probability_matches_sdc_monte_carlo() {
+    let stats = run_fleet(4, &paper_fleet(4.0));
+    let eager = run_sdc_monte_carlo(&SdcConfig {
+        machines: 10_000,
+        rate_multiplier: 4.0,
+        ..SdcConfig::default()
+    });
+    let got = stats.sdc_probability();
+    let expect = eager.arcc_sdc_machines as f64 / eager.machines as f64;
+    assert!(
+        (got - expect).abs() <= TOL_PP,
+        "fleet SDC probability {got:.6} vs eager {expect:.6}"
+    );
+    // DUEs dominate SDCs in both engines.
+    assert!(stats.due_events >= stats.sdc_channels);
+}
+
+/// Deterministic shard aggregates, computed once: the proptest cases only
+/// vary the merge order, so re-simulating per case would waste 8 shard
+/// runs x case count for identical inputs.
+fn shard_aggregates() -> &'static [FleetStats] {
+    static AGGREGATES: std::sync::OnceLock<Vec<FleetStats>> = std::sync::OnceLock::new();
+    AGGREGATES.get_or_init(|| {
+        let spec = FleetSpec::baseline(8 * 256)
+            .populations(vec![
+                DimmPopulation::paper("a").rate_multiplier(8.0),
+                DimmPopulation::paper("b").weight(0.5).rate_multiplier(2.0),
+            ])
+            .shard_channels(256)
+            .seed(0x5A5A);
+        (0..spec.shard_count())
+            .map(|s| run_shard(&spec, s))
+            .collect()
+    })
+}
+
+fn assert_stats_close(a: &FleetStats, b: &FleetStats) {
+    // Integer counters must merge exactly regardless of order...
+    assert_eq!(a.channels, b.channels);
+    // ...the horizon max is exactly order-independent...
+    assert_eq!(a.horizon_hours.to_bits(), b.horizon_hours.to_bits());
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.faults_by_mode, b.faults_by_mode);
+    assert_eq!(a.transient_cleared, b.transient_cleared);
+    assert_eq!(a.detections, b.detections);
+    assert_eq!(a.due_events, b.due_events);
+    assert_eq!(a.sdc_channels, b.sdc_channels);
+    assert_eq!(a.channels_with_faults, b.channels_with_faults);
+    assert_eq!(a.channels_with_due, b.channels_with_due);
+    assert_eq!(a.channels_failed, b.channels_failed);
+    assert_eq!(a.replacements, b.replacements);
+    assert_eq!(a.spares_consumed, b.spares_consumed);
+    assert_eq!(a.populations.len(), b.populations.len());
+    for (pa, pb) in a.populations.iter().zip(&b.populations) {
+        assert_eq!(pa.channels, pb.channels);
+        assert_eq!(pa.faults, pb.faults);
+        assert_eq!(pa.due_events, pb.due_events);
+        assert_eq!(pa.replacements, pb.replacements);
+    }
+    // ...while float sums agree to rounding (reassociation only).
+    let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()));
+    assert!(close(a.channel_hours, b.channel_hours));
+    assert!(close(a.upgraded_page_mass, b.upgraded_page_mass));
+    assert_eq!(a.epoch_upgraded_hours.len(), b.epoch_upgraded_hours.len());
+    for (ea, eb) in a.epoch_upgraded_hours.iter().zip(&b.epoch_upgraded_hours) {
+        assert!(close(*ea, *eb), "epoch {ea} vs {eb}");
+    }
+}
+
+fn merge_all(parts: &[&FleetStats]) -> FleetStats {
+    let mut acc = FleetStats::default();
+    for p in parts {
+        acc.merge(p);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The streaming-aggregation contract: merging real shard aggregates
+    /// in any shuffled order (commutativity) and under any split point
+    /// (associativity: `(prefix ++ suffix)` merged as two groups first)
+    /// yields the same fleet totals.
+    #[test]
+    fn merge_is_order_and_grouping_independent(seed in 0u64..1_000_000, split in 1usize..7) {
+        let shards = shard_aggregates();
+        let in_order: Vec<&FleetStats> = shards.iter().collect();
+        let baseline = merge_all(&in_order);
+
+        // Fisher–Yates shuffle from the proptest-drawn seed.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shuffled: Vec<&FleetStats> = shards.iter().collect();
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let commuted = merge_all(&shuffled);
+        assert_stats_close(&baseline, &commuted);
+
+        // Associativity: merge two groups separately, then combine.
+        let (lo, hi) = shuffled.split_at(split.min(shuffled.len() - 1));
+        let mut grouped = merge_all(lo);
+        grouped.merge(&merge_all(hi));
+        assert_stats_close(&baseline, &grouped);
+    }
+}

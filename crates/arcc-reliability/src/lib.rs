@@ -26,4 +26,6 @@ pub mod sdc;
 
 pub use faulty_fraction::{faulty_fraction_curve, FaultyFractionPoint};
 pub use lifetime::{lifetime_overhead_curve, LifetimeConfig, LifetimePoint, OverheadModel};
-pub use sdc::{SdcConfig, SdcResult};
+pub use sdc::{
+    active_at, arcc_arrival_is_sdc, detection_time, triple_overlap, SdcConfig, SdcResult,
+};

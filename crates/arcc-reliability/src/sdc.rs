@@ -82,19 +82,39 @@ impl SdcResult {
     }
 }
 
-/// Scrub tick that detects a fault arriving at `t`.
-fn detection_time(t: f64, scrub_h: f64) -> f64 {
+/// Scrub tick that detects a fault arriving at `t`: the first multiple of
+/// `scrub_h` strictly after `t`. Shared with the `arcc-fleet` event
+/// engine, which schedules its detection/upgrade events at exactly this
+/// time so both Monte Carlos agree on scrub semantics.
+pub fn detection_time(t: f64, scrub_h: f64) -> f64 {
     (t / scrub_h).floor() * scrub_h + scrub_h
 }
 
 /// Is fault `f` still active (corrupting reads) at time `t`?
 /// Transient faults are cured by the scrub write-back that detects them.
-fn active_at(f: &FaultEvent, t: f64, scrub_h: f64) -> bool {
+pub fn active_at(f: &FaultEvent, t: f64, scrub_h: f64) -> bool {
     if f.transient {
         t < detection_time(f.time_h, scrub_h)
     } else {
         true
     }
+}
+
+/// Does fault `b`, arriving while `overlapping` earlier faults are active
+/// in its full-width codeword, escape ARCC's detection — i.e. is it an
+/// SDC rather than a DUE?
+///
+/// Two escape routes (Chapter 6): an *undetected* earlier fault in the
+/// same relaxed 18-device half-codeword (the page is still relaxed, its
+/// single-detect budget spent), or a triple overlap in the upgraded
+/// 36-device codeword (detects 2, not 3). This predicate is the single
+/// source of truth shared by [`run_sdc_monte_carlo`] and the
+/// `arcc-fleet` event engine, so their golden agreement is structural.
+pub fn arcc_arrival_is_sdc(overlapping: &[&FaultEvent], b: &FaultEvent, scrub_h: f64) -> bool {
+    let undetected_overlap = overlapping
+        .iter()
+        .any(|a| b.time_h < detection_time(a.time_h, scrub_h) && a.codeword_overlap(b, true));
+    undetected_overlap || triple_overlap(overlapping, b)
 }
 
 /// Runs the Monte Carlo and returns counts.
@@ -134,17 +154,7 @@ pub fn run_sdc_monte_carlo(cfg: &SdcConfig) -> SdcResult {
 
             // --- ARCC accounting -----------------------------------------
             if !arcc_sdc {
-                // Undetected earlier fault in the same *relaxed* (18-device
-                // half-rank) codeword => the page is still relaxed and its
-                // detection budget is spent: SDC.
-                let undetected_overlap = overlapping.iter().any(|a| {
-                    b.time_h < detection_time(a.time_h, cfg.scrub_interval_h)
-                        && a.codeword_overlap(b, true)
-                });
-                // Upgraded-page triple overlap: two detected earlier faults
-                // plus b in one 36-device codeword (detects 2, not 3).
-                let triple = triple_overlap(&overlapping, b);
-                if undetected_overlap || triple {
+                if arcc_arrival_is_sdc(&overlapping, b, cfg.scrub_interval_h) {
                     arcc_sdc = true;
                 } else {
                     result.arcc_due_events += 1;
@@ -171,7 +181,9 @@ pub fn run_sdc_monte_carlo(cfg: &SdcConfig) -> SdcResult {
 
 /// Does `b` complete a *triple* overlap: two distinct earlier faults and
 /// `b` all intersecting at a common location in one 36-device codeword?
-fn triple_overlap(overlapping: &[&FaultEvent], b: &FaultEvent) -> bool {
+/// (Public so the `arcc-fleet` event engine counts upgraded-page escapes
+/// with the very same predicate.)
+pub fn triple_overlap(overlapping: &[&FaultEvent], b: &FaultEvent) -> bool {
     for (i, a1) in overlapping.iter().enumerate() {
         for a2 in &overlapping[i + 1..] {
             if a1.device_pos == a2.device_pos {

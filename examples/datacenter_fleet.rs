@@ -1,10 +1,12 @@
 //! Fleet-scale reliability accounting: the Figure 3.1 / 6.1 questions
 //! answered for an operator — "how much of my memory will ever be
-//! upgraded?" and "what do I pay in silent corruptions for starting
-//! relaxed?"
+//! upgraded?", "what do I pay in silent corruptions for starting
+//! relaxed?", and (via the `arcc::fleet` event engine) "how many spares
+//! do a quarter-million mixed channels actually consume?"
 //!
 //! Run with: `cargo run --release --example datacenter_fleet`
 
+use arcc::fleet::{run_fleet, DimmPopulation, FleetSpec, OperatorPolicy};
 use arcc::reliability::faulty_fraction_curve;
 use arcc::reliability::sdc::{run_sdc_monte_carlo, SdcConfig};
 
@@ -46,5 +48,34 @@ fn main() {
         );
     }
     println!("-> ARCC's SDC rate tracks always-on SCCDCD (the Figure 6.1 result),");
-    println!("   while every fault-free page runs at 18-device power.");
+    println!("   while every fault-free page runs at 18-device power.\n");
+
+    // Beyond the paper's 10k-channel figures: an event-driven what-if at
+    // fleet scale. 250k mixed channels, finite spare pool, one call.
+    println!("=== Event-driven what-if: 250 000 mixed channels, 50 spares/10k ===\n");
+    let spec = FleetSpec::baseline(250_000)
+        .seed(7)
+        .policy(OperatorPolicy::SparePool { spares_per_10k: 50 })
+        .populations(vec![
+            DimmPopulation::paper("cold_1x").weight(0.7),
+            DimmPopulation::paper("hot_4x")
+                .weight(0.3)
+                .rate_multiplier(4.0),
+        ]);
+    let stats = run_fleet(arcc::core::default_threads(), &spec);
+    println!("{:<26} {:>12}", "channels", stats.channels);
+    println!("{:<26} {:>12}", "fault arrivals", stats.faults);
+    println!("{:<26} {:>12}", "DUE events", stats.due_events);
+    println!("{:<26} {:>12}", "replacements", stats.replacements);
+    println!(
+        "{:<26} {:>12}",
+        "channels failed (pool dry)", stats.channels_failed
+    );
+    println!(
+        "{:<26} {:>11.3}%",
+        "avg upgraded page mass",
+        stats.avg_upgraded_fraction() * 100.0
+    );
+    println!("-> per-channel memory is O(1): the same call scales to millions of");
+    println!("   channels with flat memory (see the `fleet` bench binary).");
 }

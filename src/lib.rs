@@ -22,6 +22,7 @@
 //! | [`trace`] | synthetic SPEC-mix traces + analytical multicore model |
 //! | [`core`] | ARCC itself: schemes, page table, scrubber, upgrade engine, system sim |
 //! | [`reliability`] | SDC/DUE Monte Carlo, faulty-fraction and lifetime curves |
+//! | [`fleet`] | sharded event-driven fleet lifetime engine with streaming aggregation |
 //! | [`exp`] | unified experiment API: scenario registry, parallel sweeps, structured reports |
 //!
 //! # Quickstart: survive a chip kill, then get stronger
@@ -60,6 +61,7 @@ pub use arcc_cache as cache;
 pub use arcc_core as core;
 pub use arcc_exp as exp;
 pub use arcc_faults as faults;
+pub use arcc_fleet as fleet;
 pub use arcc_gf as gf;
 pub use arcc_mem as mem;
 pub use arcc_reliability as reliability;

@@ -49,3 +49,22 @@ fn reliability_resolves_and_constructs() {
     let cfg = arcc::reliability::LifetimeConfig::default();
     assert!(cfg.years >= 1);
 }
+
+#[test]
+fn fleet_resolves_and_runs() {
+    let spec = arcc::fleet::FleetSpec::baseline(256).years(2.0);
+    let stats = arcc::fleet::run_fleet(2, &spec);
+    assert_eq!(stats.channels, 256);
+    assert_eq!(stats.channel_hours, 256.0 * spec.horizon_hours());
+}
+
+#[test]
+fn exp_registry_includes_fleet_scenarios() {
+    for name in [
+        "fleet_baseline",
+        "fleet_mixed_population",
+        "fleet_repair_policies",
+    ] {
+        assert!(arcc::exp::find(name).is_some(), "{name} not registered");
+    }
+}
