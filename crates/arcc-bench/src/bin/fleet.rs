@@ -1,18 +1,28 @@
 //! Fleet-scale smoke/throughput driver for the `arcc-fleet` event
-//! engine.
+//! engine, doubling as the CI bench-regression gate.
 //!
 //! Runs the baseline fleet at a ladder of sizes (default
-//! `10_000,100_000,1_000_000` channels; override with a comma-separated
-//! `ARCC_FLEET_SIZES`) and prints channels/second. The million-channel
-//! rung is the CI proof that the engine streams: peak memory is
-//! `O(threads × shard)` regardless of fleet size, because shard
-//! aggregates merge as they complete and no per-channel fault vector
-//! ever exists.
+//! `10_000,100_000,1_000_000,10_000_000` channels; override with a
+//! comma-separated `ARCC_FLEET_SIZES`) and prints channels/second. The
+//! ten-million-channel rung is the CI proof that the engine streams:
+//! peak memory is `O(threads × shard)` regardless of fleet size, because
+//! shard aggregates merge as they complete and no per-channel fault
+//! vector ever exists.
+//!
+//! When `ARCC_BENCH_BASELINE` names a committed `BENCH_fleet.json`, the
+//! measured channels/sec at each rung present in the baseline is checked
+//! against it and the process exits non-zero if any rung drops more than
+//! 30% below — the bucket-scheduler throughput is an acceptance artefact,
+//! so CI fails when it regresses.
 
 use std::time::Instant;
 
 use arcc_exp::default_threads;
 use arcc_fleet::{run_fleet, FleetSpec};
+
+/// Fractional slowdown tolerated against the committed baseline before
+/// the gate fails (bench machines vary; real regressions are larger).
+const REGRESSION_TOLERANCE: f64 = 0.30;
 
 fn sizes() -> Vec<u64> {
     std::env::var("ARCC_FLEET_SIZES")
@@ -23,11 +33,45 @@ fn sizes() -> Vec<u64> {
                 .collect::<Vec<u64>>()
         })
         .filter(|v| !v.is_empty())
-        .unwrap_or_else(|| vec![10_000, 100_000, 1_000_000])
+        .unwrap_or_else(|| vec![10_000, 100_000, 1_000_000, 10_000_000])
+}
+
+/// Extracts `(channels, channels_per_sec)` rungs from the hand-rolled
+/// `BENCH_fleet.json` format (no serde in the offline build).
+fn parse_baseline(text: &str) -> Vec<(u64, f64)> {
+    let mut rungs = Vec::new();
+    for entry in text.split('{').skip(2) {
+        let field = |key: &str| -> Option<&str> {
+            let start = entry.find(key)? + key.len();
+            let rest = &entry[start..];
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+                .unwrap_or(rest.len());
+            Some(&rest[..end])
+        };
+        let channels = field("\"channels\":").and_then(|v| v.parse::<u64>().ok());
+        let rate = field("\"channels_per_sec\":").and_then(|v| v.parse::<f64>().ok());
+        if let (Some(channels), Some(rate)) = (channels, rate) {
+            rungs.push((channels, rate));
+        }
+    }
+    rungs
 }
 
 fn main() {
     let threads = default_threads();
+    let gate_requested = std::env::var("ARCC_BENCH_BASELINE").is_ok();
+    let baseline: Vec<(u64, f64)> = std::env::var("ARCC_BENCH_BASELINE")
+        .ok()
+        .map(|path| match std::fs::read_to_string(&path) {
+            Ok(text) => parse_baseline(&text),
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        })
+        .unwrap_or_default();
+
     println!();
     println!("==================================================================");
     println!("fleet: event-driven lifetime engine throughput ({threads} workers)");
@@ -36,22 +80,61 @@ fn main() {
         "{:>12}  {:>10}  {:>14}  {:>10}  {:>8}",
         "channels", "seconds", "channels/sec", "faults", "DUEs"
     );
+    let mut regressions = Vec::new();
+    let mut rungs_checked = 0usize;
     for channels in sizes() {
         let spec = FleetSpec::baseline(channels);
         let start = Instant::now();
         let stats = run_fleet(threads, &spec);
         let secs = start.elapsed().as_secs_f64();
+        let mut rate = channels as f64 / secs;
         println!(
             "{:>12}  {:>10.3}  {:>14.0}  {:>10}  {:>8}",
-            channels,
-            secs,
-            channels as f64 / secs,
-            stats.faults,
-            stats.due_events
+            channels, secs, rate, stats.faults, stats.due_events
         );
         assert_eq!(stats.channels, channels, "every channel must be simulated");
+        if let Some((_, base_rate)) = baseline.iter().find(|(c, _)| *c == channels) {
+            rungs_checked += 1;
+            let floor = base_rate * (1.0 - REGRESSION_TOLERANCE);
+            if rate < floor {
+                // One retry before failing: the baseline is best-of-3, so
+                // a single noisy measurement must not flake the gate.
+                let start = Instant::now();
+                run_fleet(threads, &spec);
+                rate = rate.max(channels as f64 / start.elapsed().as_secs_f64());
+            }
+            if rate < floor {
+                regressions.push(format!(
+                    "{channels} channels: {rate:.0}/s is more than 30% below \
+                     the committed baseline {base_rate:.0}/s"
+                ));
+            }
+        }
     }
     println!();
     println!("memory note: per-channel state exists only while its shard runs;");
     println!("shard aggregates (a few hundred bytes) are merged streaming, in order.");
+    if gate_requested {
+        // A gate that compared nothing is a misconfiguration, not a pass:
+        // format drift in the baseline (or a size ladder disjoint from the
+        // recorded rungs) must not let regressions ship under a green job.
+        if rungs_checked == 0 {
+            eprintln!(
+                "bench gate FAILED: baseline contained no rungs matching the \
+                 measured sizes ({} baseline rungs parsed)",
+                baseline.len()
+            );
+            std::process::exit(1);
+        }
+        if regressions.is_empty() {
+            println!(
+                "bench gate: all {rungs_checked} rung(s) within 30% of the committed baseline."
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("bench gate FAILED: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

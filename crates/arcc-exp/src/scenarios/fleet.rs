@@ -20,6 +20,46 @@ fn fleet_spec(exp: &Experiment) -> FleetSpec {
         .seed(exp.mc_seed_value() ^ 0xF1EE7)
 }
 
+/// The spec `fleet_baseline` runs.
+pub(crate) fn baseline_spec(exp: &Experiment) -> FleetSpec {
+    fleet_spec(exp)
+}
+
+/// The population mix `fleet_mixed_population` runs.
+pub(crate) fn mixed_populations() -> Vec<DimmPopulation> {
+    vec![
+        DimmPopulation::paper("cold_1x").weight(0.6).cores(4),
+        DimmPopulation::paper("warm_2x")
+            .weight(0.3)
+            .rate_multiplier(2.0)
+            .cores(8),
+        DimmPopulation::paper("hot_4x")
+            .weight(0.1)
+            .rate_multiplier(4.0)
+            .scrub_interval_h(2.0)
+            .cores(16),
+    ]
+}
+
+/// The spec `fleet_mixed_population` runs.
+pub(crate) fn mixed_population_spec(exp: &Experiment) -> FleetSpec {
+    fleet_spec(exp).populations(mixed_populations())
+}
+
+/// The policy grid `fleet_repair_policies` runs, one spec per policy.
+pub(crate) fn repair_policy_specs(exp: &Experiment) -> Vec<FleetSpec> {
+    let base =
+        fleet_spec(exp).populations(vec![DimmPopulation::paper("hot_8x").rate_multiplier(8.0)]);
+    [
+        OperatorPolicy::None,
+        OperatorPolicy::ReplaceOnDue,
+        OperatorPolicy::SparePool { spares_per_10k: 20 },
+    ]
+    .into_iter()
+    .map(|policy| base.clone().policy(policy))
+    .collect()
+}
+
 fn headline_table(stats: &FleetStats) -> Table {
     let mut t = Table::new("fleet", &["metric", "value"]);
     let mut push = |k: &str, v: Value| t.push_row(vec![Value::from(k), v]);
@@ -68,7 +108,7 @@ impl Scenario for FleetBaseline {
 
     fn run(&self, exp: &Experiment) -> Report {
         let mut report = Report::new(self.name(), self.title());
-        let spec = fleet_spec(exp);
+        let spec = baseline_spec(exp);
         let stats = run_fleet(exp.worker_count(), &spec);
         let sampler = FaultSampler::new(FaultGeometry::paper_channel(), FitRates::sridharan_sc12());
         let lambda = sampler.expected_faults(7.0 * HOURS_PER_YEAR);
@@ -106,19 +146,8 @@ impl Scenario for FleetMixedPopulation {
 
     fn run(&self, exp: &Experiment) -> Report {
         let mut report = Report::new(self.name(), self.title());
-        let populations = vec![
-            DimmPopulation::paper("cold_1x").weight(0.6).cores(4),
-            DimmPopulation::paper("warm_2x")
-                .weight(0.3)
-                .rate_multiplier(2.0)
-                .cores(8),
-            DimmPopulation::paper("hot_4x")
-                .weight(0.1)
-                .rate_multiplier(4.0)
-                .scrub_interval_h(2.0)
-                .cores(16),
-        ];
-        let spec = fleet_spec(exp).populations(populations.clone());
+        let spec = mixed_population_spec(exp);
+        let populations = &spec.populations;
         let stats = run_fleet(exp.worker_count(), &spec);
         let mut t = Table::new(
             "populations",
@@ -177,18 +206,13 @@ impl Scenario for FleetRepairPolicies {
     fn run(&self, exp: &Experiment) -> Report {
         let mut report = Report::new(self.name(), self.title());
         // A hot fleet so DUE-driven repairs actually fire at CI scale.
-        let base =
-            fleet_spec(exp).populations(vec![DimmPopulation::paper("hot_8x").rate_multiplier(8.0)]);
-        let policies = [
-            OperatorPolicy::None,
-            OperatorPolicy::ReplaceOnDue,
-            OperatorPolicy::SparePool { spares_per_10k: 20 },
-        ];
-        let runs = parallel_map(exp.worker_count(), &policies, |_, &policy| {
+        let specs = repair_policy_specs(exp);
+        let runs = parallel_map(exp.worker_count(), &specs, |_, spec| {
             // Shards of each policy run sequentially here; the policy grid
             // itself is the parallel axis.
-            run_fleet(1, &base.clone().policy(policy))
+            run_fleet(1, spec)
         });
+        let policies: Vec<OperatorPolicy> = specs.iter().map(|s| s.policy).collect();
         let mut t = Table::new(
             "policies",
             &[
@@ -220,5 +244,47 @@ impl Scenario for FleetRepairPolicies {
         report.push_note("managed fleets end with less upgraded (full-power) page mass than");
         report.push_note("unmanaged ones; a dry spare pool instead retires channels (failed).");
         report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arcc_fleet::SchedulerKind;
+
+    /// Every spec the registered fleet scenarios run, at a CI-quick
+    /// channel count.
+    fn scenario_specs() -> Vec<(String, FleetSpec)> {
+        let exp = Experiment::new().mc_channels(1500).mc_seed(0xAB7);
+        let mut specs = vec![
+            ("fleet_baseline".to_string(), baseline_spec(&exp)),
+            (
+                "fleet_mixed_population".to_string(),
+                mixed_population_spec(&exp),
+            ),
+        ];
+        for spec in repair_policy_specs(&exp) {
+            specs.push((
+                format!("fleet_repair_policies/{}", spec.policy.name()),
+                spec,
+            ));
+        }
+        specs
+    }
+
+    /// The ISSUE's acceptance pin: on every registered fleet scenario's
+    /// spec, the heap and bucket schedulers produce byte-identical
+    /// `FleetStats`.
+    #[test]
+    fn all_fleet_scenarios_agree_across_schedulers() {
+        for (name, spec) in scenario_specs() {
+            let heap = run_fleet(2, &spec.clone().scheduler(SchedulerKind::Heap));
+            let bucket = run_fleet(2, &spec.clone().scheduler(SchedulerKind::Bucket));
+            assert!(
+                heap.bitwise_eq(&bucket),
+                "{name}: schedulers diverged\nheap:   {heap:?}\nbucket: {bucket:?}"
+            );
+            assert!(heap.channels > 0);
+        }
     }
 }

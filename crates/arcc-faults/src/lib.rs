@@ -37,4 +37,4 @@ pub mod montecarlo;
 
 pub use geometry::{AddressSet, DimSel, FaultEvent, FaultGeometry};
 pub use modes::{FaultMode, FitRates};
-pub use montecarlo::{exp_interarrival, FaultSampler, HOURS_PER_YEAR};
+pub use montecarlo::{exp_interarrival, exp_interarrival_from_u, FaultSampler, HOURS_PER_YEAR};

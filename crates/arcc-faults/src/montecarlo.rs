@@ -7,6 +7,7 @@
 //! drawn location. This mirrors step 2 of the paper's §7.1 methodology
 //! (10 000 channels x 7 simulated years).
 
+use rand::distributions::UniformInt;
 use rand::Rng;
 
 use crate::geometry::{FaultEvent, FaultGeometry};
@@ -29,11 +30,28 @@ pub const HOURS_PER_YEAR: f64 = 8760.0;
 ///
 /// Panics if `rate_per_hour` is not strictly positive.
 pub fn exp_interarrival<R: Rng + ?Sized>(rng: &mut R, rate_per_hour: f64) -> f64 {
+    exp_interarrival_from_u(rng.gen_range(0.0..1.0), rate_per_hour)
+}
+
+/// The deterministic half of [`exp_interarrival`]: maps an already-drawn
+/// uniform `u ∈ [0, 1)` to the exponential gap `-ln(1 - u) / rate`.
+///
+/// Splitting the draw from the transform lets callers test the gap
+/// against a threshold *before* paying for the logarithm: `gap >= H`
+/// iff `u >= 1 - exp(-rate * H)`, so a caller that only needs to know
+/// whether the arrival lands inside a horizon can pre-compute the
+/// threshold once and skip the `ln` entirely on the (at field rates,
+/// overwhelmingly common) miss path. The `arcc-fleet` engine's
+/// horizon-bypass fast path is built on exactly this identity.
+///
+/// # Panics
+///
+/// Panics if `rate_per_hour` is not strictly positive.
+pub fn exp_interarrival_from_u(u: f64, rate_per_hour: f64) -> f64 {
     assert!(
         rate_per_hour > 0.0,
         "inter-arrival rate must be positive, got {rate_per_hour}"
     );
-    let u: f64 = rng.gen_range(0.0..1.0);
     -(1.0 - u).ln() / rate_per_hour
 }
 
@@ -42,12 +60,28 @@ pub fn exp_interarrival<R: Rng + ?Sized>(rng: &mut R, rate_per_hour: f64) -> f64
 pub struct FaultSampler {
     geometry: FaultGeometry,
     rates: FitRates,
+    // Precomputed location distributions (bit-identical to `gen_range`
+    // on the same ranges; hoists the rejection-zone modulos out of the
+    // per-fault hot path).
+    dist_bank: UniformInt,
+    dist_row: UniformInt,
+    dist_col: UniformInt,
+    dist_device: UniformInt,
+    dist_rank: UniformInt,
 }
 
 impl FaultSampler {
     /// Creates a sampler for `geometry` at `rates`.
     pub fn new(geometry: FaultGeometry, rates: FitRates) -> Self {
-        Self { geometry, rates }
+        Self {
+            geometry,
+            rates,
+            dist_bank: UniformInt::new(0, geometry.banks),
+            dist_row: UniformInt::new(0, geometry.rows),
+            dist_col: UniformInt::new(0, geometry.cols),
+            dist_device: UniformInt::new(0, geometry.devices_per_rank as u64),
+            dist_rank: UniformInt::new(0, geometry.ranks as u64),
+        }
     }
 
     /// The channel organisation being sampled.
@@ -91,27 +125,37 @@ impl FaultSampler {
         events
     }
 
-    /// Draws the mode and location of one fault arriving at `time_h`.
-    pub fn draw_fault<R: Rng + ?Sized>(&self, rng: &mut R, time_h: f64) -> FaultEvent {
-        let total = self.rates.total_fit();
-        let mut pick = rng.gen_range(0.0..total);
-        let mut mode = FaultMode::SingleBit;
+    /// Attributes a uniform pick in `[0, total_fit())` to a fault mode by
+    /// walking the per-mode FIT ladder in [`FaultMode::ALL`] order.
+    ///
+    /// Floating-point rounding can let `pick` survive every subtraction
+    /// (the sequential remainders of `total_fit()` need not hit zero
+    /// exactly at the top of the ladder), so the remainder is attributed
+    /// to the *final* mode — it is the tail of the CDF — rather than
+    /// silently falling back to a default first mode.
+    pub fn mode_for_pick(&self, mut pick: f64) -> FaultMode {
         for m in FaultMode::ALL {
             let r = self.rates.fit(m);
             if pick < r {
-                mode = m;
-                break;
+                return m;
             }
             pick -= r;
         }
+        FaultMode::ALL[FaultMode::ALL.len() - 1]
+    }
+
+    /// Draws the mode and location of one fault arriving at `time_h`.
+    pub fn draw_fault<R: Rng + ?Sized>(&self, rng: &mut R, time_h: f64) -> FaultEvent {
+        let total = self.rates.total_fit();
+        let mode = self.mode_for_pick(rng.gen_range(0.0..total));
         let g = &self.geometry;
-        let bank = rng.gen_range(0..g.banks);
-        let row = rng.gen_range(0..g.rows);
-        let col = rng.gen_range(0..g.cols);
-        let device_pos = rng.gen_range(0..g.devices_per_rank);
+        let bank = self.dist_bank.sample(rng);
+        let row = self.dist_row.sample(rng);
+        let col = self.dist_col.sample(rng);
+        let device_pos = self.dist_device.sample(rng) as u32;
         let rank = match mode {
             FaultMode::MultiRank => None,
-            _ => Some(rng.gen_range(0..g.ranks)),
+            _ => Some(self.dist_rank.sample(rng) as u32),
         };
         let transient = rng.gen_bool(mode.transient_fraction());
         FaultEvent {
@@ -182,6 +226,47 @@ mod tests {
         assert!(samples.iter().all(|&x| x >= 0.0));
         assert!(samples.iter().any(|&x| x < 1e-4));
         assert!(samples.iter().any(|&x| x > 3.0 * expect_mean));
+    }
+
+    #[test]
+    fn exp_interarrival_from_u_matches_rng_path() {
+        // The split API must be the same transform the RNG path applies.
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut rng2 = rng.clone();
+        for _ in 0..256 {
+            let gap = exp_interarrival(&mut rng, 0.37);
+            let u: f64 = rng2.gen_range(0.0..1.0);
+            assert_eq!(gap.to_bits(), exp_interarrival_from_u(u, 0.37).to_bits());
+        }
+        // Threshold identity the fleet fast path relies on: gap >= H iff
+        // u >= 1 - exp(-rate * H), up to rounding at the exact boundary
+        // (which is why callers keep a secondary `gap >= H` guard on the
+        // pass path). Away from the boundary both directions must hold.
+        let rate: f64 = 2.3e-5;
+        let horizon = 61320.0;
+        let threshold = 1.0 - (-rate * horizon).exp();
+        for u in [0.0, threshold * 0.5, threshold * 0.999_999] {
+            assert!(exp_interarrival_from_u(u, rate) < horizon, "u={u}");
+        }
+        for u in [threshold * 1.000_001, 0.999_999, 1.0 - 2f64.powi(-53)] {
+            assert!(exp_interarrival_from_u(u, rate) >= horizon, "u={u}");
+        }
+    }
+
+    #[test]
+    fn mode_attribution_remainder_lands_on_final_mode() {
+        // A pick that survives every per-mode subtraction (possible when
+        // the sequential remainders round above zero at the top of the
+        // ladder) must land on the last mode, never the SingleBit default.
+        let s = sampler(1.0);
+        let total = s.rates().total_fit();
+        let last = FaultMode::ALL[FaultMode::ALL.len() - 1];
+        assert_eq!(s.mode_for_pick(total), last);
+        assert_eq!(s.mode_for_pick(total * (1.0 + 1e-9)), last);
+        // In-range picks still walk the ladder: zero lands on the first
+        // mode, and a pick just below total lands on the last.
+        assert_eq!(s.mode_for_pick(0.0), FaultMode::ALL[0]);
+        assert_eq!(s.mode_for_pick(total * (1.0 - 1e-12)), last);
     }
 
     #[test]

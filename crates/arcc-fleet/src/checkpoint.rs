@@ -75,7 +75,7 @@ impl FleetCheckpoint {
     pub fn to_text(&self) -> String {
         let s = &self.stats;
         let mut out = String::new();
-        out.push_str("arcc-fleet-checkpoint v1\n");
+        out.push_str("arcc-fleet-checkpoint v2\n");
         out.push_str(&format!("fingerprint={:#x}\n", self.fingerprint));
         out.push_str(&format!("shards_done={}\n", self.shards_done));
         out.push_str(&format!("channels={}\n", s.channels));
@@ -106,6 +106,12 @@ impl FleetCheckpoint {
             .map(|h| format!("{:#x}", h.to_bits()))
             .collect();
         out.push_str(&format!("epoch_upgraded_hours={}\n", epochs.join(",")));
+        let service: Vec<String> = s
+            .epoch_service_hours
+            .iter()
+            .map(|h| format!("{:#x}", h.to_bits()))
+            .collect();
+        out.push_str(&format!("epoch_service_hours={}\n", service.join(",")));
         for (i, p) in s.populations.iter().enumerate() {
             out.push_str(&format!(
                 "population.{i}={},{},{},{},{},{:#x}\n",
@@ -127,7 +133,9 @@ impl FleetCheckpoint {
     pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
         let mut lines = text.lines();
         let header = lines.next().unwrap_or_default();
-        if header != "arcc-fleet-checkpoint v1" {
+        // v1 (pre-service-hours) checkpoints are refused rather than
+        // silently resumed with a zeroed denominator histogram.
+        if header != "arcc-fleet-checkpoint v2" {
             return Err(CheckpointError::Malformed(format!(
                 "unknown header {header:?}"
             )));
@@ -180,14 +188,10 @@ impl FleetCheckpoint {
                 "spares_consumed" => s.spares_consumed = parse_u64(value)?,
                 "upgraded_page_mass" => s.upgraded_page_mass = f64::from_bits(parse_u64(value)?),
                 "epoch_upgraded_hours" => {
-                    s.epoch_upgraded_hours = if value.is_empty() {
-                        Vec::new()
-                    } else {
-                        value
-                            .split(',')
-                            .map(|v| parse_u64(v).map(f64::from_bits))
-                            .collect::<Result<_, _>>()?
-                    };
+                    s.epoch_upgraded_hours = parse_f64_list(value)?;
+                }
+                "epoch_service_hours" => {
+                    s.epoch_service_hours = parse_f64_list(value)?;
                 }
                 k if k.starts_with("population.") => {
                     let idx: usize = k["population.".len()..].parse().map_err(|_| {
@@ -227,6 +231,16 @@ impl FleetCheckpoint {
     }
 }
 
+fn parse_f64_list(value: &str) -> Result<Vec<f64>, CheckpointError> {
+    if value.is_empty() {
+        return Ok(Vec::new());
+    }
+    value
+        .split(',')
+        .map(|v| parse_u64(v).map(f64::from_bits))
+        .collect()
+}
+
 fn parse_u64(v: &str) -> Result<u64, CheckpointError> {
     let v = v.trim();
     let parsed = if let Some(hex) = v.strip_prefix("0x") {
@@ -241,6 +255,7 @@ fn parse_u64(v: &str) -> Result<u64, CheckpointError> {
 mod tests {
     use super::*;
     use crate::spec::DimmPopulation;
+    use arcc_faults::HOURS_PER_YEAR;
 
     fn spec() -> FleetSpec {
         FleetSpec::baseline(2000)
@@ -258,6 +273,7 @@ mod tests {
         ckpt.stats.faults_by_mode[6] = 3;
         ckpt.stats.upgraded_page_mass = 0.123_456_789_012_345_67;
         ckpt.stats.epoch_upgraded_hours[3] = 1.0e-17;
+        ckpt.stats.epoch_service_hours[2] = 512.0 * HOURS_PER_YEAR + 0.5;
         ckpt.stats.populations[1].faults = 12;
         ckpt.stats.populations[1].upgraded_page_mass = 3.25;
         let parsed = FleetCheckpoint::from_text(&ckpt.to_text()).expect("round trip");
@@ -276,11 +292,16 @@ mod tests {
             Err(CheckpointError::Malformed(_))
         ));
         assert!(matches!(
-            FleetCheckpoint::from_text("arcc-fleet-checkpoint v1\nchannels=abc\n"),
+            FleetCheckpoint::from_text("arcc-fleet-checkpoint v2\nchannels=abc\n"),
             Err(CheckpointError::Malformed(_))
         ));
         assert!(matches!(
-            FleetCheckpoint::from_text("arcc-fleet-checkpoint v1\nmystery=1\n"),
+            FleetCheckpoint::from_text("arcc-fleet-checkpoint v2\nmystery=1\n"),
+            Err(CheckpointError::Malformed(_))
+        ));
+        // Pre-service-hours checkpoints are versioned out, not zero-filled.
+        assert!(matches!(
+            FleetCheckpoint::from_text("arcc-fleet-checkpoint v1\nend=1\n"),
             Err(CheckpointError::Malformed(_))
         ));
     }

@@ -1,8 +1,9 @@
 //! The per-shard discrete-event engine.
 //!
 //! One [`ShardEngine`] owns a slice of the fleet's channels and a single
-//! time-ordered event queue. Three event kinds drive a channel through
-//! its service life:
+//! time-ordered event queue (heap or calendar/bucket — see
+//! [`crate::spec::SchedulerKind`]). Three event kinds drive a channel
+//! through its service life:
 //!
 //! * **fault arrivals** — drawn lazily, one exponential gap at a time
 //!   ([`arcc_faults::exp_interarrival`]), so no per-channel fault vector
@@ -12,51 +13,68 @@
 //!   overlap or upgraded triple overlap ⇒ SDC, other overlap ⇒ DUE);
 //! * **scrub detections** — scheduled at the first scrub tick after each
 //!   arrival ([`arcc_reliability::detection_time`]). Detection cures a
-//!   transient fault (write-back) or upgrades the pages a permanent
-//!   fault touches, streaming the upgraded-page mass into the shard's
-//!   power-epoch histogram;
+//!   transient fault (write-back) — and *compacts it out of the active
+//!   list on the spot*, which is why detections reference faults by
+//!   stable per-channel id rather than index — or upgrades the pages a
+//!   permanent fault touches, streaming the upgraded-page mass into the
+//!   shard's power-epoch histogram;
 //! * **replacements** — scheduled by the operator policy on a DUE and
 //!   resolved in event-time order, which is what couples channels: a
 //!   shard-level spare pool must grant spares in the order failures are
 //!   detected, not in channel-index order.
 //!
+//! The fleet-scale fast path: at field rates the overwhelming majority
+//! of channels never see a fault inside the horizon. Because the
+//! exponential gap exceeds `H` exactly when its uniform draw lands at or
+//! above `1 - exp(-rate * H)`, each channel costs one RNG stream seed and
+//! one uniform draw against that precomputed threshold — no logarithm, no
+//! channel state, no queue traffic. Only event-bearing channels get a
+//! [`ChannelState`] slot, and queued events address those sparse slots
+//! directly.
+//!
 //! Determinism: every channel owns its own RNG stream
 //! (`cell_seed(shard_seed, channel_index)`), so results are independent
 //! of event interleaving across channels; ties in time are broken by a
 //! monotone sequence number, making the replay itself deterministic too.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! Both schedulers fire events in identical `(time, seq)` order, so the
+//! scheduler knob never changes a single output bit.
 
 use arcc_core::cell_seed;
 use arcc_faults::montecarlo::FaultSampler;
-use arcc_faults::{exp_interarrival, FaultEvent, FaultMode, HOURS_PER_YEAR};
+use arcc_faults::{
+    exp_interarrival, exp_interarrival_from_u, FaultEvent, FaultMode, HOURS_PER_YEAR,
+};
 use arcc_reliability::{active_at, arcc_arrival_is_sdc, detection_time};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use crate::spec::{FleetSpec, OperatorPolicy};
+use crate::sched::{EventKind, EventQueue, QueuedEvent};
+use crate::spec::{FleetSpec, OperatorPolicy, SchedulerKind};
 use crate::stats::FleetStats;
 
 /// One fault currently resident in a channel.
 #[derive(Debug, Clone)]
 struct ActiveFault {
+    /// Stable per-channel id; queued detections reference this, so the
+    /// list is free to compact (cleared transients are removed outright).
+    id: u32,
     event: FaultEvent,
-    /// Cleared by its detection scrub (transients only); kept in place so
-    /// indices held by queued detection events stay stable.
-    cleared: bool,
 }
 
-/// Live state of one channel slot — O(1) in fleet size and horizon: an
-/// RNG, a handful of flags, and the (rare, field-rate-bounded) active
-/// fault list.
+/// Live state of one *event-bearing* channel slot — channels whose first
+/// arrival falls past the horizon never allocate one. O(1) in fleet size
+/// and horizon: an RNG, a handful of flags, and the active fault list,
+/// which stays bounded by the channel's *permanent* fault count because
+/// cleared transients are compacted away at their detection scrub.
 #[derive(Debug)]
 struct ChannelState {
     rng: StdRng,
-    population: usize,
+    population: u32,
     /// Bumped on replacement/retirement; queued events carry the
     /// generation they were scheduled under and are dropped when stale.
     generation: u32,
+    /// Next stable fault id to hand out.
+    next_fault_id: u32,
     faults: Vec<ActiveFault>,
     /// Product of `(1 - affected_fraction)` over detected permanent
     /// faults: `1 - not_upgraded` is the channel's upgraded page mass.
@@ -65,51 +83,7 @@ struct ChannelState {
     had_fault: bool,
     had_due: bool,
     /// Set when the channel leaves service early (spare pool dry).
-    retired_at: Option<f64>,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
-    /// A fault arrives (payload drawn at processing time).
-    Fault,
-    /// The scrub tick that detects fault `fault_idx`.
-    Detection { fault_idx: usize },
-    /// Policy-scheduled DIMM swap (resolved against the pool on pop).
-    Replacement,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct QueuedEvent {
-    time_h: f64,
-    /// Monotone tie-breaker: equal-time events replay in schedule order.
-    seq: u64,
-    channel: u32,
-    generation: u32,
-    kind: EventKind,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.time_h == other.time_h && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops
-        // first. Times are finite and non-negative by construction.
-        other
-            .time_h
-            .partial_cmp(&self.time_h)
-            .expect("event times are finite")
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+    retired: bool,
 }
 
 /// Event-driven simulator for one shard of the fleet.
@@ -118,16 +92,25 @@ pub struct ShardEngine {
     policy: OperatorPolicy,
     samplers: Vec<FaultSampler>,
     scrub_h: Vec<f64>,
-    channels: Vec<ChannelState>,
-    queue: BinaryHeap<QueuedEvent>,
+    /// Per-population superposed channel fault rate (faults/hour).
+    rates: Vec<f64>,
+    shard_channels: u32,
+    /// Sparse channel states: only channels with at least one in-horizon
+    /// event own a slot; queued events address slots directly.
+    states: Vec<ChannelState>,
+    queue: EventQueue,
     seq: u64,
     spares_left: u32,
+    /// High-water mark of any channel's active-fault list (compaction
+    /// regression guard; observable via [`Self::run_with_peak`] in tests).
+    peak_active_faults: usize,
     stats: FleetStats,
 }
 
 impl ShardEngine {
     /// Builds the engine for shard `shard` of `spec` and primes every
-    /// channel's first fault arrival.
+    /// channel's first fault arrival — channels whose first draw lands
+    /// past the horizon are accounted in bulk and never touch the queue.
     pub fn new(spec: &FleetSpec, shard: u64) -> Self {
         let shard_channels = spec.shard_size(shard);
         let shard_seed = cell_seed(spec.seed, shard);
@@ -142,48 +125,100 @@ impl ShardEngine {
             .iter()
             .map(|p| p.scrub_interval_h)
             .collect();
+        let horizon_h = spec.horizon_hours();
+        let rates: Vec<f64> = samplers.iter().map(|s| s.channel_rate_per_hour()).collect();
+        // First-arrival skip thresholds: gap >= H iff u >= 1 - exp(-r*H).
+        let first_u: Vec<f64> = rates
+            .iter()
+            .map(|&r| {
+                if r > 0.0 {
+                    1.0 - (-r * horizon_h).exp()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        // Sizing hints only (never affect results): expected in-horizon
+        // faults per channel at the hottest population, times the events
+        // each fault schedules (detections are folded, not queued, under
+        // the no-repair policy).
+        let max_rate = rates.iter().cloned().fold(0.0f64, f64::max);
+        let per_fault_events = if matches!(spec.policy, OperatorPolicy::None) {
+            1.3
+        } else {
+            3.2
+        };
+        let events_hint =
+            (per_fault_events * max_rate * horizon_h * shard_channels as f64).ceil() as usize;
+        let queue = match spec.scheduler {
+            SchedulerKind::Heap => EventQueue::heap(),
+            SchedulerKind::Bucket => {
+                EventQueue::bucket(horizon_h, spec.bucket_width_hours(), events_hint)
+            }
+        };
         let mut engine = Self {
-            horizon_h: spec.horizon_hours(),
+            horizon_h,
             policy: spec.policy,
             samplers,
             scrub_h,
-            channels: Vec::with_capacity(shard_channels as usize),
-            queue: BinaryHeap::new(),
+            rates,
+            shard_channels,
+            states: Vec::new(),
+            queue,
             seq: 0,
             spares_left: spec
                 .policy
                 .spares_for_range(first_channel, shard_channels as u64),
+            peak_active_faults: 0,
             stats: FleetStats::empty(spec.epochs(), spec.populations.len()),
         };
-        engine.stats.horizon_hours = engine.horizon_h;
+        engine.stats.horizon_hours = horizon_h;
+        engine.stats.channels += shard_channels as u64;
+        // Reserve for the expected event-bearing channel count (the skip
+        // threshold is exactly that probability) to avoid growth copies.
+        let max_first_u = first_u.iter().cloned().fold(0.0f64, f64::max);
+        engine
+            .states
+            .reserve((shard_channels as f64 * max_first_u * 1.1) as usize + 8);
+        let mut pop_counts = vec![0u64; spec.populations.len()];
         for c in 0..shard_channels {
             let population = spec.population_for(first_channel + c as u64);
-            let mut state = ChannelState {
-                rng: StdRng::seed_from_u64(cell_seed(shard_seed, c as u64)),
-                population,
+            pop_counts[population] += 1;
+            let rate = engine.rates[population];
+            if rate <= 0.0 {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(cell_seed(shard_seed, c as u64));
+            let u: f64 = rng.gen_range(0.0..1.0);
+            if u >= first_u[population] {
+                continue; // first arrival past the horizon: full bypass
+            }
+            let t = exp_interarrival_from_u(u, rate);
+            if t >= horizon_h {
+                continue; // rounding guard at the threshold boundary
+            }
+            let slot = engine.states.len() as u32;
+            engine.states.push(ChannelState {
+                rng,
+                population: population as u32,
                 generation: 0,
+                next_fault_id: 0,
                 faults: Vec::new(),
                 not_upgraded: 1.0,
                 sdc: false,
                 had_fault: false,
                 had_due: false,
-                retired_at: None,
-            };
-            engine.stats.channels += 1;
-            engine.stats.populations[population].channels += 1;
-            let rate = engine.samplers[population].channel_rate_per_hour();
-            if rate > 0.0 {
-                let t = exp_interarrival(&mut state.rng, rate);
-                engine.channels.push(state);
-                engine.schedule(t, c, 0, EventKind::Fault);
-            } else {
-                engine.channels.push(state);
-            }
+                retired: false,
+            });
+            engine.schedule(t, slot, 0, EventKind::Fault);
+        }
+        for (p, n) in pop_counts.iter().enumerate() {
+            engine.stats.populations[p].channels += n;
         }
         engine
     }
 
-    fn schedule(&mut self, time_h: f64, channel: u32, generation: u32, kind: EventKind) {
+    fn schedule(&mut self, time_h: f64, slot: u32, generation: u32, kind: EventKind) {
         if time_h >= self.horizon_h {
             return;
         }
@@ -192,7 +227,7 @@ impl ShardEngine {
         self.queue.push(QueuedEvent {
             time_h,
             seq,
-            channel,
+            slot,
             generation,
             kind,
         });
@@ -200,25 +235,38 @@ impl ShardEngine {
 
     /// Runs the shard to the horizon and returns its aggregate.
     pub fn run(mut self) -> FleetStats {
+        self.drain();
+        self.finalize()
+    }
+
+    /// Test observability: like [`Self::run`], but also reports the
+    /// active-fault-list high-water mark (the compaction guard).
+    #[cfg(test)]
+    fn run_with_peak(mut self) -> (FleetStats, usize) {
+        self.drain();
+        let peak = self.peak_active_faults;
+        (self.finalize(), peak)
+    }
+
+    fn drain(&mut self) {
         while let Some(ev) = self.queue.pop() {
-            let state = &mut self.channels[ev.channel as usize];
+            let state = &self.states[ev.slot as usize];
             if ev.generation != state.generation {
                 continue; // scheduled before a replacement/retirement
             }
             match ev.kind {
-                EventKind::Fault => self.on_fault(ev.channel, ev.time_h),
-                EventKind::Detection { fault_idx } => {
-                    self.on_detection(ev.channel, ev.time_h, fault_idx)
+                EventKind::Fault => self.on_fault(ev.slot, ev.time_h),
+                EventKind::Detection { fault_id } => {
+                    self.on_detection(ev.slot, ev.time_h, fault_id)
                 }
-                EventKind::Replacement => self.on_replacement(ev.channel, ev.time_h),
+                EventKind::Replacement => self.on_replacement(ev.slot, ev.time_h),
             }
         }
-        self.finalize()
     }
 
-    fn on_fault(&mut self, channel: u32, t: f64) {
-        let state = &mut self.channels[channel as usize];
-        let pop = state.population;
+    fn on_fault(&mut self, slot: u32, t: f64) {
+        let state = &mut self.states[slot as usize];
+        let pop = state.population as usize;
         let scrub = self.scrub_h[pop];
         let fault = self.samplers[pop].draw_fault(&mut state.rng, t);
 
@@ -234,6 +282,19 @@ impl ShardEngine {
             self.stats.channels_with_faults += 1;
         }
 
+        // Compaction (no-repair fast path): under `OperatorPolicy::None`
+        // detections are folded into arrival processing below rather than
+        // queued, so spent transients — those whose detection scrub has
+        // passed, which `active_at` would filter from every future
+        // classification anyway — are purged here, keeping the list
+        // bounded by the permanent count. Under repair policies the
+        // detection event itself removes the transient.
+        if matches!(self.policy, OperatorPolicy::None) {
+            state
+                .faults
+                .retain(|a| !a.event.transient || active_at(&a.event, t, scrub));
+        }
+
         // Classify against active earlier faults — the arcc-reliability
         // SDC model, evaluated incrementally via the shared predicate.
         // Once a channel has silently corrupted it is retired from the
@@ -245,7 +306,6 @@ impl ShardEngine {
             let overlapping: Vec<&FaultEvent> = state
                 .faults
                 .iter()
-                .filter(|a| !a.cleared)
                 .map(|a| &a.event)
                 .filter(|a| active_at(a, t, scrub))
                 .filter(|a| a.codeword_overlap(&fault, false))
@@ -270,39 +330,78 @@ impl ShardEngine {
         }
 
         let generation = state.generation;
+        let fault_id = state.next_fault_id;
+        let fault_transient = fault.transient;
+        let fault_mode = fault.mode;
+        state.next_fault_id += 1;
         state.faults.push(ActiveFault {
+            id: fault_id,
             event: fault,
-            cleared: false,
         });
-        let fault_idx = state.faults.len() - 1;
+        self.peak_active_faults = self.peak_active_faults.max(state.faults.len());
         let detect_at = detection_time(t, scrub);
-        let rate = self.samplers[pop].channel_rate_per_hour();
-        let next = t + exp_interarrival(&mut state.rng, rate);
-        self.schedule(
-            detect_at,
-            channel,
-            generation,
-            EventKind::Detection { fault_idx },
-        );
-        self.schedule(next, channel, generation, EventKind::Fault);
+        let next = t + exp_interarrival(&mut state.rng, self.rates[pop]);
+        let mut fold_upgrade = None;
+        if matches!(self.policy, OperatorPolicy::None) {
+            // No replacement or retirement can ever intervene under the
+            // no-repair policy, so the fault's detection outcome is fully
+            // determined right now: fold the scrub bookkeeping in here
+            // instead of a queue round-trip. Detections were half of all
+            // event traffic, so this halves the hot loop's queue work.
+            if detect_at < self.horizon_h {
+                self.stats.detections += 1;
+                if fault_transient {
+                    // Cured by the detecting scrub's write-back; the entry
+                    // itself is compacted by the retain() above once its
+                    // active window lapses.
+                    self.stats.transient_cleared += 1;
+                } else {
+                    let frac = self.samplers[pop]
+                        .geometry()
+                        .affected_page_fraction(fault_mode);
+                    let before = 1.0 - state.not_upgraded;
+                    state.not_upgraded *= 1.0 - frac;
+                    let delta = (1.0 - state.not_upgraded) - before;
+                    if delta > 0.0 {
+                        fold_upgrade = Some(delta);
+                    }
+                }
+            }
+        } else {
+            self.schedule(
+                detect_at,
+                slot,
+                generation,
+                EventKind::Detection { fault_id },
+            );
+        }
+        if let Some(delta) = fold_upgrade {
+            self.add_epoch_mass(delta, detect_at);
+        }
+        self.schedule(next, slot, generation, EventKind::Fault);
         // The DUE is serviced at the scrub that detects it.
         if due && !matches!(self.policy, OperatorPolicy::None) {
-            self.schedule(detect_at, channel, generation, EventKind::Replacement);
+            self.schedule(detect_at, slot, generation, EventKind::Replacement);
         }
     }
 
-    fn on_detection(&mut self, channel: u32, t: f64, fault_idx: usize) {
-        let state = &mut self.channels[channel as usize];
-        let pop = state.population;
-        let fault = &mut state.faults[fault_idx];
-        if fault.cleared {
+    fn on_detection(&mut self, slot: u32, t: f64, fault_id: u32) {
+        let state = &mut self.states[slot as usize];
+        let pop = state.population as usize;
+        // Stable-id lookup: compaction may have shifted indices, but an
+        // id disappears only with its own detection (or a generation
+        // bump, filtered before dispatch), so this finds the fault.
+        let Some(idx) = state.faults.iter().position(|a| a.id == fault_id) else {
             return;
-        }
+        };
         self.stats.detections += 1;
-        if fault.event.transient {
+        if state.faults[idx].event.transient {
             // The scrub's corrected write-back cures it; the page was
-            // never permanently damaged, so no upgrade.
-            fault.cleared = true;
+            // never permanently damaged, so no upgrade — and the entry is
+            // compacted away on the spot (this detection *is* the scrub
+            // boundary), keeping the active list bounded by the
+            // channel's permanent fault count.
+            state.faults.remove(idx);
             self.stats.transient_cleared += 1;
             return;
         }
@@ -310,7 +409,7 @@ impl ShardEngine {
         // spared-product form, so overlapping faults never double-count).
         let frac = self.samplers[pop]
             .geometry()
-            .affected_page_fraction(fault.event.mode);
+            .affected_page_fraction(state.faults[idx].event.mode);
         let before = 1.0 - state.not_upgraded;
         state.not_upgraded *= 1.0 - frac;
         let delta = (1.0 - state.not_upgraded) - before;
@@ -319,17 +418,17 @@ impl ShardEngine {
         }
     }
 
-    fn on_replacement(&mut self, channel: u32, t: f64) {
+    fn on_replacement(&mut self, slot: u32, t: f64) {
         if let OperatorPolicy::SparePool { .. } = self.policy {
             if self.spares_left == 0 {
-                self.retire(channel, t);
+                self.retire(slot, t);
                 return;
             }
             self.spares_left -= 1;
             self.stats.spares_consumed += 1;
         }
-        let state = &mut self.channels[channel as usize];
-        let pop = state.population;
+        let state = &mut self.states[slot as usize];
+        let pop = state.population as usize;
         self.stats.replacements += 1;
         self.stats.populations[pop].replacements += 1;
         // The fresh DIMM starts fully relaxed: withdraw the upgraded mass
@@ -338,53 +437,96 @@ impl ShardEngine {
         if upgraded > 0.0 {
             self.add_epoch_mass(-upgraded, t);
         }
-        let state = &mut self.channels[channel as usize];
+        let state = &mut self.states[slot as usize];
         state.generation += 1;
         state.faults.clear();
         state.not_upgraded = 1.0;
         let generation = state.generation;
-        let rate = self.samplers[pop].channel_rate_per_hour();
+        let rate = self.rates[pop];
         if rate > 0.0 {
             let next = t + exp_interarrival(&mut state.rng, rate);
-            self.schedule(next, channel, generation, EventKind::Fault);
+            self.schedule(next, slot, generation, EventKind::Fault);
         }
     }
 
-    fn retire(&mut self, channel: u32, t: f64) {
-        let state = &mut self.channels[channel as usize];
+    fn retire(&mut self, slot: u32, t: f64) {
+        let state = &mut self.states[slot as usize];
         self.stats.channels_failed += 1;
         let upgraded = 1.0 - state.not_upgraded;
+        state.retired = true;
+        state.generation += 1; // drop every queued event for this slot
         if upgraded > 0.0 {
             self.add_epoch_mass(-upgraded, t);
         }
-        let state = &mut self.channels[channel as usize];
-        state.retired_at = Some(t);
-        state.generation += 1; // drop every queued event for this slot
+        // Service accounting stops now: hours served so far, and the
+        // channel's remaining per-epoch service hours are withdrawn.
+        self.stats.channel_hours += t;
+        self.add_epoch_service(-1.0, t);
     }
 
     /// Streams `delta` pages-fraction of upgraded mass into every year
     /// epoch from `from_h` to the horizon (time-weighted).
     fn add_epoch_mass(&mut self, delta: f64, from_h: f64) {
-        for (y, acc) in self.stats.epoch_upgraded_hours.iter_mut().enumerate() {
-            let lo = (y as f64 * HOURS_PER_YEAR).max(from_h);
-            let hi = ((y + 1) as f64 * HOURS_PER_YEAR).min(self.horizon_h);
-            if hi > lo {
-                *acc += delta * (hi - lo);
-            }
-        }
+        year_weighted_add(
+            &mut self.stats.epoch_upgraded_hours,
+            self.horizon_h,
+            delta,
+            from_h,
+        );
+    }
+
+    /// Streams `delta` channels' worth of in-service hours into every
+    /// year epoch from `from_h` to the horizon (`delta = -1.0` withdraws
+    /// a retiring channel's remaining service).
+    fn add_epoch_service(&mut self, delta: f64, from_h: f64) {
+        year_weighted_add(
+            &mut self.stats.epoch_service_hours,
+            self.horizon_h,
+            delta,
+            from_h,
+        );
     }
 
     fn finalize(mut self) -> FleetStats {
-        for state in &self.channels {
-            let end = state.retired_at.unwrap_or(self.horizon_h);
-            self.stats.channel_hours += end;
-            if state.retired_at.is_none() {
-                let upgraded = 1.0 - state.not_upgraded;
-                self.stats.upgraded_page_mass += upgraded;
-                self.stats.populations[state.population].upgraded_page_mass += upgraded;
+        // Channels that never retired serve the full horizon: one bulk
+        // product instead of per-channel additions (retired channels
+        // already streamed their hours at retirement).
+        let in_service = self.shard_channels as u64 - self.stats.channels_failed;
+        self.stats.channel_hours += in_service as f64 * self.horizon_h;
+        // Base per-epoch service: every channel counts in full; the
+        // retirement-time withdrawals above already subtracted the lost
+        // tails, so the sum is exactly the in-service channel-hours.
+        for (y, acc) in self.stats.epoch_service_hours.iter_mut().enumerate() {
+            let lo = y as f64 * HOURS_PER_YEAR;
+            let hi = ((y + 1) as f64 * HOURS_PER_YEAR).min(self.horizon_h);
+            if hi > lo {
+                *acc += self.shard_channels as f64 * (hi - lo);
             }
         }
+        for state in std::mem::take(&mut self.states) {
+            if state.retired {
+                continue;
+            }
+            let upgraded = 1.0 - state.not_upgraded;
+            self.stats.upgraded_page_mass += upgraded;
+            self.stats.populations[state.population as usize].upgraded_page_mass += upgraded;
+        }
         self.stats
+    }
+}
+
+/// Adds `delta * (hours of year y within [from_h, horizon_h))` to each
+/// entry of `acc` — the shared kernel of the upgraded-mass and
+/// service-hour epoch histograms. Epochs fully before `from_h`
+/// contribute nothing and are skipped.
+fn year_weighted_add(acc: &mut [f64], horizon_h: f64, delta: f64, from_h: f64) {
+    let first = ((from_h / HOURS_PER_YEAR) as usize).min(acc.len());
+    for (y, slot) in acc.iter_mut().enumerate().skip(first) {
+        let lo = (y as f64 * HOURS_PER_YEAR).max(from_h);
+        let hi = ((y + 1) as f64 * HOURS_PER_YEAR).min(horizon_h);
+        if hi > lo {
+            *slot += delta * (hi - lo);
+        }
     }
 }
 
@@ -407,6 +549,20 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.channels, 500);
         assert!(a.faults > 0, "4x rates over 7y must produce faults");
+    }
+
+    #[test]
+    fn heap_and_bucket_schedulers_agree_bit_for_bit() {
+        for mult in [4.0, 30.0] {
+            let spec =
+                quick_spec(800, mult).policy(OperatorPolicy::SparePool { spares_per_10k: 20 });
+            let heap = ShardEngine::new(&spec.clone().scheduler(SchedulerKind::Heap), 0).run();
+            let bucket = ShardEngine::new(&spec.scheduler(SchedulerKind::Bucket), 0).run();
+            assert!(
+                heap.bitwise_eq(&bucket),
+                "{mult}x: schedulers diverged: {heap:?} vs {bucket:?}"
+            );
+        }
     }
 
     #[test]
@@ -445,6 +601,38 @@ mod tests {
     }
 
     #[test]
+    fn active_fault_list_stays_bounded_by_permanents() {
+        // One channel, enormous rates: hundreds of faults over the
+        // horizon, the majority transient. Compaction keeps the active
+        // list near the permanent count; the pre-fix engine (cleared
+        // entries retained for index stability) peaked at the *total*
+        // arrival count.
+        let spec = quick_spec(1, 2000.0);
+        let (stats, peak) = ShardEngine::new(&spec, 0).run_with_peak();
+        assert!(
+            stats.faults > 200,
+            "need a busy channel, got {}",
+            stats.faults
+        );
+        assert!(stats.transient_cleared > 50);
+        let permanents = (stats.detections - stats.transient_cleared) as usize;
+        assert!(
+            peak <= permanents + 32,
+            "active list peaked at {peak} with only {permanents} permanents: \
+             cleared transients are leaking"
+        );
+        // The pre-fix engine kept every cleared entry, so its peak was the
+        // total arrival count; with compaction the cleared transients can
+        // never all be resident at once.
+        assert!(
+            peak + stats.transient_cleared as usize / 2 < stats.faults as usize,
+            "peak {peak} tracks total arrivals {} despite {} cleared transients",
+            stats.faults,
+            stats.transient_cleared
+        );
+    }
+
+    #[test]
     fn replace_on_due_resets_channels() {
         // High rates make DUE overlaps likely enough to exercise the path.
         let base = quick_spec(3000, 30.0);
@@ -477,6 +665,33 @@ mod tests {
         assert!(stats.channels_failed > 0, "dry pool must retire channels");
         // Failed channels stop accruing service hours.
         assert!(stats.channel_hours < stats.channels as f64 * spec.horizon_hours());
+        // Per-epoch service hours track the same retirements: they sum to
+        // the in-service channel-hours...
+        let service_sum: f64 = stats.epoch_service_hours.iter().sum();
+        assert!(
+            (service_sum - stats.channel_hours).abs() <= 1e-6 * stats.channel_hours,
+            "epoch service hours {service_sum} vs channel hours {}",
+            stats.channel_hours
+        );
+        // ...and late epochs (after retirements began) must sit below the
+        // naive full-fleet denominator.
+        let full_year = stats.channels as f64 * HOURS_PER_YEAR;
+        assert!(stats.epoch_service_hours[6] < full_year);
+        // Power overhead divides by *in-service* hours, so the reported
+        // per-year overhead can only be at or above the naive average —
+        // strictly above once channels have retired mid-epoch.
+        let by_year = stats.avg_power_overhead_by_year();
+        for (y, overhead) in by_year.iter().enumerate() {
+            let naive = stats.epoch_upgraded_hours[y] / full_year;
+            assert!(
+                *overhead >= naive - 1e-15,
+                "year {y}: overhead {overhead} under naive {naive}"
+            );
+        }
+        assert!(
+            by_year[6] > stats.epoch_upgraded_hours[6] / full_year,
+            "retired channels must shrink the year-7 denominator"
+        );
     }
 
     #[test]

@@ -19,6 +19,14 @@
 //!   upgrade pages at exactly the `arcc-reliability` scrub ticks, and
 //!   policy replacements are granted in detection order — **O(1) memory
 //!   per in-flight channel**, no fault vectors;
+//! * the default scheduler is a **calendar/bucket queue keyed on scrub
+//!   epochs** ([`SchedulerKind::Bucket`]): channels whose first
+//!   lazily-drawn arrival falls past the horizon — at field rates, the
+//!   overwhelming majority — are dispatched with one uniform draw
+//!   against a precomputed `1 - exp(-rate·H)` threshold and never touch
+//!   the queue, state table, or a logarithm; the heap scheduler remains
+//!   as the reference, and both produce **byte-identical** results
+//!   (pinned by `tests/sched_ab.rs`), so checkpoints cross schedulers;
 //! * the sharded runner ([`run_fleet`]) executes shards on the
 //!   workspace's deterministic `parallel_map`/`cell_seed` contract and
 //!   folds fixed-size [`FleetStats`] aggregates through an associative
@@ -57,10 +65,11 @@
 pub mod checkpoint;
 pub mod engine;
 pub mod runner;
+mod sched;
 pub mod spec;
 pub mod stats;
 
 pub use checkpoint::{CheckpointError, FleetCheckpoint};
 pub use runner::{resume_fleet, run_fleet, run_fleet_until, run_shard};
-pub use spec::{DimmPopulation, FleetSpec, OperatorPolicy, DEFAULT_SHARD_CHANNELS};
+pub use spec::{DimmPopulation, FleetSpec, OperatorPolicy, SchedulerKind, DEFAULT_SHARD_CHANNELS};
 pub use stats::{FleetStats, PopulationStats, MODE_COUNT};

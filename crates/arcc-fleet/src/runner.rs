@@ -10,7 +10,10 @@
 //! Because the fold is always in shard order and every shard derives its
 //! RNG streams from `cell_seed(spec.seed, shard)`, a parallel run is
 //! byte-identical to a sequential one, and a resumed run byte-identical
-//! to an uninterrupted one.
+//! to an uninterrupted one. The spec's scheduler knob
+//! ([`crate::SchedulerKind`]) is orthogonal to all of this: heap and
+//! bucket shards produce byte-identical aggregates, so runs (and
+//! checkpoints) mix schedulers freely.
 
 use arcc_core::parallel_map;
 

@@ -1,0 +1,361 @@
+//! Event scheduling for the shard engine: two interchangeable queue
+//! implementations behind one enum.
+//!
+//! The determinism contract of the whole crate rests on a single total
+//! order: events fire in ascending `(time_h, seq)` — `seq` is the
+//! monotone schedule-order tie-breaker — and both queues here pop in
+//! exactly that order. Because they are *observationally identical*, the
+//! scheduler choice is a pure performance knob: `FleetStats` from a
+//! [`HeapQueue`] run and a [`BucketQueue`] run are byte-for-byte equal
+//! (pinned by `tests/sched_ab.rs`), and the knob deliberately stays out
+//! of [`crate::FleetSpec::fingerprint`] so checkpoints written under one
+//! scheduler resume under the other.
+//!
+//! [`BucketQueue`] is a calendar queue keyed on scrub epochs: pushes are
+//! O(1) appends into coarse time buckets (default width = the scrub
+//! interval, so every scrub tick's detection batch lands at the head of
+//! its own bucket), and a bucket is sorted only when the sweep reaches
+//! it. Correctness does not depend on bucket boundaries being exact:
+//! the bucket index is a *monotone* function of time (float truncation
+//! of `t * inv_width` is monotone), so an event mis-rounded across a
+//! boundary still sorts correctly — it is merged into the live drain
+//! stack if its bucket has already been taken.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What a queued event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// A fault arrives (payload drawn at processing time).
+    Fault,
+    /// The scrub tick that detects the fault with this stable per-channel
+    /// id. Ids (not indices) keep queued detections valid while the
+    /// active-fault list compacts cleared transients away.
+    Detection {
+        /// Stable per-channel fault id (`ChannelState::next_fault_id`).
+        fault_id: u32,
+    },
+    /// Policy-scheduled DIMM swap (resolved against the pool on pop).
+    Replacement,
+}
+
+/// One scheduled event, ordered by `(time_h, seq)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueuedEvent {
+    /// Fire time in hours.
+    pub time_h: f64,
+    /// Monotone tie-breaker: equal-time events replay in schedule order.
+    pub seq: u64,
+    /// Index into the engine's (sparse) channel-state table.
+    pub slot: u32,
+    /// Generation the event was scheduled under; stale events are dropped.
+    pub generation: u32,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl QueuedEvent {
+    /// Strict "fires later than" on the `(time_h, seq)` total order.
+    #[inline]
+    fn after(&self, other: &Self) -> bool {
+        self.time_h > other.time_h || (self.time_h == other.time_h && self.seq > other.seq)
+    }
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_h == other.time_h && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops
+        // first. Times are finite and non-negative by construction.
+        other
+            .time_h
+            .partial_cmp(&self.time_h)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Hard cap on calendar size, a backstop against pathological
+/// scrub-interval/horizon ratios (the width is widened to compensate).
+const MAX_BUCKETS: usize = 1 << 20;
+
+/// Sentinel for "no event" in the per-bucket chain heads.
+const EMPTY: u32 = u32::MAX;
+
+/// A calendar queue: coarse time buckets swept in order, each sorted
+/// lazily when the sweep reaches it. Buckets are intrusive chains
+/// through one push-only arena — three flat allocations total, no
+/// per-bucket `Vec`s (allocator traffic is what made a naive calendar no
+/// faster than the heap).
+///
+/// Invariants:
+/// * `stack` holds the still-pending events of every bucket below
+///   `draining`, sorted descending on `(time_h, seq)` (next event last);
+/// * `heads[b]` for `b >= draining` chains that bucket's future events
+///   through `arena` in reverse push order;
+/// * simulation time never runs backwards, so a push always lands at or
+///   after the last popped event — into a bucket `>= draining`, or
+///   merged into `stack` when its (monotone) bucket was already taken.
+#[derive(Debug)]
+pub(crate) struct BucketQueue {
+    inv_width: f64,
+    /// Head arena index of each bucket's chain (`EMPTY` = none).
+    heads: Vec<u32>,
+    /// Push-only event storage: `(event, next index in chain)`.
+    arena: Vec<(QueuedEvent, u32)>,
+    /// Next bucket index the sweep will take.
+    draining: usize,
+    /// Pending events of taken buckets, sorted descending (next pop last).
+    stack: Vec<QueuedEvent>,
+    len: usize,
+}
+
+impl BucketQueue {
+    /// A calendar covering `[0, horizon_h)` in buckets of `width_h`
+    /// hours. `events_hint` (an upper estimate of total pushes) widens
+    /// sparse calendars: more than ~2 buckets per expected event buys no
+    /// sorting locality and costs allocation plus empty-bucket sweeps.
+    pub fn new(horizon_h: f64, width_h: f64, events_hint: usize) -> Self {
+        assert!(horizon_h > 0.0, "horizon must be positive");
+        assert!(width_h > 0.0, "bucket width must be positive");
+        let natural = (horizon_h / width_h).ceil().max(1.0);
+        let cap = (2 * events_hint.max(1)).clamp(64, MAX_BUCKETS) as f64;
+        let (count, width) = if natural <= cap {
+            (natural as usize, width_h)
+        } else {
+            (cap as usize, horizon_h / cap)
+        };
+        BucketQueue {
+            inv_width: 1.0 / width,
+            // One spare bucket so horizon-adjacent rounding stays in
+            // range even before the `min` clamp.
+            heads: vec![EMPTY; count + 1],
+            arena: Vec::with_capacity(events_hint.min(1 << 16)),
+            draining: 0,
+            stack: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Monotone-in-time bucket index (truncation of `t * inv_width`,
+    /// clamped to the calendar).
+    #[inline]
+    fn bucket_of(&self, time_h: f64) -> usize {
+        ((time_h * self.inv_width) as usize).min(self.heads.len() - 1)
+    }
+
+    #[inline]
+    pub fn push(&mut self, ev: QueuedEvent) {
+        self.len += 1;
+        let b = self.bucket_of(ev.time_h);
+        if b < self.draining {
+            // The event's bucket was already swept (same-bucket push from
+            // the event being processed, or boundary rounding): merge it
+            // into the live stack at its sorted position.
+            let pos = self.stack.partition_point(|q| q.after(&ev));
+            self.stack.insert(pos, ev);
+        } else {
+            let idx = self.arena.len() as u32;
+            self.arena.push((ev, self.heads[b]));
+            self.heads[b] = idx;
+        }
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<QueuedEvent> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.stack.is_empty() {
+            // `len > 0` guarantees a non-empty bucket ahead of the sweep.
+            let mut idx = self.heads[self.draining];
+            self.draining += 1;
+            if idx != EMPTY {
+                while idx != EMPTY {
+                    let (ev, next) = self.arena[idx as usize];
+                    self.stack.push(ev);
+                    idx = next;
+                }
+                // `QueuedEvent::cmp` is inverted for the max-heap (Greater
+                // = fires earlier), so plain ascending sort yields the
+                // descending stack: next event to fire at the end.
+                self.stack.sort_unstable();
+            }
+        }
+        self.len -= 1;
+        self.stack.pop()
+    }
+}
+
+/// The shard engine's event queue: the reference binary heap or the
+/// calendar queue, selected by [`crate::spec::SchedulerKind`].
+#[derive(Debug)]
+pub(crate) enum EventQueue {
+    /// `BinaryHeap` priority queue (the PR 3 reference scheduler).
+    Heap(BinaryHeap<QueuedEvent>),
+    /// Calendar/bucket queue keyed on scrub epochs.
+    Bucket(BucketQueue),
+}
+
+impl EventQueue {
+    pub fn heap() -> Self {
+        EventQueue::Heap(BinaryHeap::new())
+    }
+
+    pub fn bucket(horizon_h: f64, width_h: f64, events_hint: usize) -> Self {
+        EventQueue::Bucket(BucketQueue::new(horizon_h, width_h, events_hint))
+    }
+
+    #[inline]
+    pub fn push(&mut self, ev: QueuedEvent) {
+        match self {
+            EventQueue::Heap(h) => h.push(ev),
+            EventQueue::Bucket(b) => b.push(ev),
+        }
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<QueuedEvent> {
+        match self {
+            EventQueue::Heap(h) => h.pop(),
+            EventQueue::Bucket(b) => b.pop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ev(time_h: f64, seq: u64) -> QueuedEvent {
+        QueuedEvent {
+            time_h,
+            seq,
+            slot: 0,
+            generation: 0,
+            kind: EventKind::Fault,
+        }
+    }
+
+    /// Replays a time-forward push/pop trace (pushes only at or after the
+    /// last popped time, like the engine) against both queues and demands
+    /// identical pop sequences.
+    fn ab_trace(width_h: f64, seed: u64) {
+        let horizon = 100.0;
+        let mut heap: BinaryHeap<QueuedEvent> = BinaryHeap::new();
+        let mut bucket = BucketQueue::new(horizon, width_h, 64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<QueuedEvent>,
+                    bucket: &mut BucketQueue,
+                    seq: &mut u64,
+                    t: f64| {
+            if t >= horizon {
+                return;
+            }
+            let e = ev(t, *seq);
+            *seq += 1;
+            heap.push(e);
+            bucket.push(e);
+        };
+        for _ in 0..64 {
+            let t = rng.gen_range(0.0..horizon);
+            // Mix in exact bucket-boundary times (scrub-tick detections).
+            let t = if rng.gen_bool(0.3) {
+                (t / width_h).floor() * width_h
+            } else {
+                t
+            };
+            push(&mut heap, &mut bucket, &mut seq, t);
+        }
+        loop {
+            let a = heap.pop();
+            let b = bucket.pop();
+            match (a, b) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.time_h.to_bits(), b.time_h.to_bits());
+                    assert_eq!(a.seq, b.seq);
+                    // Event-driven reschedules: zero-gap ties, same-tick
+                    // detections, and ordinary forward gaps.
+                    if a.seq % 3 == 0 {
+                        push(&mut heap, &mut bucket, &mut seq, a.time_h);
+                    }
+                    if a.seq % 5 == 0 {
+                        let tick = (a.time_h / width_h).floor() * width_h + width_h;
+                        push(&mut heap, &mut bucket, &mut seq, tick);
+                    }
+                    if a.seq % 2 == 0 {
+                        push(
+                            &mut heap,
+                            &mut bucket,
+                            &mut seq,
+                            a.time_h + rng.gen_range(0.0..20.0),
+                        );
+                    }
+                }
+                (a, b) => panic!("queues disagree on length: heap={a:?} bucket={b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_pops_in_heap_order_across_widths() {
+        // Dyadic, non-dyadic, tiny, and wider-than-horizon widths; the
+        // non-dyadic ones exercise boundary rounding in bucket_of.
+        for (i, width) in [4.0, 3.0, 0.7, 17.3, 250.0].iter().enumerate() {
+            for seed in 0..8u64 {
+                ab_trace(*width, seed * 31 + i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let mut q = BucketQueue::new(10.0, 1.0, 4);
+        assert!(q.pop().is_none());
+        q.push(ev(5.0, 0));
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn calendar_is_widened_for_sparse_workloads() {
+        // 1e6 natural buckets but only ~8 events: the calendar must be
+        // clamped rather than allocating a million empty cells.
+        let q = BucketQueue::new(1e6, 1.0, 8);
+        assert!(q.heads.len() <= 65);
+        // A dense workload keeps the requested width.
+        let q = BucketQueue::new(100.0, 4.0, 1000);
+        assert_eq!(q.heads.len(), 26);
+    }
+
+    #[test]
+    fn same_tick_detection_batch_preserves_seq_order() {
+        // Several events at one exact bucket boundary must pop in seq
+        // order (the scrub detection batch contract).
+        let mut q = BucketQueue::new(100.0, 4.0, 16);
+        for s in 0..5 {
+            q.push(ev(8.0, s));
+        }
+        q.push(ev(7.5, 99));
+        assert_eq!(q.pop().unwrap().seq, 99);
+        for s in 0..5 {
+            assert_eq!(q.pop().unwrap().seq, s);
+        }
+    }
+}

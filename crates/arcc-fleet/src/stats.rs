@@ -88,6 +88,14 @@ pub struct FleetStats {
     /// turns entry `y` into the fleet's average power overhead in year
     /// `y`.
     pub epoch_upgraded_hours: Vec<f64>,
+    /// Per-epoch in-service channel-hours: for each year of the horizon,
+    /// the hours channels actually served in that year (retired channels
+    /// stop contributing mid-epoch). This is the denominator of
+    /// [`Self::avg_power_overhead_by_year`] — dividing by the full
+    /// `channels * epoch_hours` instead would underreport power overhead
+    /// for fleets that lost channels to spare-pool exhaustion. Sums to
+    /// [`Self::channel_hours`] (up to rounding).
+    pub epoch_service_hours: Vec<f64>,
     /// Per-population slices, indexed by the spec's population order.
     pub populations: Vec<PopulationStats>,
 }
@@ -98,6 +106,7 @@ impl FleetStats {
     pub fn empty(epochs: usize, populations: usize) -> Self {
         Self {
             epoch_upgraded_hours: vec![0.0; epochs],
+            epoch_service_hours: vec![0.0; epochs],
             populations: vec![PopulationStats::default(); populations],
             ..Self::default()
         }
@@ -133,6 +142,17 @@ impl FleetStats {
             .epoch_upgraded_hours
             .iter_mut()
             .zip(&other.epoch_upgraded_hours)
+        {
+            *a += b;
+        }
+        if self.epoch_service_hours.len() < other.epoch_service_hours.len() {
+            self.epoch_service_hours
+                .resize(other.epoch_service_hours.len(), 0.0);
+        }
+        for (a, b) in self
+            .epoch_service_hours
+            .iter_mut()
+            .zip(&other.epoch_service_hours)
         {
             *a += b;
         }
@@ -198,17 +218,27 @@ impl FleetStats {
     }
 
     /// The power-epoch histogram as fleet-average power overhead per year
-    /// (worst-case ARCC model: overhead equals the upgraded fraction).
-    /// A fractional final year is averaged over its actual in-service
-    /// hours, not a full year.
+    /// (worst-case ARCC model: overhead equals the upgraded fraction),
+    /// averaged over the hours channels were actually *in service* that
+    /// year ([`Self::epoch_service_hours`]) — so a fleet that retired
+    /// channels to spare-pool exhaustion reports the overhead its
+    /// surviving channels really paid, instead of diluting it across
+    /// hardware that was already pulled. Hand-assembled aggregates
+    /// without service tracking fall back to the full-fleet denominator
+    /// (a fractional final year still counts only its in-horizon hours).
     pub fn avg_power_overhead_by_year(&self) -> Vec<f64> {
         self.epoch_upgraded_hours
             .iter()
             .enumerate()
             .map(|(y, h)| {
-                let epoch_hours =
-                    (self.horizon_hours - y as f64 * HOURS_PER_YEAR).clamp(0.0, HOURS_PER_YEAR);
-                let denom = self.channels as f64 * epoch_hours;
+                let tracked = self.epoch_service_hours.get(y).copied().unwrap_or(0.0);
+                let denom = if tracked > 0.0 {
+                    tracked
+                } else {
+                    let epoch_hours =
+                        (self.horizon_hours - y as f64 * HOURS_PER_YEAR).clamp(0.0, HOURS_PER_YEAR);
+                    self.channels as f64 * epoch_hours
+                };
                 if denom > 0.0 {
                     h / denom
                 } else {
@@ -216,6 +246,46 @@ impl FleetStats {
                 }
             })
             .collect()
+    }
+
+    /// Bit-level equality across every field — stricter than `PartialEq`
+    /// for the float sums (`-0.0 == 0.0` and such round-trips are *not*
+    /// forgiven). This is the predicate the scheduler A/B tests pin:
+    /// heap and bucket runs of one spec must satisfy it.
+    pub fn bitwise_eq(&self, other: &FleetStats) -> bool {
+        let bits = |a: f64, b: f64| a.to_bits() == b.to_bits();
+        let vec_bits =
+            |a: &[f64], b: &[f64]| a.len() == b.len() && a.iter().zip(b).all(|(x, y)| bits(*x, *y));
+        self.channels == other.channels
+            && bits(self.horizon_hours, other.horizon_hours)
+            && bits(self.channel_hours, other.channel_hours)
+            && self.faults == other.faults
+            && self.faults_by_mode == other.faults_by_mode
+            && self.transient_cleared == other.transient_cleared
+            && self.detections == other.detections
+            && self.due_events == other.due_events
+            && self.sdc_channels == other.sdc_channels
+            && self.channels_with_faults == other.channels_with_faults
+            && self.channels_with_due == other.channels_with_due
+            && self.channels_failed == other.channels_failed
+            && self.replacements == other.replacements
+            && self.spares_consumed == other.spares_consumed
+            && bits(self.upgraded_page_mass, other.upgraded_page_mass)
+            && vec_bits(&self.epoch_upgraded_hours, &other.epoch_upgraded_hours)
+            && vec_bits(&self.epoch_service_hours, &other.epoch_service_hours)
+            && self.populations.len() == other.populations.len()
+            && self
+                .populations
+                .iter()
+                .zip(&other.populations)
+                .all(|(a, b)| {
+                    a.channels == b.channels
+                        && a.faults == b.faults
+                        && a.due_events == b.due_events
+                        && a.sdc_channels == b.sdc_channels
+                        && a.replacements == b.replacements
+                        && bits(a.upgraded_page_mass, b.upgraded_page_mass)
+                })
     }
 }
 
@@ -263,13 +333,46 @@ mod tests {
     fn merge_pads_shorter_histograms() {
         let mut a = FleetStats::empty(1, 1);
         a.epoch_upgraded_hours[0] = 1.0;
+        a.epoch_service_hours[0] = 3.0;
         let mut b = FleetStats::empty(4, 3);
         b.epoch_upgraded_hours[3] = 2.0;
+        b.epoch_service_hours[3] = 7.0;
         b.populations[2].channels = 5;
         a.merge(&b);
         assert_eq!(a.epoch_upgraded_hours, vec![1.0, 0.0, 0.0, 2.0]);
+        assert_eq!(a.epoch_service_hours, vec![3.0, 0.0, 0.0, 7.0]);
         assert_eq!(a.populations.len(), 3);
         assert_eq!(a.populations[2].channels, 5);
+    }
+
+    #[test]
+    fn power_overhead_divides_by_in_service_hours() {
+        // 10 channels, but half the year-1 service hours were lost to
+        // retirements: the overhead must divide by the 5-channel-years
+        // actually served, i.e. come out twice the naive average.
+        let mut s = FleetStats::empty(1, 1);
+        s.channels = 10;
+        s.horizon_hours = HOURS_PER_YEAR;
+        s.epoch_upgraded_hours = vec![0.04 * 5.0 * HOURS_PER_YEAR];
+        s.epoch_service_hours = vec![5.0 * HOURS_PER_YEAR];
+        let by_year = s.avg_power_overhead_by_year();
+        assert!((by_year[0] - 0.04).abs() < 1e-12, "got {}", by_year[0]);
+        // Without tracking, the same mass dilutes across all 10 channels.
+        s.epoch_service_hours = Vec::new();
+        assert!((s.avg_power_overhead_by_year()[0] - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bitwise_eq_is_stricter_than_partial_eq() {
+        let a = sample(6);
+        let mut b = sample(6);
+        assert!(a.bitwise_eq(&b));
+        b.epoch_upgraded_hours[0] = -0.0;
+        let mut zeroed = sample(6);
+        zeroed.epoch_upgraded_hours[0] = 0.0;
+        assert!(!zeroed.bitwise_eq(&b), "-0.0 must not pass as 0.0");
+        b.faults += 1;
+        assert!(!a.bitwise_eq(&b));
     }
 
     #[test]

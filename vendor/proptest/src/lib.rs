@@ -240,6 +240,10 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E, F);
     impl_tuple_strategy!(A, B, C, D, E, F, G);
     impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
 }
 
 pub mod arbitrary {

@@ -86,25 +86,83 @@ impl SampleRange<f32> for Range<f32> {
     }
 }
 
-/// Uniform integer in `[0, span)` without modulo bias (rejection sampling on
-/// the top 64 bits; `span` is at most 2^64 here in practice).
+/// Uniform integer in `[0, span)` without modulo bias. Delegates to
+/// [`distributions::UniformInt`] — the single home of the mask/zone
+/// rejection algorithm — so `gen_range` and precomputed distributions are
+/// bit-identical *by construction*, not by parallel maintenance.
 fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
     debug_assert!(span > 0);
-    if span.is_power_of_two() {
-        return (rng.next_u64() as u128) & (span - 1);
+    if span > u64::MAX as u128 {
+        // Exactly 2^64 (a full-width integer range): every u64 is valid.
+        return rng.next_u64() as u128;
     }
-    let zone = u64::MAX - (u64::MAX % span as u64 + 1) % span as u64;
-    loop {
-        let v = rng.next_u64();
-        if v <= zone {
-            return (v as u128) % span;
-        }
-    }
+    distributions::UniformInt::new(0, span as u64).sample(rng) as u128
 }
 
 /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
 fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Precomputed distributions (the slice of `rand::distributions` that
+/// ARCC's hot paths need).
+pub mod distributions {
+    use super::RngCore;
+
+    /// A uniform integer distribution over a half-open range with the
+    /// rejection zone computed once at construction.
+    ///
+    /// Produces a stream **bit-identical** to calling
+    /// [`Rng::gen_range`](super::Rng::gen_range) with the same range on
+    /// the same generator — including the exact rejection behaviour — so
+    /// hot loops drawing from a fixed range repeatedly (the fleet
+    /// engine's fault-location draws) can hoist the two `u64` modulo
+    /// operations `gen_range` pays per call.
+    #[derive(Debug, Clone, Copy)]
+    pub struct UniformInt {
+        low: u64,
+        span: u64,
+        /// `span - 1` when `span` is a power of two (mask path).
+        mask: u64,
+        /// Largest accepted raw draw on the rejection path.
+        zone: u64,
+        pow2: bool,
+    }
+
+    impl UniformInt {
+        /// Uniform over `[low, low + span)`. Panics if `span == 0`.
+        pub fn new(low: u64, span: u64) -> Self {
+            assert!(span > 0, "cannot sample empty range");
+            let pow2 = span.is_power_of_two();
+            let zone = if pow2 {
+                u64::MAX
+            } else {
+                u64::MAX - (u64::MAX % span + 1) % span
+            };
+            UniformInt {
+                low,
+                span,
+                mask: span.wrapping_sub(1),
+                zone,
+                pow2,
+            }
+        }
+
+        /// One draw; consumes exactly the same generator words as the
+        /// equivalent `gen_range` call.
+        #[inline]
+        pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            if self.pow2 {
+                return self.low + (rng.next_u64() & self.mask);
+            }
+            loop {
+                let v = rng.next_u64();
+                if v <= self.zone {
+                    return self.low + v % self.span;
+                }
+            }
+        }
+    }
 }
 
 /// Convenience sampling methods layered over [`RngCore`].
@@ -190,6 +248,22 @@ mod tests {
             assert!(w >= 1);
             let f = rng.gen_range(f64::EPSILON..1.0);
             assert!(f > 0.0 && f < 1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_int_matches_gen_range_bit_for_bit() {
+        use super::distributions::UniformInt;
+        // Power-of-two (mask path), non-power-of-two (rejection path),
+        // and a span wide enough to actually reject sometimes.
+        for (low, span) in [(0u64, 8u64), (0, 36), (5, 7), (0, (1 << 63) + 12345)] {
+            let dist = UniformInt::new(low, span);
+            let mut a = StdRng::seed_from_u64(0xD15 ^ span);
+            let mut b = a.clone();
+            for _ in 0..4096 {
+                let expect = b.gen_range(low..low + span);
+                assert_eq!(dist.sample(&mut a), expect, "span {span}");
+            }
         }
     }
 
