@@ -1,0 +1,93 @@
+//! Criterion benchmarks for the trace-driven replay pipeline, plus the
+//! `BENCH_replay.json` throughput record.
+//!
+//! The criterion groups time log parsing and one replayed shard; after
+//! they run, a custom `main` measures end-to-end replay channels/second
+//! at 10k, 100k, and 1M channels (log generation and parsing excluded —
+//! the record tracks the *replay engine*, comparable to the synthetic
+//! rungs in `BENCH_fleet.json`) and writes `BENCH_replay.json` (path
+//! overridable via `ARCC_BENCH_OUT`) so replay throughput is gated in CI
+//! exactly like synthetic throughput.
+
+use std::time::Instant;
+
+use arcc_bench::bench_record_json;
+use arcc_fleet::{run_replay, FleetSpec, ReplayArrivals};
+use arcc_replay::{generate_log, FaultLog};
+use criterion::{black_box, criterion_group, Criterion, Throughput};
+
+fn ingest(channels: u64) -> (FleetSpec, ReplayArrivals) {
+    let spec = FleetSpec::baseline(channels);
+    let arrivals = generate_log(&spec).arrivals().expect("generated arrivals");
+    (spec, arrivals)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let spec = FleetSpec::baseline(20_000);
+    let text = generate_log(&spec).to_text();
+    let mut g = c.benchmark_group("replay_parse");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("parse_20k_channel_log", |b| {
+        b.iter(|| FaultLog::parse(black_box(&text)).expect("valid log"))
+    });
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let (spec, arrivals) = ingest(20_000);
+    let mut g = c.benchmark_group("replay_run");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("replayed_20k_channels", |b| {
+        b.iter(|| run_replay(black_box(4), black_box(&spec), black_box(&arrivals)).expect("replay"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_replay);
+
+/// Measures one replay run end to end, returning (seconds, channels/sec).
+/// Best-of-three: the committed record is the CI gate baseline, so
+/// scheduler noise must not understate it.
+fn measure(channels: u64) -> (f64, f64) {
+    let threads = arcc_core::default_threads();
+    let (spec, arrivals) = ingest(channels);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let stats = run_replay(threads, &spec, &arrivals).expect("replay");
+        assert_eq!(stats.channels, channels);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, channels as f64 / best)
+}
+
+fn main() {
+    benches();
+
+    // `cargo bench` passes `--bench`; anything else (notably `cargo test`,
+    // which runs harness = false bench targets as smoke tests) gets a tiny
+    // rung and no throughput record.
+    if !std::env::args().any(|a| a == "--bench") {
+        let (secs, _) = measure(1_000);
+        println!("replay smoke: 1000 channels in {secs:.3}s");
+        return;
+    }
+
+    let sizes = [10_000u64, 100_000u64, 1_000_000u64];
+    let mut rungs = Vec::new();
+    for &channels in &sizes {
+        let (secs, rate) = measure(channels);
+        println!("replay throughput: {channels} channels in {secs:.3}s ({rate:.0} channels/sec)");
+        rungs.push((channels, secs, rate));
+    }
+    let json = bench_record_json("replay", arcc_core::default_threads(), &rungs);
+    // Benches run with the package as CWD; anchor the record at the
+    // workspace root where the trajectory tooling looks for it.
+    let path = std::env::var("ARCC_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replay.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("replay throughput record written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -11,18 +11,16 @@
 //!
 //! When `ARCC_BENCH_BASELINE` names a committed `BENCH_fleet.json`, the
 //! measured channels/sec at each rung present in the baseline is checked
-//! against it and the process exits non-zero if any rung drops more than
-//! 30% below — the bucket-scheduler throughput is an acceptance artefact,
-//! so CI fails when it regresses.
+//! against it ([`arcc_bench::BenchGate`], shared with the `replay` bin)
+//! and the process exits non-zero if any rung drops more than 30% below
+//! — the bucket-scheduler throughput is an acceptance artefact, so CI
+//! fails when it regresses.
 
 use std::time::Instant;
 
+use arcc_bench::BenchGate;
 use arcc_exp::default_threads;
 use arcc_fleet::{run_fleet, FleetSpec};
-
-/// Fractional slowdown tolerated against the committed baseline before
-/// the gate fails (bench machines vary; real regressions are larger).
-const REGRESSION_TOLERANCE: f64 = 0.30;
 
 fn sizes() -> Vec<u64> {
     std::env::var("ARCC_FLEET_SIZES")
@@ -36,41 +34,9 @@ fn sizes() -> Vec<u64> {
         .unwrap_or_else(|| vec![10_000, 100_000, 1_000_000, 10_000_000])
 }
 
-/// Extracts `(channels, channels_per_sec)` rungs from the hand-rolled
-/// `BENCH_fleet.json` format (no serde in the offline build).
-fn parse_baseline(text: &str) -> Vec<(u64, f64)> {
-    let mut rungs = Vec::new();
-    for entry in text.split('{').skip(2) {
-        let field = |key: &str| -> Option<&str> {
-            let start = entry.find(key)? + key.len();
-            let rest = &entry[start..];
-            let end = rest
-                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-                .unwrap_or(rest.len());
-            Some(&rest[..end])
-        };
-        let channels = field("\"channels\":").and_then(|v| v.parse::<u64>().ok());
-        let rate = field("\"channels_per_sec\":").and_then(|v| v.parse::<f64>().ok());
-        if let (Some(channels), Some(rate)) = (channels, rate) {
-            rungs.push((channels, rate));
-        }
-    }
-    rungs
-}
-
 fn main() {
     let threads = default_threads();
-    let gate_requested = std::env::var("ARCC_BENCH_BASELINE").is_ok();
-    let baseline: Vec<(u64, f64)> = std::env::var("ARCC_BENCH_BASELINE")
-        .ok()
-        .map(|path| match std::fs::read_to_string(&path) {
-            Ok(text) => parse_baseline(&text),
-            Err(e) => {
-                eprintln!("cannot read baseline {path}: {e}");
-                std::process::exit(1);
-            }
-        })
-        .unwrap_or_default();
+    let mut gate = BenchGate::from_env();
 
     println!();
     println!("==================================================================");
@@ -80,8 +46,6 @@ fn main() {
         "{:>12}  {:>10}  {:>14}  {:>10}  {:>8}",
         "channels", "seconds", "channels/sec", "faults", "DUEs"
     );
-    let mut regressions = Vec::new();
-    let mut rungs_checked = 0usize;
     for channels in sizes() {
         let spec = FleetSpec::baseline(channels);
         let start = Instant::now();
@@ -93,9 +57,8 @@ fn main() {
             channels, secs, rate, stats.faults, stats.due_events
         );
         assert_eq!(stats.channels, channels, "every channel must be simulated");
-        if let Some((_, base_rate)) = baseline.iter().find(|(c, _)| *c == channels) {
-            rungs_checked += 1;
-            let floor = base_rate * (1.0 - REGRESSION_TOLERANCE);
+        if let Some(base_rate) = gate.baseline_rate(channels) {
+            let floor = BenchGate::floor_for(base_rate);
             if rate < floor {
                 // One retry before failing: the baseline is best-of-3, so
                 // a single noisy measurement must not flake the gate.
@@ -104,37 +67,14 @@ fn main() {
                 rate = rate.max(channels as f64 / start.elapsed().as_secs_f64());
             }
             if rate < floor {
-                regressions.push(format!(
-                    "{channels} channels: {rate:.0}/s is more than 30% below \
-                     the committed baseline {base_rate:.0}/s"
-                ));
+                gate.fail_rung(channels, rate, base_rate);
             }
         }
     }
     println!();
     println!("memory note: per-channel state exists only while its shard runs;");
     println!("shard aggregates (a few hundred bytes) are merged streaming, in order.");
-    if gate_requested {
-        // A gate that compared nothing is a misconfiguration, not a pass:
-        // format drift in the baseline (or a size ladder disjoint from the
-        // recorded rungs) must not let regressions ship under a green job.
-        if rungs_checked == 0 {
-            eprintln!(
-                "bench gate FAILED: baseline contained no rungs matching the \
-                 measured sizes ({} baseline rungs parsed)",
-                baseline.len()
-            );
-            std::process::exit(1);
-        }
-        if regressions.is_empty() {
-            println!(
-                "bench gate: all {rungs_checked} rung(s) within 30% of the committed baseline."
-            );
-        } else {
-            for r in &regressions {
-                eprintln!("bench gate FAILED: {r}");
-            }
-            std::process::exit(1);
-        }
+    if !gate.finish() {
+        std::process::exit(1);
     }
 }

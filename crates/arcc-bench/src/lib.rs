@@ -53,6 +53,137 @@ pub fn run_arcc(mix: &Mix, upgraded_fraction: f64) -> MixResult {
     Experiment::from_env().run_arcc(mix, upgraded_fraction)
 }
 
+/// The throughput-regression gate shared by the `fleet` and `replay`
+/// bins: measured channels/sec at each ladder rung is compared against a
+/// committed `BENCH_*.json` record named by `ARCC_BENCH_BASELINE`, and
+/// the run fails when any recorded rung drops more than
+/// [`BenchGate::REGRESSION_TOLERANCE`] below its baseline. A gate that
+/// matched *no* rungs also fails — baseline format drift must not let
+/// regressions ship under a green job.
+pub struct BenchGate {
+    requested: bool,
+    baseline: Vec<(u64, f64)>,
+    checked: usize,
+    regressions: Vec<String>,
+}
+
+impl BenchGate {
+    /// Fractional slowdown tolerated against the committed baseline
+    /// (bench machines vary; real regressions are larger).
+    pub const REGRESSION_TOLERANCE: f64 = 0.30;
+
+    /// Builds the gate from `ARCC_BENCH_BASELINE` (absent = disabled;
+    /// present-but-unreadable = immediate failure).
+    pub fn from_env() -> Self {
+        let requested = std::env::var("ARCC_BENCH_BASELINE").is_ok();
+        let baseline = std::env::var("ARCC_BENCH_BASELINE")
+            .ok()
+            .map(|path| match std::fs::read_to_string(&path) {
+                Ok(text) => Self::parse_rungs(&text),
+                Err(e) => {
+                    eprintln!("cannot read baseline {path}: {e}");
+                    std::process::exit(1);
+                }
+            })
+            .unwrap_or_default();
+        Self {
+            requested,
+            baseline,
+            checked: 0,
+            regressions: Vec::new(),
+        }
+    }
+
+    /// Extracts `(channels, channels_per_sec)` rungs from the hand-rolled
+    /// `BENCH_*.json` format (no serde in the offline build).
+    pub fn parse_rungs(text: &str) -> Vec<(u64, f64)> {
+        let mut rungs = Vec::new();
+        for entry in text.split('{').skip(2) {
+            let field = |key: &str| -> Option<&str> {
+                let start = entry.find(key)? + key.len();
+                let rest = &entry[start..];
+                let end = rest
+                    .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+                    .unwrap_or(rest.len());
+                Some(&rest[..end])
+            };
+            let channels = field("\"channels\":").and_then(|v| v.parse::<u64>().ok());
+            let rate = field("\"channels_per_sec\":").and_then(|v| v.parse::<f64>().ok());
+            if let (Some(channels), Some(rate)) = (channels, rate) {
+                rungs.push((channels, rate));
+            }
+        }
+        rungs
+    }
+
+    /// The committed rate for a rung, if the baseline records it;
+    /// calling this counts the rung as gate-checked.
+    pub fn baseline_rate(&mut self, channels: u64) -> Option<f64> {
+        let hit = self.baseline.iter().find(|(c, _)| *c == channels);
+        if hit.is_some() {
+            self.checked += 1;
+        }
+        hit.map(|(_, rate)| *rate)
+    }
+
+    /// The minimum acceptable rate against a committed baseline rate.
+    pub fn floor_for(base_rate: f64) -> f64 {
+        base_rate * (1.0 - Self::REGRESSION_TOLERANCE)
+    }
+
+    /// Records a rung regression (after the caller's retry, if any).
+    pub fn fail_rung(&mut self, channels: u64, rate: f64, base_rate: f64) {
+        self.regressions.push(format!(
+            "{channels} channels: {rate:.0}/s is more than 30% below \
+             the committed baseline {base_rate:.0}/s"
+        ));
+    }
+
+    /// Prints the verdict and returns `false` when the process should
+    /// exit non-zero (regressions, or a requested gate that compared
+    /// nothing).
+    pub fn finish(&self) -> bool {
+        if !self.requested {
+            return true;
+        }
+        if self.checked == 0 {
+            eprintln!(
+                "bench gate FAILED: baseline contained no rungs matching the \
+                 measured sizes ({} baseline rungs parsed)",
+                self.baseline.len()
+            );
+            return false;
+        }
+        if self.regressions.is_empty() {
+            println!(
+                "bench gate: all {} rung(s) within 30% of the committed baseline.",
+                self.checked
+            );
+            true
+        } else {
+            for r in &self.regressions {
+                eprintln!("bench gate FAILED: {r}");
+            }
+            false
+        }
+    }
+}
+
+/// Serialises a `BENCH_*.json` throughput record in the shared
+/// hand-rolled format [`BenchGate::parse_rungs`] reads back.
+pub fn bench_record_json(bench: &str, threads: usize, rungs: &[(u64, f64, f64)]) -> String {
+    let entries: Vec<String> = rungs
+        .iter()
+        .map(|(channels, secs, rate)| {
+            format!("{{\"channels\":{channels},\"seconds\":{secs},\"channels_per_sec\":{rate}}}")
+        })
+        .collect();
+    format!(
+        "{{\"bench\":\"{bench}\",\"threads\":{threads},\"results\":[{}]}}\n",
+        entries.join(",")
+    )
+}
+
 /// Prints a figure/table banner.
 pub fn banner(id: &str, caption: &str) {
     println!();
@@ -86,6 +217,19 @@ pub fn mean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_record_round_trips_through_the_gate_parser() {
+        let json = bench_record_json(
+            "replay",
+            4,
+            &[(10_000, 0.5, 20_000.0), (1_000_000, 2.0, 500_000.0)],
+        );
+        assert!(json.starts_with("{\"bench\":\"replay\",\"threads\":4,"));
+        let rungs = BenchGate::parse_rungs(&json);
+        assert_eq!(rungs, vec![(10_000, 20_000.0), (1_000_000, 500_000.0)]);
+        assert_eq!(BenchGate::floor_for(100.0), 70.0);
+    }
 
     #[test]
     fn stats_helpers() {

@@ -6,7 +6,9 @@
 //! `table7_1`, `table7_4`, `fig3_1`, `motivation`, `fig6_1`,
 //! `fig7_1`–`fig7_6`, `escape_rates`) plus the fleet-scale studies over
 //! the `arcc-fleet` event engine (`fleet_baseline`,
-//! `fleet_mixed_population`, `fleet_repair_policies`); the figure/table
+//! `fleet_mixed_population`, `fleet_repair_policies`) and the
+//! trace-driven replay studies over `arcc-replay`
+//! (`fleet_replay_roundtrip`, `fleet_fit_vs_replay`); the figure/table
 //! binaries under `arcc-bench` are thin shims over [`crate::run`], and
 //! `repro_all` loops the whole registry in-process.
 
@@ -45,6 +47,8 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &FleetBaseline,
         &FleetMixedPopulation,
         &FleetRepairPolicies,
+        &FleetReplayRoundtrip,
+        &FleetFitVsReplay,
     ];
     REGISTRY
 }
@@ -131,9 +135,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_sixteen_unique_scenarios() {
+    fn registry_has_eighteen_unique_scenarios() {
         let ns = names();
-        assert_eq!(ns.len(), 16);
+        assert_eq!(ns.len(), 18);
         let unique: std::collections::HashSet<_> = ns.iter().collect();
         assert_eq!(unique.len(), ns.len());
         for expected in [
@@ -153,6 +157,8 @@ mod tests {
             "fleet_baseline",
             "fleet_mixed_population",
             "fleet_repair_policies",
+            "fleet_replay_roundtrip",
+            "fleet_fit_vs_replay",
         ] {
             assert!(find(expected).is_some(), "{expected} missing");
         }

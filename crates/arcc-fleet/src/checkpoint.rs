@@ -13,7 +13,10 @@
 //! without rounding drift.
 
 use std::fmt;
+use std::io;
+use std::path::Path;
 
+use crate::source::ReplayArrivals;
 use crate::spec::FleetSpec;
 use crate::stats::{FleetStats, PopulationStats, MODE_COUNT};
 
@@ -56,6 +59,49 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// Errors persisting a checkpoint to (or loading one from) disk.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure reading or writing the checkpoint file.
+    Io(io::Error),
+    /// The file existed but was not a valid checkpoint.
+    Parse(CheckpointError),
+    /// The file is a valid checkpoint of a *different* run.
+    Mismatch {
+        /// Fingerprint recorded in the file.
+        expected: u64,
+        /// Fingerprint of the run being resumed.
+        actual: u64,
+    },
+    /// A replay arrival set failed validation against the spec.
+    Replay(crate::source::ReplayError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "checkpoint file I/O failed: {e}"),
+            PersistError::Parse(e) => write!(f, "checkpoint file unreadable: {e}"),
+            PersistError::Mismatch { expected, actual } => write!(
+                f,
+                "checkpoint file fingerprint {expected:#x} does not match the run {actual:#x}"
+            ),
+            PersistError::Replay(e) => write!(f, "replay arrivals invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Parse(e) => Some(e),
+            PersistError::Replay(e) => Some(e),
+            PersistError::Mismatch { .. } => None,
+        }
+    }
+}
+
 impl FleetCheckpoint {
     /// The empty prefix for `spec` (nothing run yet).
     pub fn start(spec: &FleetSpec) -> Self {
@@ -66,9 +112,77 @@ impl FleetCheckpoint {
         }
     }
 
+    /// The empty prefix for a *replay* run of `arrivals` under `spec`:
+    /// the fingerprint mixes both, so replay checkpoints never resume a
+    /// synthetic run (or a different log) and vice versa.
+    pub fn start_replay(spec: &FleetSpec, arrivals: &ReplayArrivals) -> Self {
+        Self {
+            fingerprint: arrivals.run_fingerprint(spec),
+            shards_done: 0,
+            stats: FleetStats::empty(spec.epochs(), spec.populations.len()),
+        }
+    }
+
     /// Does this checkpoint belong to `spec`?
     pub fn matches(&self, spec: &FleetSpec) -> bool {
         self.fingerprint == spec.fingerprint()
+    }
+
+    /// Writes the checkpoint to `path` atomically: the serialisation goes
+    /// to a per-process `<path>.tmp.<pid>` sibling, is fsynced, and is
+    /// renamed into place —
+    /// so a crash (process kill, OS crash, power loss) leaves either the
+    /// previous complete checkpoint or the new one, never a truncated
+    /// file. (Without the fsync, journalling filesystems may persist the
+    /// rename before the data blocks, leaving a zero-length file after
+    /// power loss; [`Self::from_text`]'s end marker would refuse it, but
+    /// resume would then demand manual cleanup.)
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error (the temporary file is not cleaned
+    /// up on failure; the rename either happens fully or not at all).
+    pub fn write_atomic(&self, path: &Path) -> io::Result<()> {
+        use std::io::Write;
+        // Per-process tmp name: if a supervisor restarts a run while the
+        // presumed-dead predecessor is still flushing, the writers use
+        // distinct tmp files and the last atomic rename wins intact —
+        // never an interleaved, unparseable checkpoint.
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(self.to_text().as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        // Best-effort directory fsync so the rename itself is durable;
+        // not all platforms/filesystems support syncing a directory
+        // handle, and the data is already safe, so failures are ignored.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a checkpoint from `path`; `Ok(None)` when the file does not
+    /// exist (a fresh run), so callers can `load(...)?.unwrap_or_else(start)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on read failures other than not-found,
+    /// [`PersistError::Parse`] when the contents don't parse.
+    pub fn load(path: &Path) -> Result<Option<Self>, PersistError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(PersistError::Io(e)),
+        };
+        Self::from_text(&text)
+            .map(Some)
+            .map_err(PersistError::Parse)
     }
 
     /// Serialises to the versioned text format.

@@ -38,6 +38,17 @@
 //! monotone sequence number, making the replay itself deterministic too.
 //! Both schedulers fire events in identical `(time, seq)` order, so the
 //! scheduler knob never changes a single output bit.
+//!
+//! Arrivals come from one of two [`sources`](crate::source): the default
+//! synthetic lazy-exponential draws described above, or a
+//! [`ReplayArrivals`] set of *observed* arrivals
+//! ([`ShardEngine::new_replay`]) delivered through the very same queue in
+//! `(time, seq)` order while detections, upgrades, and policy stay
+//! simulated. Because a replayed channel's next arrival is simply the
+//! next logged event (no RNG), a log generated from a spec with the
+//! engine's own RNG streams replays **bit-identically** to the synthetic
+//! run under `OperatorPolicy::None` — the `arcc-replay` round-trip tests
+//! pin exactly that.
 
 use arcc_core::cell_seed;
 use arcc_faults::montecarlo::FaultSampler;
@@ -49,6 +60,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::sched::{EventKind, EventQueue, QueuedEvent};
+use crate::source::ReplayArrivals;
 use crate::spec::{FleetSpec, OperatorPolicy, SchedulerKind};
 use crate::stats::FleetStats;
 
@@ -84,10 +96,34 @@ struct ChannelState {
     had_due: bool,
     /// Set when the channel leaves service early (spare pool dry).
     retired: bool,
+    /// Replay mode: index into the replay event array of the next logged
+    /// arrival not yet delivered, and the end of this channel's slice.
+    /// Both zero (and unused) in synthetic mode.
+    replay_next: u32,
+    replay_end: u32,
+}
+
+impl ChannelState {
+    fn fresh(rng: StdRng, population: u32) -> Self {
+        Self {
+            rng,
+            population,
+            generation: 0,
+            next_fault_id: 0,
+            faults: Vec::new(),
+            not_upgraded: 1.0,
+            sdc: false,
+            had_fault: false,
+            had_due: false,
+            retired: false,
+            replay_next: 0,
+            replay_end: 0,
+        }
+    }
 }
 
 /// Event-driven simulator for one shard of the fleet.
-pub struct ShardEngine {
+pub struct ShardEngine<'a> {
     horizon_h: f64,
     policy: OperatorPolicy,
     samplers: Vec<FaultSampler>,
@@ -104,14 +140,29 @@ pub struct ShardEngine {
     /// High-water mark of any channel's active-fault list (compaction
     /// regression guard; observable via [`Self::run_with_peak`] in tests).
     peak_active_faults: usize,
+    /// Observed-arrival source; `None` draws arrivals synthetically.
+    replay: Option<&'a ReplayArrivals>,
     stats: FleetStats,
 }
 
-impl ShardEngine {
+impl<'a> ShardEngine<'a> {
     /// Builds the engine for shard `shard` of `spec` and primes every
     /// channel's first fault arrival — channels whose first draw lands
     /// past the horizon are accounted in bulk and never touch the queue.
     pub fn new(spec: &FleetSpec, shard: u64) -> Self {
+        Self::build(spec, shard, None)
+    }
+
+    /// Builds the engine in replay mode: arrivals (and the population
+    /// assignment) come from the observed `arrivals` set — which the
+    /// caller must have [`validated`](ReplayArrivals::validate_for)
+    /// against `spec` — while detection, upgrade, and policy simulation
+    /// are unchanged.
+    pub fn new_replay(spec: &FleetSpec, shard: u64, arrivals: &'a ReplayArrivals) -> Self {
+        Self::build(spec, shard, Some(arrivals))
+    }
+
+    fn build(spec: &FleetSpec, shard: u64, replay: Option<&'a ReplayArrivals>) -> Self {
         let shard_channels = spec.shard_size(shard);
         let shard_seed = cell_seed(spec.seed, shard);
         let first_channel = shard * spec.shard_channels as u64;
@@ -139,7 +190,8 @@ impl ShardEngine {
             })
             .collect();
         // Sizing hints only (never affect results): expected in-horizon
-        // faults per channel at the hottest population, times the events
+        // faults — the observed count in replay mode, the hottest
+        // population's Poisson expectation otherwise — times the events
         // each fault schedules (detections are folded, not queued, under
         // the no-repair policy).
         let max_rate = rates.iter().cloned().fold(0.0f64, f64::max);
@@ -148,8 +200,11 @@ impl ShardEngine {
         } else {
             3.2
         };
-        let events_hint =
-            (per_fault_events * max_rate * horizon_h * shard_channels as f64).ceil() as usize;
+        let expected_faults = match replay {
+            Some(r) => r.events_in_range(first_channel, shard_channels as u64) as f64,
+            None => max_rate * horizon_h * shard_channels as f64,
+        };
+        let events_hint = (per_fault_events * expected_faults).ceil() as usize;
         let queue = match spec.scheduler {
             SchedulerKind::Heap => EventQueue::heap(),
             SchedulerKind::Bucket => {
@@ -170,6 +225,7 @@ impl ShardEngine {
                 .policy
                 .spares_for_range(first_channel, shard_channels as u64),
             peak_active_faults: 0,
+            replay,
             stats: FleetStats::empty(spec.epochs(), spec.populations.len()),
         };
         engine.stats.horizon_hours = horizon_h;
@@ -181,8 +237,34 @@ impl ShardEngine {
             .states
             .reserve((shard_channels as f64 * max_first_u * 1.1) as usize + 8);
         let mut pop_counts = vec![0u64; spec.populations.len()];
+        // Replay mode never draws from a channel's RNG (payloads and
+        // arrival times all come from the log), so slots share clones of
+        // one placeholder stream instead of paying a full seed schedule
+        // per event-bearing channel.
+        let placeholder_rng = StdRng::seed_from_u64(0);
         for c in 0..shard_channels {
-            let population = spec.population_for(first_channel + c as u64);
+            let global = first_channel + c as u64;
+            if let Some(arrivals) = replay {
+                // The inventory's assignment, not the spec's weight hash.
+                let population = arrivals.population_of(global);
+                pop_counts[population] += 1;
+                let (start, end) = arrivals.range_of(global);
+                if start == end {
+                    continue; // nothing observed: the channel is inert
+                }
+                let t = arrivals.events()[start as usize].time_h;
+                if t >= horizon_h {
+                    continue; // whole (time-ordered) stream past the horizon
+                }
+                let slot = engine.states.len() as u32;
+                let mut state = ChannelState::fresh(placeholder_rng.clone(), population as u32);
+                state.replay_next = start;
+                state.replay_end = end;
+                engine.states.push(state);
+                engine.schedule(t, slot, 0, EventKind::Fault);
+                continue;
+            }
+            let population = spec.population_for(global);
             pop_counts[population] += 1;
             let rate = engine.rates[population];
             if rate <= 0.0 {
@@ -198,18 +280,9 @@ impl ShardEngine {
                 continue; // rounding guard at the threshold boundary
             }
             let slot = engine.states.len() as u32;
-            engine.states.push(ChannelState {
-                rng,
-                population: population as u32,
-                generation: 0,
-                next_fault_id: 0,
-                faults: Vec::new(),
-                not_upgraded: 1.0,
-                sdc: false,
-                had_fault: false,
-                had_due: false,
-                retired: false,
-            });
+            engine
+                .states
+                .push(ChannelState::fresh(rng, population as u32));
             engine.schedule(t, slot, 0, EventKind::Fault);
         }
         for (p, n) in pop_counts.iter().enumerate() {
@@ -265,10 +338,20 @@ impl ShardEngine {
     }
 
     fn on_fault(&mut self, slot: u32, t: f64) {
+        let replay = self.replay;
         let state = &mut self.states[slot as usize];
         let pop = state.population as usize;
         let scrub = self.scrub_h[pop];
-        let fault = self.samplers[pop].draw_fault(&mut state.rng, t);
+        let fault = match replay {
+            // Deliver the next logged arrival (its time is this event's
+            // fire time) and advance the channel's cursor past it.
+            Some(arrivals) => {
+                let ev = arrivals.events()[state.replay_next as usize];
+                state.replay_next += 1;
+                ev
+            }
+            None => self.samplers[pop].draw_fault(&mut state.rng, t),
+        };
 
         self.stats.faults += 1;
         self.stats.populations[pop].faults += 1;
@@ -340,7 +423,19 @@ impl ShardEngine {
         });
         self.peak_active_faults = self.peak_active_faults.max(state.faults.len());
         let detect_at = detection_time(t, scrub);
-        let next = t + exp_interarrival(&mut state.rng, self.rates[pop]);
+        let next = match replay {
+            // The next observed arrival, if any; `INFINITY` is filtered by
+            // `schedule`'s horizon check, mirroring the synthetic path's
+            // past-horizon draws.
+            Some(arrivals) => {
+                if state.replay_next < state.replay_end {
+                    arrivals.events()[state.replay_next as usize].time_h
+                } else {
+                    f64::INFINITY
+                }
+            }
+            None => t + exp_interarrival(&mut state.rng, self.rates[pop]),
+        };
         let mut fold_upgrade = None;
         if matches!(self.policy, OperatorPolicy::None) {
             // No replacement or retirement can ever intervene under the
@@ -443,9 +538,23 @@ impl ShardEngine {
         state.not_upgraded = 1.0;
         let generation = state.generation;
         let rate = self.rates[pop];
-        if rate > 0.0 {
-            let next = t + exp_interarrival(&mut state.rng, rate);
-            self.schedule(next, slot, generation, EventKind::Fault);
+        match self.replay {
+            // The generation bump above dropped any scheduled-but-unfired
+            // arrival; the cursor still points at it (it only advances at
+            // delivery), so the fresh DIMM inherits the channel's
+            // remaining observed stream from exactly there.
+            Some(arrivals) => {
+                if state.replay_next < state.replay_end {
+                    let next = arrivals.events()[state.replay_next as usize].time_h;
+                    self.schedule(next, slot, generation, EventKind::Fault);
+                }
+            }
+            None => {
+                if rate > 0.0 {
+                    let next = t + exp_interarrival(&mut state.rng, rate);
+                    self.schedule(next, slot, generation, EventKind::Fault);
+                }
+            }
         }
     }
 

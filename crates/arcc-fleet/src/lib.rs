@@ -35,7 +35,16 @@
 //!   sequential ones;
 //! * runs checkpoint and resume at shard granularity
 //!   ([`FleetCheckpoint`], [`run_fleet_until`], [`resume_fleet`]) with a
-//!   bit-exact text serialisation.
+//!   bit-exact text serialisation — including **atomic on-disk
+//!   persistence** ([`run_fleet_checkpointed`]: tmp+rename every N
+//!   shards, resume-from-disk out of the box);
+//! * arrivals are **dual-source** ([`source`]): the synthetic lazy draws
+//!   above, or a [`ReplayArrivals`] set of *observed* arrivals
+//!   ([`run_replay`], fed by the `arcc-replay` crate's fault-log
+//!   parser) replayed through the same scheduler/stats/checkpoint
+//!   machinery while detection, upgrade, and policy stay simulated — a
+//!   log generated from a spec replays **bit-identically** under
+//!   no-repair.
 //!
 //! The engine is pinned against the paper-path Monte Carlo: at the
 //! paper's 10 000-channel scale its lifetime failure probabilities agree
@@ -66,10 +75,15 @@ pub mod checkpoint;
 pub mod engine;
 pub mod runner;
 mod sched;
+pub mod source;
 pub mod spec;
 pub mod stats;
 
-pub use checkpoint::{CheckpointError, FleetCheckpoint};
-pub use runner::{resume_fleet, run_fleet, run_fleet_until, run_shard};
+pub use checkpoint::{CheckpointError, FleetCheckpoint, PersistError};
+pub use runner::{
+    resume_fleet, resume_replay, run_fleet, run_fleet_checkpointed, run_fleet_until, run_replay,
+    run_replay_checkpointed, run_replay_until, run_shard, run_shard_replay,
+};
+pub use source::{ReplayArrivals, ReplayError};
 pub use spec::{DimmPopulation, FleetSpec, OperatorPolicy, SchedulerKind, DEFAULT_SHARD_CHANNELS};
 pub use stats::{FleetStats, PopulationStats, MODE_COUNT};

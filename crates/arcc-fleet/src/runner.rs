@@ -15,10 +15,13 @@
 //! bucket shards produce byte-identical aggregates, so runs (and
 //! checkpoints) mix schedulers freely.
 
+use std::path::Path;
+
 use arcc_core::parallel_map;
 
-use crate::checkpoint::{CheckpointError, FleetCheckpoint};
+use crate::checkpoint::{CheckpointError, FleetCheckpoint, PersistError};
 use crate::engine::ShardEngine;
+use crate::source::{ReplayArrivals, ReplayError};
 use crate::spec::FleetSpec;
 use crate::stats::FleetStats;
 
@@ -30,11 +33,90 @@ pub fn run_shard(spec: &FleetSpec, shard: u64) -> FleetStats {
     ShardEngine::new(spec, shard).run()
 }
 
+/// Runs one shard in replay mode.
+///
+/// # Panics
+///
+/// `arrivals` must already be
+/// [validated](ReplayArrivals::validate_for) against `spec` — an
+/// arrival set covering fewer channels than the spec simulates panics
+/// on an out-of-bounds channel lookup. The fleet-level entry points
+/// ([`run_replay`] and friends) validate first and return a typed
+/// [`ReplayError`] instead.
+pub fn run_shard_replay(spec: &FleetSpec, shard: u64, arrivals: &ReplayArrivals) -> FleetStats {
+    ShardEngine::new_replay(spec, shard, arrivals).run()
+}
+
 /// Runs the whole fleet on up to `threads` workers and returns the merged
 /// aggregate.
 pub fn run_fleet(threads: usize, spec: &FleetSpec) -> FleetStats {
     let ckpt = FleetCheckpoint::start(spec);
-    run_span(threads, spec, ckpt, spec.shard_count()).stats
+    run_span(threads, spec, ckpt, spec.shard_count(), None).stats
+}
+
+/// Replays an observed arrival set through the fleet engine: logged
+/// arrivals in `(time, seq)` order, detection/upgrade/policy simulated.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] when `arrivals` does not cover `spec`'s
+/// channels or names populations outside its mix.
+pub fn run_replay(
+    threads: usize,
+    spec: &FleetSpec,
+    arrivals: &ReplayArrivals,
+) -> Result<FleetStats, ReplayError> {
+    arrivals.validate_for(spec)?;
+    let ckpt = FleetCheckpoint::start_replay(spec, arrivals);
+    Ok(run_span(threads, spec, ckpt, spec.shard_count(), Some(arrivals)).stats)
+}
+
+/// Replay-mode [`run_fleet_until`]: runs shards `[ckpt.shards_done,
+/// until)` of a replay run and returns the extended checkpoint. Start
+/// from [`FleetCheckpoint::start_replay`]; checkpoints carry the mixed
+/// (spec, arrivals) fingerprint, so a synthetic checkpoint (or one from a
+/// different log) is refused.
+///
+/// # Errors
+///
+/// [`ReplayError::CheckpointMismatch`] when `ckpt` was produced under a
+/// different spec or arrival set, plus the [`run_replay`] validations.
+pub fn run_replay_until(
+    threads: usize,
+    spec: &FleetSpec,
+    arrivals: &ReplayArrivals,
+    ckpt: FleetCheckpoint,
+    until: u64,
+) -> Result<FleetCheckpoint, ReplayError> {
+    arrivals.validate_for(spec)?;
+    let expected = arrivals.run_fingerprint(spec);
+    if ckpt.fingerprint != expected {
+        return Err(ReplayError::CheckpointMismatch {
+            expected: ckpt.fingerprint,
+            actual: expected,
+        });
+    }
+    Ok(run_span(
+        threads,
+        spec,
+        ckpt,
+        until.min(spec.shard_count()),
+        Some(arrivals),
+    ))
+}
+
+/// Resumes a checkpointed replay run to completion.
+///
+/// # Errors
+///
+/// As for [`run_replay_until`].
+pub fn resume_replay(
+    threads: usize,
+    spec: &FleetSpec,
+    arrivals: &ReplayArrivals,
+    ckpt: FleetCheckpoint,
+) -> Result<FleetStats, ReplayError> {
+    run_replay_until(threads, spec, arrivals, ckpt, spec.shard_count()).map(|c| c.stats)
 }
 
 /// Runs shards `[ckpt.shards_done, until)` and returns the extended
@@ -57,7 +139,89 @@ pub fn run_fleet_until(
             actual: spec.fingerprint(),
         });
     }
-    Ok(run_span(threads, spec, ckpt, until.min(spec.shard_count())))
+    Ok(run_span(
+        threads,
+        spec,
+        ckpt,
+        until.min(spec.shard_count()),
+        None,
+    ))
+}
+
+/// Runs the fleet with durable progress: the checkpoint is written
+/// atomically to `path` every `every_shards` completed shards, and an
+/// existing checkpoint at `path` is resumed — so a killed run continues
+/// from disk just by calling this again with the same arguments. The
+/// final (complete) checkpoint is left on disk; re-running a finished
+/// run returns its stats without simulating anything.
+///
+/// # Errors
+///
+/// [`PersistError::Mismatch`] when the file at `path` belongs to a
+/// different spec, [`PersistError::Parse`] when it is not a valid
+/// checkpoint, [`PersistError::Io`] on filesystem failures.
+pub fn run_fleet_checkpointed(
+    threads: usize,
+    spec: &FleetSpec,
+    path: &Path,
+    every_shards: u64,
+) -> Result<FleetStats, PersistError> {
+    run_checkpointed_impl(threads, spec, None, path, every_shards)
+}
+
+/// Replay-mode [`run_fleet_checkpointed`]: durable checkpoints carry the
+/// mixed (spec, arrivals) fingerprint, so a file from a different log or
+/// spec is refused rather than resumed.
+///
+/// # Errors
+///
+/// As for [`run_fleet_checkpointed`]; arrival-set validation failures
+/// surface as [`PersistError::Replay`].
+pub fn run_replay_checkpointed(
+    threads: usize,
+    spec: &FleetSpec,
+    arrivals: &ReplayArrivals,
+    path: &Path,
+    every_shards: u64,
+) -> Result<FleetStats, PersistError> {
+    arrivals.validate_for(spec).map_err(PersistError::Replay)?;
+    run_checkpointed_impl(threads, spec, Some(arrivals), path, every_shards)
+}
+
+fn run_checkpointed_impl(
+    threads: usize,
+    spec: &FleetSpec,
+    replay: Option<&ReplayArrivals>,
+    path: &Path,
+    every_shards: u64,
+) -> Result<FleetStats, PersistError> {
+    let expected = match replay {
+        Some(arrivals) => arrivals.run_fingerprint(spec),
+        None => spec.fingerprint(),
+    };
+    let mut ckpt = match FleetCheckpoint::load(path)? {
+        Some(c) => {
+            if c.fingerprint != expected {
+                return Err(PersistError::Mismatch {
+                    expected: c.fingerprint,
+                    actual: expected,
+                });
+            }
+            c
+        }
+        None => match replay {
+            Some(arrivals) => FleetCheckpoint::start_replay(spec, arrivals),
+            None => FleetCheckpoint::start(spec),
+        },
+    };
+    let total = spec.shard_count();
+    let every = every_shards.max(1);
+    while ckpt.shards_done < total {
+        let until = (ckpt.shards_done + every).min(total);
+        ckpt = run_span(threads, spec, ckpt, until, replay);
+        ckpt.write_atomic(path).map_err(PersistError::Io)?;
+    }
+    Ok(ckpt.stats)
 }
 
 /// Resumes a checkpointed run to completion.
@@ -79,12 +243,16 @@ fn run_span(
     spec: &FleetSpec,
     mut ckpt: FleetCheckpoint,
     until: u64,
+    replay: Option<&ReplayArrivals>,
 ) -> FleetCheckpoint {
     let window = (threads.max(1) * WINDOW_FACTOR).max(1) as u64;
     while ckpt.shards_done < until {
         let hi = (ckpt.shards_done + window).min(until);
         let shards: Vec<u64> = (ckpt.shards_done..hi).collect();
-        let aggregates = parallel_map(threads, &shards, |_, &shard| run_shard(spec, shard));
+        let aggregates = parallel_map(threads, &shards, |_, &shard| match replay {
+            Some(arrivals) => run_shard_replay(spec, shard, arrivals),
+            None => run_shard(spec, shard),
+        });
         for agg in &aggregates {
             ckpt.stats.merge(agg);
         }
@@ -160,5 +328,149 @@ mod tests {
         let done = run_fleet_until(2, &s, FleetCheckpoint::start(&s), 999).expect("run");
         assert_eq!(done.shards_done, s.shard_count());
         assert_eq!(done.stats, run_fleet(2, &s));
+    }
+
+    use crate::source::{ReplayArrivals, ReplayError};
+    use arcc_faults::montecarlo::FaultSampler;
+    use arcc_faults::{FaultGeometry, FitRates};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Hand-built observed arrivals: `faults_at[c]` lists channel `c`'s
+    /// arrival times.
+    fn arrivals_at(channels: u64, faults_at: &[(u64, &[f64])]) -> ReplayArrivals {
+        let sampler = FaultSampler::new(FaultGeometry::paper_channel(), FitRates::sridharan_sc12());
+        let mut per_channel = vec![Vec::new(); channels as usize];
+        let mut rng = StdRng::seed_from_u64(0xD1A6);
+        for (c, times) in faults_at {
+            for &t in *times {
+                per_channel[*c as usize].push(sampler.draw_fault(&mut rng, t));
+            }
+        }
+        ReplayArrivals::new(vec![0; channels as usize], per_channel).expect("valid arrivals")
+    }
+
+    #[test]
+    fn replay_delivers_logged_arrivals_and_truncates_at_horizon() {
+        // 700 channels over 2 shards; three observed faults, one of them
+        // past the 7-year horizon (must be ignored, not an error).
+        let s = FleetSpec::baseline(700).shard_channels(512).seed(3);
+        let horizon = s.horizon_hours();
+        let arrivals = arrivals_at(700, &[(3, &[100.0, 2000.0]), (600, &[50.0, horizon + 5.0])]);
+        let stats = run_replay(2, &s, &arrivals).expect("replay");
+        assert_eq!(stats.channels, 700);
+        assert_eq!(stats.faults, 3, "in-horizon logged arrivals only");
+        assert_eq!(stats.channels_with_faults, 2);
+        assert_eq!(stats.populations[0].channels, 700);
+        // Replay is deterministic and scheduler-independent.
+        let again = run_replay(1, &s, &arrivals).expect("replay");
+        assert!(stats.bitwise_eq(&again));
+        let heap = run_replay(
+            2,
+            &s.clone().scheduler(crate::spec::SchedulerKind::Heap),
+            &arrivals,
+        )
+        .expect("replay heap");
+        assert!(stats.bitwise_eq(&heap));
+    }
+
+    #[test]
+    fn replay_checkpoint_round_trips_and_refuses_synthetic() {
+        let s = FleetSpec::baseline(700).shard_channels(256).seed(9);
+        let arrivals = arrivals_at(700, &[(1, &[10.0, 11.0, 12.0]), (400, &[99.5])]);
+        let full = run_replay(2, &s, &arrivals).expect("replay");
+        let half = run_replay_until(
+            2,
+            &s,
+            &arrivals,
+            FleetCheckpoint::start_replay(&s, &arrivals),
+            1,
+        )
+        .expect("prefix");
+        assert_eq!(half.shards_done, 1);
+        let parsed = FleetCheckpoint::from_text(&half.to_text()).expect("round trip");
+        let resumed = resume_replay(2, &s, &arrivals, parsed).expect("resume");
+        assert!(resumed.bitwise_eq(&full));
+        // A synthetic checkpoint must not resume a replay run...
+        assert!(matches!(
+            resume_replay(1, &s, &arrivals, FleetCheckpoint::start(&s)),
+            Err(ReplayError::CheckpointMismatch { .. })
+        ));
+        // ...and a replay set of the wrong width is refused outright.
+        let narrow = arrivals_at(500, &[]);
+        assert!(matches!(
+            run_replay(1, &s, &narrow),
+            Err(ReplayError::ChannelCountMismatch {
+                spec: 700,
+                arrivals: 500
+            })
+        ));
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("arcc-fleet-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn checkpointed_run_persists_and_resumes_from_disk() {
+        let s = spec();
+        let path = temp_path("persist.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let full = run_fleet(4, &s);
+        // A "killed" run: two shards done, checkpoint flushed to disk.
+        let partial = run_fleet_until(4, &s, FleetCheckpoint::start(&s), 2).expect("prefix");
+        partial.write_atomic(&path).expect("write");
+        // The fresh process picks the file up and finishes the run.
+        let resumed = run_fleet_checkpointed(4, &s, &path, 1).expect("resume from disk");
+        assert_eq!(resumed, full);
+        // The file now holds the complete run; running again is a no-op
+        // that returns the same stats.
+        let done = FleetCheckpoint::load(&path).expect("load").expect("exists");
+        assert_eq!(done.shards_done, s.shard_count());
+        let again = run_fleet_checkpointed(4, &s, &path, 3).expect("finished run");
+        assert_eq!(again, full);
+        // A different spec must refuse the file, not silently restart.
+        assert!(matches!(
+            run_fleet_checkpointed(1, &s.clone().seed(1), &path, 1),
+            Err(PersistError::Mismatch { .. })
+        ));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn checkpointed_run_from_scratch_matches_and_gates_garbage() {
+        let s = spec();
+        let path = temp_path("scratch.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let stats = run_fleet_checkpointed(2, &s, &path, 2).expect("fresh run");
+        assert_eq!(stats, run_fleet(2, &s));
+        // No stray temporary file is left behind.
+        let tmp =
+            std::path::PathBuf::from(format!("{}.tmp.{}", path.display(), std::process::id()));
+        assert!(!tmp.exists(), "atomic write must rename its tmp file away");
+        // Garbage at the path is a parse error, never a silent restart.
+        std::fs::write(&path, "definitely not a checkpoint").expect("write garbage");
+        assert!(matches!(
+            run_fleet_checkpointed(1, &s, &path, 1),
+            Err(PersistError::Parse(_))
+        ));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn replay_checkpointed_run_persists_with_mixed_fingerprint() {
+        let s = FleetSpec::baseline(700).shard_channels(256).seed(11);
+        let arrivals = arrivals_at(700, &[(2, &[40.0]), (300, &[1.0, 2.0])]);
+        let path = temp_path("replay.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let direct = run_replay(2, &s, &arrivals).expect("replay");
+        let persisted = run_replay_checkpointed(2, &s, &arrivals, &path, 1).expect("persisted");
+        assert!(direct.bitwise_eq(&persisted));
+        // A synthetic run must refuse the replay checkpoint file.
+        assert!(matches!(
+            run_fleet_checkpointed(1, &s, &path, 1),
+            Err(PersistError::Mismatch { .. })
+        ));
+        std::fs::remove_file(&path).expect("cleanup");
     }
 }

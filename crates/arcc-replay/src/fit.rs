@@ -1,0 +1,149 @@
+//! The log → [`FleetSpec`] fitter: estimate a synthetic fleet from an
+//! observed fault log, so replayed and fitted-synthetic runs can be
+//! compared head-to-head.
+//!
+//! Per class, the maximum-likelihood Poisson rate estimate is simply
+//! `faults / exposure`: observed fault count over `dimms × horizon`
+//! channel-hours, expressed as a multiplier over the SC'12 1x channel
+//! rate (the workspace's canonical FIT table). The fitted spec carries
+//! one population per inhabited class — weight = DIMM share, scrub
+//! cadence and core count straight from the class — and is ready for
+//! [`arcc_fleet::run_fleet`]; the `fleet_fit_vs_replay` scenario runs
+//! both sides and reports where the tails separate.
+
+use arcc_faults::montecarlo::FaultSampler;
+use arcc_faults::{FitRates, HOURS_PER_YEAR};
+use arcc_fleet::{DimmPopulation, FleetSpec};
+
+use crate::format::FaultLog;
+
+/// Per-class fit diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassFit {
+    /// Class name.
+    pub name: String,
+    /// DIMMs inventoried in the class.
+    pub dimms: u64,
+    /// Faults observed on them.
+    pub faults: u64,
+    /// Estimated FIT multiplier over the SC'12 1x rates.
+    pub multiplier: f64,
+    /// Relative standard error of the estimate (`1/sqrt(faults)`;
+    /// infinite with zero observed faults).
+    pub relative_std_error: f64,
+}
+
+/// A fitted fleet: the synthetic spec plus per-class diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResult {
+    /// Synthetic spec calibrated to the log (populations cover the
+    /// *inhabited* classes, in class order).
+    pub spec: FleetSpec,
+    /// Per-class estimates, for every class (inhabited or not), in the
+    /// log's class order.
+    pub classes: Vec<ClassFit>,
+}
+
+/// Fits a synthetic [`FleetSpec`] to `log` (see the module docs); `seed`
+/// seeds the fitted spec's RNG streams.
+pub fn fit_spec(log: &FaultLog, seed: u64) -> FitResult {
+    let base_rate =
+        FaultSampler::new(FaultLog::geometry(), FitRates::sridharan_sc12()).channel_rate_per_hour();
+    let horizon_h = log.years * HOURS_PER_YEAR;
+    let dimm_counts = log.class_dimm_counts();
+    let fault_counts = log.class_fault_counts();
+    let mut classes = Vec::with_capacity(log.classes.len());
+    let mut populations = Vec::new();
+    for ((class, &dimms), &faults) in log.classes.iter().zip(&dimm_counts).zip(&fault_counts) {
+        let exposure_h = dimms as f64 * horizon_h;
+        let multiplier = if exposure_h > 0.0 {
+            faults as f64 / (exposure_h * base_rate)
+        } else {
+            0.0
+        };
+        classes.push(ClassFit {
+            name: class.name.clone(),
+            dimms,
+            faults,
+            multiplier,
+            relative_std_error: if faults > 0 {
+                1.0 / (faults as f64).sqrt()
+            } else {
+                f64::INFINITY
+            },
+        });
+        if dimms > 0 {
+            populations.push(DimmPopulation {
+                name: class.name.clone(),
+                weight: dimms as f64,
+                geometry: FaultLog::geometry(),
+                rate_multiplier: multiplier,
+                scrub_interval_h: class.scrub_interval_h,
+                cores: class.cores,
+            });
+        }
+    }
+    let spec = FleetSpec::baseline(log.dimms.len() as u64)
+        .years(log.years)
+        .seed(seed)
+        .populations(populations);
+    FitResult { spec, classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_log;
+
+    #[test]
+    fn fit_recovers_generating_multipliers() {
+        // Two classes at known 4x / 16x rates: the ML estimate must land
+        // within a few relative standard errors of the truth.
+        let truth = FleetSpec::baseline(4_000)
+            .populations(vec![
+                DimmPopulation::paper("cold_4x")
+                    .weight(0.7)
+                    .rate_multiplier(4.0),
+                DimmPopulation::paper("hot_16x")
+                    .weight(0.3)
+                    .rate_multiplier(16.0)
+                    .scrub_interval_h(2.0)
+                    .cores(16),
+            ])
+            .seed(0xF17);
+        let log = generate_log(&truth);
+        let fit = fit_spec(&log, 0xF17);
+        assert_eq!(fit.classes.len(), 2);
+        for (class, expected) in fit.classes.iter().zip([4.0, 16.0]) {
+            assert!(class.faults > 200, "{}: too few faults to fit", class.name);
+            let tol = 5.0 * class.relative_std_error * expected;
+            assert!(
+                (class.multiplier - expected).abs() < tol,
+                "{}: fitted {} vs true {expected} (tol {tol})",
+                class.name,
+                class.multiplier
+            );
+        }
+        // The fitted spec mirrors the inventory shape.
+        assert_eq!(fit.spec.channels, 4_000);
+        assert_eq!(fit.spec.populations.len(), 2);
+        assert_eq!(fit.spec.populations[1].scrub_interval_h, 2.0);
+        assert_eq!(fit.spec.populations[1].cores, 16);
+        let share = fit.spec.populations[1].weight
+            / (fit.spec.populations[0].weight + fit.spec.populations[1].weight);
+        assert!((share - 0.3).abs() < 0.03, "hot share {share}");
+    }
+
+    #[test]
+    fn quiet_and_empty_classes_degrade_gracefully() {
+        let truth = FleetSpec::baseline(200)
+            .populations(vec![DimmPopulation::paper("dead").rate_multiplier(0.0)]);
+        let fit = fit_spec(&generate_log(&truth), 1);
+        assert_eq!(fit.classes[0].faults, 0);
+        assert_eq!(fit.classes[0].multiplier, 0.0);
+        assert!(fit.classes[0].relative_std_error.is_infinite());
+        // A zero-rate population is legal in a spec (the engine skips it).
+        assert_eq!(fit.spec.populations.len(), 1);
+        assert_eq!(fit.spec.populations[0].rate_multiplier, 0.0);
+    }
+}

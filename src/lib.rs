@@ -23,6 +23,7 @@
 //! | [`core`] | ARCC itself: schemes, page table, scrubber, upgrade engine, system sim |
 //! | [`reliability`] | SDC/DUE Monte Carlo, faulty-fraction and lifetime curves |
 //! | [`fleet`] | sharded event-driven fleet lifetime engine with streaming aggregation |
+//! | [`replay`] | trace-driven ingestion: fault-log format, replay arrivals, log→spec fitter |
 //! | [`exp`] | unified experiment API: scenario registry, parallel sweeps, structured reports |
 //!
 //! # Quickstart: survive a chip kill, then get stronger
@@ -65,4 +66,5 @@ pub use arcc_fleet as fleet;
 pub use arcc_gf as gf;
 pub use arcc_mem as mem;
 pub use arcc_reliability as reliability;
+pub use arcc_replay as replay;
 pub use arcc_trace as trace;
