@@ -1,0 +1,45 @@
+//! Clean fixture: passes every audit check.
+//!
+//! Exercises the exemptions on the way: a `HashMap` in `#[cfg(test)]`
+//! code, a `HashMap` in the companion binary, and one allowlisted
+//! `HashMap` in library code.
+
+#![forbid(unsafe_code)]
+
+/// A spec whose fields are classified in `audit/fingerprint.toml`.
+pub struct Spec {
+    /// Fingerprinted knob.
+    pub channels: u64,
+    /// Performance-only knob (excluded).
+    pub bucket_width: f64,
+}
+
+impl Spec {
+    /// Result-identifying hash; must reference every fingerprinted field
+    /// and no excluded field.
+    pub fn fingerprint(&self) -> u64 {
+        self.channels
+    }
+}
+
+/// Point lookup in a never-iterated map (allowlisted HashMap).
+pub fn cached(map: &std::collections::HashMap<u32, u32>, k: u32) -> Option<u32> {
+    map.get(&k).copied()
+}
+
+/// The crate's single counted panic site.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().expect("non-empty input")
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_containers_are_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

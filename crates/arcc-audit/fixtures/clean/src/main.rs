@@ -1,0 +1,10 @@
+//! Binary fixture: bins are exempt from the determinism lints, so hash
+//! containers, env reads, and unwraps here must not trip the audit.
+
+use std::collections::HashMap;
+
+fn main() {
+    let mut m = HashMap::new();
+    m.insert("home", std::env::var("HOME").unwrap_or_default());
+    println!("{}", m.len());
+}

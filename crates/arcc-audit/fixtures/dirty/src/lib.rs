@@ -1,0 +1,45 @@
+//! Dirty fixture: trips every audit check at once.
+//!
+//! No `#![forbid(unsafe_code)]`, hash containers and a wall-clock read in
+//! library code, a panic site above the ratchet bound, and fingerprint
+//! drift (an unclassified field, a stale manifest entry, and an excluded
+//! field referenced by the fingerprint fn).
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Spec with drifted fields.
+pub struct Spec {
+    /// Classified.
+    pub channels: u64,
+    /// Not classified in the manifest (drift).
+    pub new_knob: u64,
+    /// Classified as excluded, yet referenced by `fingerprint` (drift).
+    pub scheduler: u8,
+}
+
+impl Spec {
+    /// References an excluded field — a fingerprint-drift violation.
+    pub fn fingerprint(&self) -> u64 {
+        self.channels ^ u64::from(self.scheduler)
+    }
+}
+
+/// Wall-clock read plus an unwrap above the ratchet bound.
+pub fn now_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis()
+}
+
+/// Hash containers in deterministic library code.
+pub fn counts(keys: &[u32]) -> usize {
+    let mut set = HashSet::new();
+    for k in keys {
+        set.insert(*k);
+    }
+    let mut map = HashMap::new();
+    map.insert(1u32, 2u32);
+    set.len() + map.len()
+}

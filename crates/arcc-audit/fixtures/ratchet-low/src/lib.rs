@@ -1,0 +1,10 @@
+//! Ratchet fixture: zero panic sites, but the committed ratchet still says
+//! two — the audit must demand a `--fix-ratchet` run to lock in the
+//! improvement.
+
+#![forbid(unsafe_code)]
+
+/// Panic-free lookup.
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}

@@ -1,0 +1,14 @@
+//! Unsafe-allowlisted fixture: the crate may use `unsafe`, but every
+//! occurrence needs a `// SAFETY:` comment nearby. One block is
+//! documented, one is not — the audit must flag exactly the second.
+
+/// Documented unchecked access.
+pub fn documented(v: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees v is non-empty.
+    unsafe { *v.get_unchecked(0) }
+}
+
+/// Undocumented unchecked access — an unsafe-policy violation.
+pub fn undocumented(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(1) }
+}

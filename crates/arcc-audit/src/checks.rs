@@ -1,0 +1,605 @@
+//! The four audit checks: determinism lints, unsafe policy, panic
+//! ratchet, and fingerprint drift.
+//!
+//! All checks run over preprocessed text (comments/strings blanked,
+//! `#[cfg(test)]` items blanked for library-code checks) so findings are
+//! real code, never prose. Findings are appended to an [`AuditOutcome`];
+//! the caller sorts and renders.
+
+use std::fs;
+use std::io;
+
+use crate::config::{Allowlist, FieldClass, FingerprintManifest, Ratchet};
+use crate::report::{AuditOutcome, Check, Violation};
+use crate::scan::{line_of, strip_cfg_test, strip_comments_and_strings, token_hits};
+use crate::workspace::{FileKind, Workspace};
+
+/// Crates whose library code carries the determinism contract, unless
+/// overridden by `[determinism] crates` in the allowlist.
+pub const DEFAULT_DETERMINISTIC_CRATES: &[&str] = &[
+    "arcc-core",
+    "arcc-gf",
+    "arcc-faults",
+    "arcc-mem",
+    "arcc-reliability",
+    "arcc-fleet",
+    "arcc-replay",
+    "arcc-exp",
+];
+
+/// Banned tokens in deterministic library code, with the hazard each one
+/// introduces.
+pub const BANNED_TOKENS: &[(&str, &str)] = &[
+    ("HashMap", "iteration order varies run to run"),
+    ("HashSet", "iteration order varies run to run"),
+    ("Instant::now", "wall-clock reads break replayability"),
+    ("SystemTime", "wall-clock reads break replayability"),
+    ("thread_rng", "OS-seeded randomness breaks replayability"),
+    (
+        "env::var",
+        "environment reads make results machine-dependent",
+    ),
+    (
+        "env::var_os",
+        "environment reads make results machine-dependent",
+    ),
+    (
+        "env::vars",
+        "environment reads make results machine-dependent",
+    ),
+];
+
+/// Tokens counted as panic sites by the ratchet.
+pub const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// A source file with its preprocessed views.
+struct Processed {
+    rel_path: String,
+    kind: FileKind,
+    /// Original text (for `// SAFETY:` comment checks).
+    raw: String,
+    /// Comments/strings blanked.
+    stripped: String,
+    /// Comments/strings and `#[cfg(test)]` items blanked.
+    lib_view: String,
+}
+
+/// All of one crate's files, preprocessed once.
+struct ProcessedCrate {
+    name: String,
+    rel_dir: String,
+    root_file: Option<String>,
+    files: Vec<Processed>,
+}
+
+/// Runs every check over the workspace and returns the outcome.
+///
+/// Configuration problems (malformed files, unused allowlist entries,
+/// missing ratchet/manifest) surface as [`Check::Config`] or per-check
+/// violations rather than hard errors, so a single run reports everything.
+///
+/// # Errors
+///
+/// Only unreadable source files propagate as [`io::Error`].
+pub fn run_all(ws: &Workspace, out: &mut AuditOutcome) -> io::Result<()> {
+    let crates = preprocess(ws)?;
+    out.crates_audited = crates.len();
+    out.files_scanned = crates.iter().map(|c| c.files.len()).sum();
+
+    let allow = match Allowlist::load(&ws.root) {
+        Ok(a) => a,
+        Err(e) => {
+            out.violations.push(Violation {
+                check: Check::Config,
+                file: e.file.clone(),
+                line: e.line,
+                message: e.what,
+            });
+            Allowlist::default()
+        }
+    };
+    let mut used = vec![false; allow.entries.len()];
+    for (i, entry) in allow.entries.iter().enumerate() {
+        if !matches!(entry.check.as_str(), "determinism" | "unsafe") {
+            used[i] = true; // counted as "used" so it is not doubly reported
+            out.violations.push(Violation {
+                check: Check::Config,
+                file: "audit/allowlist.toml".into(),
+                line: 0,
+                message: format!(
+                    "[[allow]] entry for {} names unknown check {:?}",
+                    entry.path, entry.check
+                ),
+            });
+        }
+    }
+
+    check_determinism(&crates, &allow, &mut used, out);
+    check_unsafe(&crates, &allow, &mut used, out);
+    check_panic_ratchet(&ws.root, &crates, out);
+    check_fingerprint(&ws.root, out);
+
+    for (i, entry) in allow.entries.iter().enumerate() {
+        if used[i] {
+            out.allowlist_used += 1;
+        } else {
+            out.violations.push(Violation {
+                check: Check::Config,
+                file: "audit/allowlist.toml".into(),
+                line: 0,
+                message: format!(
+                    "unused [[allow]] entry ({} / {} / {:?}); remove it",
+                    entry.check, entry.path, entry.pattern
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Measures per-crate panic-site counts (the `--fix-ratchet` payload).
+///
+/// # Errors
+///
+/// Propagates unreadable source files.
+pub fn measure_panic_sites(ws: &Workspace) -> io::Result<Vec<(String, i64)>> {
+    let crates = preprocess(ws)?;
+    Ok(crates
+        .iter()
+        .map(|c| (c.name.clone(), count_panic_sites(c)))
+        .collect())
+}
+
+fn preprocess(ws: &Workspace) -> io::Result<Vec<ProcessedCrate>> {
+    let mut out = Vec::with_capacity(ws.crates.len());
+    for c in &ws.crates {
+        let mut files = Vec::with_capacity(c.files.len());
+        for f in &c.files {
+            let raw = fs::read_to_string(&f.abs_path)?;
+            let stripped = strip_comments_and_strings(&raw);
+            let lib_view = strip_cfg_test(&stripped);
+            files.push(Processed {
+                rel_path: f.rel_path.clone(),
+                kind: f.kind,
+                raw,
+                stripped,
+                lib_view,
+            });
+        }
+        out.push(ProcessedCrate {
+            name: c.name.clone(),
+            rel_dir: c.rel_dir.clone(),
+            root_file: c.root_file.clone(),
+            files,
+        });
+    }
+    Ok(out)
+}
+
+fn check_determinism(
+    crates: &[ProcessedCrate],
+    allow: &Allowlist,
+    used: &mut [bool],
+    out: &mut AuditOutcome,
+) {
+    let default: Vec<String> = DEFAULT_DETERMINISTIC_CRATES
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let det = allow.deterministic_crates.as_ref().unwrap_or(&default);
+    for c in crates.iter().filter(|c| det.contains(&c.name)) {
+        for f in c.files.iter().filter(|f| f.kind == FileKind::Lib) {
+            for &(token, hazard) in BANNED_TOKENS {
+                let hits = token_hits(&f.lib_view, token);
+                if hits.is_empty() {
+                    continue;
+                }
+                let allowed = allow.entries.iter().position(|e| {
+                    e.check == "determinism" && e.path == f.rel_path && e.pattern == token
+                });
+                if let Some(i) = allowed {
+                    used[i] = true;
+                    continue;
+                }
+                for at in hits {
+                    out.violations.push(Violation {
+                        check: Check::Determinism,
+                        file: f.rel_path.clone(),
+                        line: line_of(&f.lib_view, at),
+                        message: format!(
+                            "banned `{token}` in deterministic library code ({hazard}); \
+                             move it to tests/bins or allowlist it with a justification"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_unsafe(
+    crates: &[ProcessedCrate],
+    allow: &Allowlist,
+    used: &mut [bool],
+    out: &mut AuditOutcome,
+) {
+    for c in crates {
+        let Some(root_file) = &c.root_file else {
+            continue;
+        };
+        let forbids = c
+            .files
+            .iter()
+            .find(|f| &f.rel_path == root_file)
+            .is_some_and(|f| {
+                let compact: String = f
+                    .stripped
+                    .chars()
+                    .filter(|ch| !ch.is_whitespace())
+                    .collect();
+                compact.contains("#![forbid(unsafe_code)]")
+            });
+        if forbids {
+            continue;
+        }
+        let allowed = allow
+            .entries
+            .iter()
+            .position(|e| e.check == "unsafe" && (e.path == c.rel_dir || e.path == c.name));
+        let Some(i) = allowed else {
+            out.violations.push(Violation {
+                check: Check::Unsafe,
+                file: root_file.clone(),
+                line: 0,
+                message: "crate root is missing #![forbid(unsafe_code)]".into(),
+            });
+            continue;
+        };
+        used[i] = true;
+        // Allowlisted crate: every `unsafe` needs a // SAFETY: comment on
+        // the same line or one of the three preceding lines.
+        for f in &c.files {
+            let raw_lines: Vec<&str> = f.raw.lines().collect();
+            for at in token_hits(&f.stripped, "unsafe") {
+                let line = line_of(&f.stripped, at);
+                let documented = (line.saturating_sub(3)..=line)
+                    .filter(|&l| l >= 1)
+                    .any(|l| raw_lines.get(l - 1).is_some_and(|t| t.contains("SAFETY:")));
+                if !documented {
+                    out.violations.push(Violation {
+                        check: Check::Unsafe,
+                        file: f.rel_path.clone(),
+                        line,
+                        message: "`unsafe` without a preceding `// SAFETY:` comment".into(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn count_panic_sites(c: &ProcessedCrate) -> i64 {
+    let mut n = 0i64;
+    for f in c.files.iter().filter(|f| f.kind == FileKind::Lib) {
+        for token in PANIC_TOKENS {
+            n += token_hits(&f.lib_view, token).len() as i64;
+        }
+    }
+    n
+}
+
+fn check_panic_ratchet(root: &std::path::Path, crates: &[ProcessedCrate], out: &mut AuditOutcome) {
+    let rel = "audit/ratchet.toml";
+    for c in crates {
+        out.panic_counts
+            .push((c.name.clone(), count_panic_sites(c)));
+    }
+    out.panic_counts.sort();
+    let ratchet = match Ratchet::load(root) {
+        Ok(Some(r)) => r,
+        Ok(None) => {
+            out.violations.push(Violation {
+                check: Check::PanicRatchet,
+                file: rel.into(),
+                line: 0,
+                message: "missing; seed it with `cargo run -p arcc-audit -- --fix-ratchet`".into(),
+            });
+            return;
+        }
+        Err(e) => {
+            out.violations.push(Violation {
+                check: Check::Config,
+                file: e.file,
+                line: e.line,
+                message: e.what,
+            });
+            return;
+        }
+    };
+    for (name, count) in &out.panic_counts {
+        match ratchet.bound(name) {
+            None => out.violations.push(Violation {
+                check: Check::PanicRatchet,
+                file: rel.into(),
+                line: 0,
+                message: format!("crate {name} has no ratchet entry; run --fix-ratchet to seed it"),
+            }),
+            Some(bound) if *count > bound => out.violations.push(Violation {
+                check: Check::PanicRatchet,
+                file: rel.into(),
+                line: 0,
+                message: format!(
+                    "{name}: {count} panic sites in library code exceeds the ratchet \
+                     bound of {bound}; convert them to typed errors or documented expects"
+                ),
+            }),
+            Some(bound) if *count < bound => out.violations.push(Violation {
+                check: Check::PanicRatchet,
+                file: rel.into(),
+                line: 0,
+                message: format!(
+                    "{name}: {count} panic sites is below the ratchet bound of {bound}; \
+                     run --fix-ratchet to lock in the improvement"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (name, _) in &ratchet.bounds {
+        if !out.panic_counts.iter().any(|(n, _)| n == name) {
+            out.violations.push(Violation {
+                check: Check::PanicRatchet,
+                file: rel.into(),
+                line: 0,
+                message: format!(
+                    "ratchet entry for unknown crate {name}; run --fix-ratchet to prune it"
+                ),
+            });
+        }
+    }
+}
+
+fn check_fingerprint(root: &std::path::Path, out: &mut AuditOutcome) {
+    let rel = "audit/fingerprint.toml";
+    let manifest = match FingerprintManifest::load(root) {
+        Ok(Some(m)) => m,
+        Ok(None) => {
+            out.violations.push(Violation {
+                check: Check::Fingerprint,
+                file: rel.into(),
+                line: 0,
+                message: "missing; commit a manifest classifying every spec/checkpoint field"
+                    .into(),
+            });
+            return;
+        }
+        Err(e) => {
+            out.violations.push(Violation {
+                check: Check::Config,
+                file: e.file,
+                line: e.line,
+                message: e.what,
+            });
+            return;
+        }
+    };
+    for s in &manifest.structs {
+        let Ok(raw) = fs::read_to_string(root.join(&s.file)) else {
+            out.violations.push(Violation {
+                check: Check::Fingerprint,
+                file: rel.into(),
+                line: 0,
+                message: format!("[{}] __file {:?} is unreadable", s.name, s.file),
+            });
+            continue;
+        };
+        let processed = strip_comments_and_strings(&raw);
+        let Some(actual) = extract_struct_fields(&processed, &s.name) else {
+            out.violations.push(Violation {
+                check: Check::Fingerprint,
+                file: s.file.clone(),
+                line: 0,
+                message: format!("struct {} not found", s.name),
+            });
+            continue;
+        };
+        for field in &actual {
+            if !s.fields.iter().any(|(f, _)| f == field) {
+                out.violations.push(Violation {
+                    check: Check::Fingerprint,
+                    file: s.file.clone(),
+                    line: 0,
+                    message: format!(
+                        "{} field `{field}` is not classified in {rel}; decide whether \
+                         it joins the fingerprint (fingerprinted) or is a \
+                         performance-only knob (excluded)",
+                        s.name
+                    ),
+                });
+            }
+        }
+        for (field, _) in &s.fields {
+            if !actual.contains(field) {
+                out.violations.push(Violation {
+                    check: Check::Fingerprint,
+                    file: rel.into(),
+                    line: 0,
+                    message: format!(
+                        "manifest classifies {} field `{field}` which no longer exists",
+                        s.name
+                    ),
+                });
+            }
+        }
+        let Some(fn_name) = &s.fingerprint_fn else {
+            continue;
+        };
+        let Some(body) = extract_fn_body(&processed, fn_name) else {
+            out.violations.push(Violation {
+                check: Check::Fingerprint,
+                file: s.file.clone(),
+                line: 0,
+                message: format!("fn {fn_name} not found for struct {}", s.name),
+            });
+            continue;
+        };
+        for (field, class) in &s.fields {
+            if !actual.contains(field) {
+                continue; // already reported as stale
+            }
+            let referenced = !token_hits(body, &format!(".{field}")).is_empty();
+            match class {
+                FieldClass::Fingerprinted if !referenced => {
+                    out.violations.push(Violation {
+                        check: Check::Fingerprint,
+                        file: s.file.clone(),
+                        line: 0,
+                        message: format!(
+                            "fingerprinted field `{field}` of {} is never referenced in \
+                             fn {fn_name}",
+                            s.name
+                        ),
+                    });
+                }
+                FieldClass::Excluded if referenced => {
+                    out.violations.push(Violation {
+                        check: Check::Fingerprint,
+                        file: s.file.clone(),
+                        line: 0,
+                        message: format!(
+                            "excluded field `{field}` of {} is referenced in fn {fn_name}; \
+                             reclassify it as fingerprinted",
+                            s.name
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Field names of `struct name { .. }` in comment/string-stripped text, or
+/// `None` when the struct (or a braced body) is absent.
+pub fn extract_struct_fields(processed: &str, name: &str) -> Option<Vec<String>> {
+    let pat = format!("struct {name}");
+    let at = *token_hits(processed, &pat).first()?;
+    let after = &processed[at + pat.len()..];
+    // Body opens at the next `{`; a `;` first means a unit/tuple struct.
+    let mut open = None;
+    for (i, c) in after.char_indices() {
+        match c {
+            '{' => {
+                open = Some(i);
+                break;
+            }
+            ';' | '(' => return None,
+            _ => {}
+        }
+    }
+    let open = open?;
+    let body = brace_body(&after[open..])?;
+    Some(parse_field_names(body))
+}
+
+/// Body (between the braces) of `fn fn_name ...{ .. }`.
+pub fn extract_fn_body<'t>(processed: &'t str, fn_name: &str) -> Option<&'t str> {
+    let pat = format!("fn {fn_name}");
+    let at = *token_hits(processed, &pat).first()?;
+    let after = &processed[at + pat.len()..];
+    let open = after.find('{')?;
+    brace_body(&after[open..])
+}
+
+/// Interior of a brace-balanced block whose text starts at `{`.
+fn brace_body(text: &str) -> Option<&str> {
+    let b = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate() {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&text[1..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Identifiers immediately preceding a top-level `:` in a struct body.
+fn parse_field_names(body: &str) -> Vec<String> {
+    let b = body.as_bytes();
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'{' | b'(' | b'[' => depth += 1,
+            b'}' | b')' | b']' => depth -= 1,
+            b':' if i + 1 < b.len() && b[i + 1] == b':' => i += 1,
+            b':' if depth == 0 => {
+                let mut j = i;
+                while j > 0 && b[j - 1].is_ascii_whitespace() {
+                    j -= 1;
+                }
+                let end = j;
+                while j > 0 && (b[j - 1].is_ascii_alphanumeric() || b[j - 1] == b'_') {
+                    j -= 1;
+                }
+                if j < end {
+                    fields.push(body[j..end].to_string());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn struct_fields_are_extracted() {
+        let src = "pub struct Spec {\n  pub channels: u64,\n  pub map: BTreeMap<String, u32>,\n  geometry: DimmGeometry,\n}\n";
+        let p = strip_comments_and_strings(src);
+        let fields = extract_struct_fields(&p, "Spec").expect("struct");
+        assert_eq!(fields, vec!["channels", "map", "geometry"]);
+        assert!(extract_struct_fields(&p, "Missing").is_none());
+    }
+
+    #[test]
+    fn tuple_struct_is_not_extracted() {
+        let p = "pub struct Wrapper(u64);";
+        assert!(extract_struct_fields(p, "Wrapper").is_none());
+    }
+
+    #[test]
+    fn fn_body_is_extracted() {
+        let src =
+            "impl Spec { pub fn fingerprint(&self) -> u64 { mix(self.channels); self.years } }";
+        let body = extract_fn_body(src, "fingerprint").expect("fn");
+        assert!(body.contains("self.channels"));
+        assert!(!token_hits(body, ".scheduler").iter().any(|_| true));
+    }
+
+    #[test]
+    fn nested_types_do_not_leak_fields() {
+        let src = "struct S {\n  cb: Box<dyn Fn(u32) -> u32>,\n  inner: Vec<(u8, u8)>,\n}";
+        let fields = extract_struct_fields(src, "S").expect("struct");
+        assert_eq!(fields, vec!["cb", "inner"]);
+    }
+}

@@ -1,0 +1,440 @@
+//! The committed audit configuration under `audit/`: the per-check
+//! allowlist, the panic-site ratchet, and the fingerprint manifest.
+//!
+//! Files use a small TOML subset — `[section]` tables, `[[section]]`
+//! array-of-tables, `key = "string"` and `key = integer` pairs, `#`
+//! comments — parsed by hand so the auditor stays dependency-free.
+
+use std::fmt;
+use std::path::Path;
+
+/// A parsed key value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TomlValue {
+    /// Quoted string.
+    Str(String),
+    /// Integer.
+    Int(i64),
+}
+
+impl TomlValue {
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            TomlValue::Int(_) => None,
+        }
+    }
+}
+
+/// One `[section]` or `[[section]]` table with its key/value pairs in
+/// file order.
+#[derive(Debug, Clone)]
+pub struct TomlTable {
+    /// Section name.
+    pub name: String,
+    /// Key/value pairs in declaration order.
+    pub pairs: Vec<(String, TomlValue)>,
+}
+
+impl TomlTable {
+    /// First value for `key`.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// First string value for `key`.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(|v| v.as_str())
+    }
+}
+
+/// Configuration parse error: file, line, and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending file, workspace-relative.
+    pub file: String,
+    /// 1-based line (0 for whole-file problems).
+    pub line: usize,
+    /// Description.
+    pub what: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.what)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parses the TOML subset into tables in file order. Keys before any
+/// section header go into an implicit table named `""`.
+pub fn parse_toml(file: &str, text: &str) -> Result<Vec<TomlTable>, ConfigError> {
+    let mut tables: Vec<TomlTable> = Vec::new();
+    let err = |line: usize, what: String| ConfigError {
+        file: file.to_string(),
+        line,
+        what,
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err(lineno, format!("malformed table header {line:?}")))?;
+            tables.push(TomlTable {
+                name: name.trim().to_string(),
+                pairs: Vec::new(),
+            });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, format!("malformed section header {line:?}")))?;
+            tables.push(TomlTable {
+                name: name.trim().to_string(),
+                pairs: Vec::new(),
+            });
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(err(lineno, format!("expected key = value, got {line:?}")));
+        };
+        let key = line[..eq].trim().to_string();
+        if key.is_empty() {
+            return Err(err(lineno, "empty key".to_string()));
+        }
+        let value = parse_value(line[eq + 1..].trim())
+            .ok_or_else(|| err(lineno, format!("bad value in {line:?}")))?;
+        if tables.is_empty() {
+            tables.push(TomlTable {
+                name: String::new(),
+                pairs: Vec::new(),
+            });
+        }
+        let last = tables.len() - 1;
+        tables[last].pairs.push((key, value));
+    }
+    Ok(tables)
+}
+
+/// Parses a quoted string (with `\"` `\\` `\n` `\t` escapes) or an
+/// integer; trailing `#` comments are allowed after either.
+fn parse_value(v: &str) -> Option<TomlValue> {
+    if let Some(rest) = v.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = rest.chars();
+        loop {
+            match chars.next()? {
+                '\\' => match chars.next()? {
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    _ => return None,
+                },
+                '"' => break,
+                c => out.push(c),
+            }
+        }
+        let tail = chars.as_str().trim();
+        if !(tail.is_empty() || tail.starts_with('#')) {
+            return None;
+        }
+        return Some(TomlValue::Str(out));
+    }
+    let bare = v.split('#').next().unwrap_or("").trim();
+    bare.parse::<i64>().ok().map(TomlValue::Int)
+}
+
+/// One `[[allow]]` entry of `audit/allowlist.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Which check the entry suppresses (`"determinism"` or `"unsafe"`).
+    pub check: String,
+    /// Workspace-relative file (determinism) or crate directory (unsafe).
+    pub path: String,
+    /// Banned token being allowed (determinism entries).
+    pub pattern: String,
+    /// Human justification — required, and required to be non-empty.
+    pub justification: String,
+}
+
+/// The parsed allowlist plus the deterministic-crate set override.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// Allow entries in file order.
+    pub entries: Vec<AllowEntry>,
+    /// `[determinism] crates = "a,b"` override, when present.
+    pub deterministic_crates: Option<Vec<String>>,
+}
+
+impl Allowlist {
+    /// Loads `audit/allowlist.toml` under `root`; a missing file is an
+    /// empty allowlist.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] on unreadable or malformed content, including
+    /// entries with a missing or empty justification.
+    pub fn load(root: &Path) -> Result<Self, ConfigError> {
+        let rel = "audit/allowlist.toml";
+        let path = root.join(rel);
+        if !path.is_file() {
+            return Ok(Self::default());
+        }
+        let text = read(rel, &path)?;
+        let mut list = Self::default();
+        for table in parse_toml(rel, &text)? {
+            let bad = |what: String| ConfigError {
+                file: rel.to_string(),
+                line: 0,
+                what,
+            };
+            match table.name.as_str() {
+                "determinism" => {
+                    if let Some(crates) = table.get_str("crates") {
+                        list.deterministic_crates = Some(
+                            crates
+                                .split(',')
+                                .map(|c| c.trim().to_string())
+                                .filter(|c| !c.is_empty())
+                                .collect(),
+                        );
+                    }
+                }
+                "allow" => {
+                    let entry = AllowEntry {
+                        check: table
+                            .get_str("check")
+                            .ok_or_else(|| bad("[[allow]] entry missing check".into()))?
+                            .to_string(),
+                        path: table
+                            .get_str("path")
+                            .ok_or_else(|| bad("[[allow]] entry missing path".into()))?
+                            .to_string(),
+                        pattern: table.get_str("pattern").unwrap_or_default().to_string(),
+                        justification: table
+                            .get_str("justification")
+                            .unwrap_or_default()
+                            .to_string(),
+                    };
+                    if entry.justification.trim().is_empty() {
+                        return Err(bad(format!(
+                            "[[allow]] entry for {} needs a non-empty justification",
+                            entry.path
+                        )));
+                    }
+                    list.entries.push(entry);
+                }
+                other => {
+                    return Err(bad(format!("unknown allowlist section [{other}]")));
+                }
+            }
+        }
+        Ok(list)
+    }
+}
+
+/// The committed panic-site ratchet: per-crate upper bounds.
+#[derive(Debug, Clone, Default)]
+pub struct Ratchet {
+    /// `(crate name, bound)` pairs in file order.
+    pub bounds: Vec<(String, i64)>,
+}
+
+impl Ratchet {
+    /// Loads `audit/ratchet.toml` under `root`. Returns `None` when the
+    /// file does not exist (the caller reports that as a violation).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] on unreadable or malformed content.
+    pub fn load(root: &Path) -> Result<Option<Self>, ConfigError> {
+        let rel = "audit/ratchet.toml";
+        let path = root.join(rel);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text = read(rel, &path)?;
+        let mut ratchet = Self::default();
+        for table in parse_toml(rel, &text)? {
+            if table.name != "panic_sites" {
+                continue;
+            }
+            for (k, v) in &table.pairs {
+                if let TomlValue::Int(n) = v {
+                    ratchet.bounds.push((k.clone(), *n));
+                }
+            }
+        }
+        Ok(Some(ratchet))
+    }
+
+    /// The bound for a crate, if seeded.
+    pub fn bound(&self, name: &str) -> Option<i64> {
+        self.bounds.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Serialises current counts as the new ratchet file content.
+    pub fn render(counts: &[(String, i64)]) -> String {
+        let mut out = String::from(
+            "# Panic-site ratchet: unwrap()/expect()/panic!/unreachable!/todo!/\n\
+             # unimplemented! occurrences in non-test library code, per crate.\n\
+             # Managed by `cargo run -p arcc-audit -- --fix-ratchet`; lower a\n\
+             # bound by burning sites down and re-running, never by hand-editing\n\
+             # it upward.\n\n[panic_sites]\n",
+        );
+        for (name, n) in counts {
+            out.push_str(&format!("{name} = {n}\n"));
+        }
+        out
+    }
+}
+
+/// Field classification in the fingerprint manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldClass {
+    /// Mixed into `FleetSpec::fingerprint` — changing it invalidates
+    /// checkpoints.
+    Fingerprinted,
+    /// Deliberately excluded from the fingerprint (performance-only knob).
+    Excluded,
+    /// Carried by the checkpoint serialisation; tracked for drift only.
+    Serialized,
+}
+
+impl FieldClass {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fingerprinted" => Some(Self::Fingerprinted),
+            "excluded" => Some(Self::Excluded),
+            "serialized" => Some(Self::Serialized),
+            _ => None,
+        }
+    }
+}
+
+/// One audited struct of the fingerprint manifest.
+#[derive(Debug, Clone)]
+pub struct StructManifest {
+    /// Struct name (section header).
+    pub name: String,
+    /// Workspace-relative source file holding the definition.
+    pub file: String,
+    /// Name of the fingerprint fn in that file whose body must mention
+    /// every fingerprinted field and no excluded field, when set.
+    pub fingerprint_fn: Option<String>,
+    /// Classified fields in manifest order.
+    pub fields: Vec<(String, FieldClass)>,
+}
+
+/// The parsed `audit/fingerprint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct FingerprintManifest {
+    /// Audited structs in file order.
+    pub structs: Vec<StructManifest>,
+}
+
+impl FingerprintManifest {
+    /// Loads `audit/fingerprint.toml` under `root`. Returns `None` when
+    /// the file does not exist (reported as a violation by the check).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] on malformed content, unknown field classes, or a
+    /// struct section missing its `__file` key.
+    pub fn load(root: &Path) -> Result<Option<Self>, ConfigError> {
+        let rel = "audit/fingerprint.toml";
+        let path = root.join(rel);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text = read(rel, &path)?;
+        let mut manifest = Self::default();
+        for table in parse_toml(rel, &text)? {
+            let bad = |what: String| ConfigError {
+                file: rel.to_string(),
+                line: 0,
+                what,
+            };
+            if table.name.is_empty() {
+                return Err(bad("keys outside a [Struct] section".into()));
+            }
+            let file = table
+                .get_str("__file")
+                .ok_or_else(|| bad(format!("[{}] missing __file", table.name)))?
+                .to_string();
+            let fingerprint_fn = table.get_str("__fingerprint_fn").map(str::to_string);
+            let mut fields = Vec::new();
+            for (k, v) in &table.pairs {
+                if k.starts_with("__") {
+                    continue;
+                }
+                let class = v.as_str().and_then(FieldClass::parse).ok_or_else(|| {
+                    bad(format!(
+                        "[{}] field {k} must be \"fingerprinted\", \"excluded\", \
+                             or \"serialized\"",
+                        table.name
+                    ))
+                })?;
+                fields.push((k.clone(), class));
+            }
+            manifest.structs.push(StructManifest {
+                name: table.name.clone(),
+                file,
+                fingerprint_fn,
+                fields,
+            });
+        }
+        Ok(Some(manifest))
+    }
+}
+
+fn read(rel: &str, path: &Path) -> Result<String, ConfigError> {
+    std::fs::read_to_string(path).map_err(|e| ConfigError {
+        file: rel.to_string(),
+        line: 0,
+        what: format!("unreadable: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toml_subset_round_trip() {
+        let text = "# c\ntop = 1\n[a]\nx = \"s # not a comment\"\ny = 2 # trailing\n[[b]]\nk = \"v\"\n[[b]]\nk = \"w\"\n";
+        let tables = parse_toml("t.toml", text).expect("parse");
+        assert_eq!(tables.len(), 4);
+        assert_eq!(tables[0].name, "");
+        assert_eq!(tables[0].get("top"), Some(&TomlValue::Int(1)));
+        assert_eq!(tables[1].get_str("x"), Some("s # not a comment"));
+        assert_eq!(tables[1].get("y"), Some(&TomlValue::Int(2)));
+        assert_eq!(tables[2].get_str("k"), Some("v"));
+        assert_eq!(tables[3].get_str("k"), Some("w"));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse_toml("t", "[unclosed\n").is_err());
+        assert!(parse_toml("t", "bare\n").is_err());
+        assert!(parse_toml("t", "k = \"unterminated\n").is_err());
+        assert!(parse_toml("t", "k = \"x\" garbage\n").is_err());
+    }
+
+    #[test]
+    fn ratchet_render_is_stable() {
+        let r = Ratchet::render(&[("a".into(), 3), ("b".into(), 0)]);
+        assert!(r.contains("[panic_sites]\na = 3\nb = 0\n"));
+        let parsed = parse_toml("r", &r).expect("self-parse");
+        assert_eq!(parsed.last().map(|t| t.pairs.len()), Some(2));
+    }
+}

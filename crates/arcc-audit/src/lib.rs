@@ -1,0 +1,74 @@
+//! `arcc-audit`: a dependency-free static-analysis suite for the arcc
+//! workspace.
+//!
+//! The fleet engine's headline results rest on a determinism contract —
+//! parallel sweeps byte-identical to sequential runs, heap and calendar
+//! schedulers bit-exact, replay round trips lossless. The proptests
+//! enforce that contract dynamically; this tool enforces it at the source
+//! level, so a stray `HashMap` iteration or wall-clock read is caught in
+//! CI before it can make a run irreproducible. Four checks:
+//!
+//! 1. **Determinism lints** — ban `HashMap`/`HashSet`, `Instant::now`,
+//!    `SystemTime`, `thread_rng`, and environment reads in library code of
+//!    the deterministic crates. Tests, benches, and binaries are exempt;
+//!    justified exceptions live in `audit/allowlist.toml`.
+//! 2. **Unsafe policy** — every crate root must carry
+//!    `#![forbid(unsafe_code)]`; an allowlisted crate may use `unsafe`
+//!    only under `// SAFETY:` comments.
+//! 3. **Panic ratchet** — per-crate counts of `unwrap()`/`expect()`/
+//!    `panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test library
+//!    code may never rise above `audit/ratchet.toml`, and improvements
+//!    must be locked in with `--fix-ratchet`.
+//! 4. **Fingerprint drift** — the fields of `FleetSpec` and the
+//!    checkpoint structs are compared against `audit/fingerprint.toml`,
+//!    which classifies each as fingerprinted or excluded, so a new knob
+//!    cannot silently skip the checkpoint-compatibility decision.
+//!
+//! The tool is pure `std` (rust-tidy-style): it lexes rather than parses,
+//! blanking comments, strings, and `#[cfg(test)]` items before token
+//! search, and it never drags the crates it audits into its build graph.
+
+#![forbid(unsafe_code)]
+
+pub mod checks;
+pub mod config;
+pub mod report;
+pub mod scan;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+use report::AuditOutcome;
+use workspace::Workspace;
+
+/// Runs every check over the workspace at `root` and returns the sorted
+/// outcome.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable sources, missing root
+/// manifest); configuration problems are reported as violations instead.
+pub fn run_audit(root: &Path) -> io::Result<AuditOutcome> {
+    let ws = Workspace::discover(root)?;
+    let mut out = AuditOutcome::default();
+    checks::run_all(&ws, &mut out)?;
+    out.finish();
+    Ok(out)
+}
+
+/// Rewrites `audit/ratchet.toml` under `root` with the measured per-crate
+/// panic-site counts, returning them.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn fix_ratchet(root: &Path) -> io::Result<Vec<(String, i64)>> {
+    let ws = Workspace::discover(root)?;
+    let mut counts = checks::measure_panic_sites(&ws)?;
+    counts.sort();
+    let dir = root.join("audit");
+    std::fs::create_dir_all(&dir)?;
+    std::fs::write(dir.join("ratchet.toml"), config::Ratchet::render(&counts))?;
+    Ok(counts)
+}

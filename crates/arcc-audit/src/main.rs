@@ -1,0 +1,109 @@
+//! CLI for the workspace audit.
+//!
+//! ```text
+//! arcc-audit [--check] [--root PATH] [--json PATH]   # exit 0 clean, 1 dirty
+//! arcc-audit --fix-ratchet [--root PATH]             # reseed audit/ratchet.toml
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut fix = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => fix = false,
+            "--fix-ratchet" => fix = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "arcc-audit: static-analysis suite for the arcc workspace\n\n\
+                     USAGE: arcc-audit [--check | --fix-ratchet] [--root PATH] [--json PATH]\n\n\
+                     --check        run all checks (default); exit 1 on violations\n\
+                     --fix-ratchet  rewrite audit/ratchet.toml with measured panic-site counts\n\
+                     --root PATH    workspace root (default: current directory)\n\
+                     --json PATH    also write the JSON report to PATH"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if fix {
+        return match arcc_audit::fix_ratchet(&root) {
+            Ok(counts) => {
+                let total: i64 = counts.iter().map(|(_, n)| n).sum();
+                println!(
+                    "audit/ratchet.toml reseeded: {} crates, {} panic sites",
+                    counts.len(),
+                    total
+                );
+                for (name, n) in &counts {
+                    println!("  {name} = {n}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        };
+    }
+
+    let outcome = match arcc_audit::run_audit(&root) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    if let Some(path) = &json {
+        if let Some(parent) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                return fail(&e);
+            }
+        }
+        if let Err(e) = std::fs::write(path, outcome.to_json()) {
+            return fail(&e);
+        }
+    }
+    for v in &outcome.violations {
+        println!("{v}");
+    }
+    println!(
+        "arcc-audit: {} crates, {} files, {} violation(s), {} allowlist entr{} used",
+        outcome.crates_audited,
+        outcome.files_scanned,
+        outcome.violations.len(),
+        outcome.allowlist_used,
+        if outcome.allowlist_used == 1 {
+            "y"
+        } else {
+            "ies"
+        }
+    );
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("arcc-audit: {msg} (try --help)");
+    ExitCode::from(2)
+}
+
+fn fail(e: &dyn std::fmt::Display) -> ExitCode {
+    eprintln!("arcc-audit: {e}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,335 @@
+//! Source preprocessing for the lint passes.
+//!
+//! The checks operate on a *processed* view of each file in which comment
+//! and string/char-literal interiors are blanked to spaces (so an
+//! `unwrap()` in an error message or doc example never counts) and, for
+//! library-code checks, `#[cfg(test)]` items are blanked as well. Blanking
+//! preserves every byte position — newlines included — so line numbers
+//! reported against the processed text are valid for the original file.
+
+/// Replaces the interiors of comments, string literals, raw strings, byte
+/// strings, and char literals with spaces, preserving all newlines.
+///
+/// Lifetimes (`'a`) are distinguished from char literals by lookahead: a
+/// char literal closes within a few characters, a lifetime never closes.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nesting).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"..." / r#"..."# / br#"..."#, provided the
+        // prefix is not the tail of an identifier (`bar"` is not raw).
+        if (c == b'r' || c == b'b') && !prev_is_ident(b, i) {
+            let mut j = i;
+            if b[j] == b'b' && j + 1 < b.len() && b[j + 1] == b'r' {
+                j += 1;
+            }
+            if b[j] == b'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < b.len() && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'"' {
+                    // Blank from i through the closing quote+hashes.
+                    out.extend(std::iter::repeat_n(b' ', k - i + 1));
+                    i = k + 1;
+                    loop {
+                        if i >= b.len() {
+                            break;
+                        }
+                        if b[i] == b'"' && b[i + 1..].iter().take(hashes).all(|&h| h == b'#') {
+                            out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                            i += 1 + hashes;
+                            break;
+                        }
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        // Ordinary (or byte) string literal.
+        if c == b'"' {
+            out.push(b' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out.push(b' ');
+                    out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
+                    i += 2;
+                    continue;
+                }
+                let done = b[i] == b'"';
+                out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' && !prev_is_ident(b, i) {
+            let rest = &b[i + 1..];
+            let lit_len = match rest {
+                [b'\\', ..] => rest.iter().skip(1).position(|&x| x == b'\'').map(|p| p + 3),
+                [_, b'\'', ..] => Some(3),
+                _ => None,
+            };
+            if let Some(n) = lit_len {
+                for k in 0..n {
+                    out.push(if b[i + k] == b'\n' { b'\n' } else { b' ' });
+                }
+                i += n;
+                continue;
+            }
+            // Lifetime: fall through, emit the quote as-is.
+        }
+        out.push(c);
+        i += 1;
+    }
+    // Safety of from_utf8: we only ever copy ASCII bytes or original bytes
+    // at their original positions; multi-byte chars are either copied
+    // whole or replaced byte-for-byte with spaces.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// Blanks every `#[cfg(test)]`-attributed item (typically `mod tests { .. }`)
+/// in already comment/string-stripped text, preserving newlines.
+///
+/// The item body is found by brace matching from the end of the attribute;
+/// items that end at a `;` before any `{` (e.g. `#[cfg(test)] use ..;`)
+/// are blanked to the semicolon.
+pub fn strip_cfg_test(processed: &str) -> String {
+    let mut text = processed.to_string();
+    loop {
+        let Some(start) = find_cfg_test(&text) else {
+            return text;
+        };
+        let b = text.as_bytes();
+        // Walk from the end of the attribute to the item it decorates,
+        // skipping further attributes, then blank through the item.
+        let mut i = start;
+        // Skip the `#[cfg(test)]` attribute itself (balanced brackets).
+        i = skip_attr(b, i);
+        let mut end = b.len();
+        while i < b.len() {
+            match b[i] {
+                b'#' => i = skip_attr(b, i),
+                b';' => {
+                    end = i + 1;
+                    break;
+                }
+                b'{' => {
+                    let mut depth = 0usize;
+                    while i < b.len() {
+                        match b[i] {
+                            b'{' => depth += 1,
+                            b'}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    end = (i + 1).min(b.len());
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let blanked: String = text[start..end]
+            .chars()
+            .map(|c| if c == '\n' { '\n' } else { ' ' })
+            .collect();
+        text.replace_range(start..end, &blanked);
+    }
+}
+
+/// Byte offset of the next `#[cfg(test)]` attribute, tolerating interior
+/// whitespace (`#[cfg( test )]`), or `None`.
+fn find_cfg_test(text: &str) -> Option<usize> {
+    let b = text.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = text[from..].find("#[") {
+        let start = from + rel;
+        let end = skip_attr(b, start);
+        let inner: String = text[start..end]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        if inner == "#[cfg(test)]" {
+            return Some(start);
+        }
+        from = end.max(start + 2);
+    }
+    None
+}
+
+/// Skips a `#[...]` attribute starting at `i` (which must point at `#`),
+/// returning the offset just past its closing bracket.
+fn skip_attr(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while j < b.len() && b[j] != b'[' {
+        j += 1;
+    }
+    let mut depth = 0usize;
+    while j < b.len() {
+        match b[j] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    b.len()
+}
+
+/// Byte offsets of identifier-boundary-respecting occurrences of `token`.
+///
+/// A boundary is enforced on each end of the token that is itself an
+/// identifier character, so `HashMap` does not match `MyHashMap` or
+/// `HashMapExt`, and `env::var` does not match `env::var_os`.
+pub fn token_hits(processed: &str, token: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let tb = token.as_bytes();
+    let check_front = tb.first().is_some_and(|c| is_ident(*c));
+    let check_back = tb.last().is_some_and(|c| is_ident(*c));
+    let b = processed.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = processed[from..].find(token) {
+        let at = from + rel;
+        let front_ok = !check_front || at == 0 || !is_ident(b[at - 1]);
+        let after = at + token.len();
+        let back_ok = !check_back || after >= b.len() || !is_ident(b[after]);
+        if front_ok && back_ok {
+            hits.push(at);
+        }
+        from = at + token.len();
+    }
+    hits
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// 1-based line number of a byte offset.
+pub fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"unwrap()\"; // unwrap()\n/* unwrap() */ real.unwrap();\n";
+        let p = strip_comments_and_strings(src);
+        assert_eq!(token_hits(&p, "unwrap()").len(), 1);
+        assert_eq!(p.len(), src.len());
+        assert_eq!(p.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let r = r#\"HashMap\"#; }";
+        let p = strip_comments_and_strings(src);
+        assert!(token_hits(&p, "HashMap").is_empty());
+        assert!(p.contains("<'a>"), "lifetime mangled: {p}");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ code()";
+        let p = strip_comments_and_strings(src);
+        assert!(p.contains("code()"));
+        assert!(!p.contains("inner"));
+        assert!(!p.contains("still"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_blanked() {
+        let src = "fn lib() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { b.unwrap(); }\n}\nfn tail() {}\n";
+        let p = strip_cfg_test(&strip_comments_and_strings(src));
+        assert_eq!(token_hits(&p, "unwrap()").len(), 1);
+        assert!(p.contains("fn tail"));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_is_blanked() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn f() {}\n";
+        let p = strip_cfg_test(&strip_comments_and_strings(src));
+        assert!(token_hits(&p, "HashMap").is_empty());
+        assert!(p.contains("fn f"));
+    }
+
+    #[test]
+    fn token_boundaries() {
+        let p = "MyHashMap HashMapExt HashMap env::var_os env::var";
+        assert_eq!(token_hits(p, "HashMap").len(), 1);
+        assert_eq!(token_hits(p, "env::var").len(), 1);
+        assert_eq!(token_hits(p, "env::var_os").len(), 1);
+    }
+
+    #[test]
+    fn line_numbers() {
+        let t = "a\nb\nc";
+        assert_eq!(line_of(t, 0), 1);
+        assert_eq!(line_of(t, 2), 2);
+        assert_eq!(line_of(t, 4), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Workspace discovery: which crates exist, and which files of each are
+//! library code (audited) versus test/bench/bin/example code (exempt).
+//!
+//! Discovery is filesystem-shaped rather than manifest-driven so the tool
+//! stays dependency-free: the root package (when the root `Cargo.toml` has
+//! a `[package]` section) plus every `crates/*/` directory containing a
+//! `Cargo.toml`. `vendor/` (offline dependency shims) and `target/` are
+//! never audited.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How a source file participates in the crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `src/` — subject to every check.
+    Lib,
+    /// Binary code (`src/bin/**` or `src/main.rs` alongside a `lib.rs`) —
+    /// exempt from the determinism and panic-ratchet checks.
+    Bin,
+}
+
+/// One source file of a crate.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    /// Library or binary code.
+    pub kind: FileKind,
+}
+
+/// One workspace crate.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Package name from its `Cargo.toml`.
+    pub name: String,
+    /// Crate directory relative to the workspace root (empty for the root
+    /// package).
+    pub rel_dir: String,
+    /// Crate-root source file (`src/lib.rs`, else `src/main.rs`), relative
+    /// to the workspace root.
+    pub root_file: Option<String>,
+    /// Source files under `src/`, sorted by path.
+    pub files: Vec<SourceFile>,
+}
+
+/// A discovered workspace.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// Crates sorted by name.
+    pub crates: Vec<CrateInfo>,
+}
+
+impl Workspace {
+    /// Discovers the workspace rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; a missing root `Cargo.toml` is
+    /// reported as [`io::ErrorKind::NotFound`].
+    pub fn discover(root: &Path) -> io::Result<Self> {
+        let root_manifest = root.join("Cargo.toml");
+        if !root_manifest.is_file() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no Cargo.toml under {}", root.display()),
+            ));
+        }
+        let mut crates = Vec::new();
+        let manifest_text = fs::read_to_string(&root_manifest)?;
+        if manifest_text.contains("[package]") {
+            if let Some(name) = package_name(&manifest_text) {
+                crates.push(load_crate(root, root, name)?);
+            }
+        }
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+                .collect();
+            dirs.sort();
+            for dir in dirs {
+                let text = fs::read_to_string(dir.join("Cargo.toml"))?;
+                let Some(name) = package_name(&text) else {
+                    continue;
+                };
+                crates.push(load_crate(root, &dir, name)?);
+            }
+        }
+        crates.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(Self {
+            root: root.to_path_buf(),
+            crates,
+        })
+    }
+
+    /// Looks up a crate by package name.
+    pub fn get(&self, name: &str) -> Option<&CrateInfo> {
+        self.crates.iter().find(|c| c.name == name)
+    }
+}
+
+/// Extracts `name = "..."` from the `[package]` section of a manifest.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(v) = rest.strip_prefix('=') {
+                return Some(v.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+fn load_crate(root: &Path, dir: &Path, name: String) -> io::Result<CrateInfo> {
+    let src = dir.join("src");
+    let mut files = Vec::new();
+    if src.is_dir() {
+        collect_rs(&src, &mut files)?;
+    }
+    files.sort();
+    let has_lib = src.join("lib.rs").is_file();
+    let sources: Vec<SourceFile> = files
+        .into_iter()
+        .map(|abs| {
+            let rel = rel_to(root, &abs);
+            let in_bin_dir = abs
+                .strip_prefix(&src)
+                .ok()
+                .is_some_and(|p| p.starts_with("bin"));
+            let is_main = abs.file_name().is_some_and(|f| f == "main.rs")
+                && abs.parent() == Some(src.as_path());
+            let kind = if in_bin_dir || (is_main && has_lib) {
+                FileKind::Bin
+            } else if is_main {
+                // A pure-bin crate: its whole src tree is binary code.
+                FileKind::Bin
+            } else if has_lib {
+                FileKind::Lib
+            } else {
+                // No lib.rs: every file belongs to the bin target.
+                FileKind::Bin
+            };
+            SourceFile {
+                rel_path: rel,
+                abs_path: abs,
+                kind,
+            }
+        })
+        .collect();
+    let root_file = if has_lib {
+        Some(rel_to(root, &src.join("lib.rs")))
+    } else if src.join("main.rs").is_file() {
+        Some(rel_to(root, &src.join("main.rs")))
+    } else {
+        None
+    };
+    Ok(CrateInfo {
+        name,
+        rel_dir: rel_to(root, dir),
+        root_file,
+        files: sources,
+    })
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Root-relative `/`-separated path string.
+fn rel_to(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,166 @@
+//! Fixture-driven end-to-end tests for the audit: each committed fixture
+//! workspace under `fixtures/` exercises detection, allowlist
+//! suppression, ratchet behaviour, or report stability; the final test
+//! runs the audit against the real workspace, which must stay clean.
+
+use std::path::{Path, PathBuf};
+
+use arcc_audit::report::Check;
+use arcc_audit::{fix_ratchet, run_audit};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn count(outcome: &arcc_audit::report::AuditOutcome, check: Check) -> usize {
+    outcome
+        .violations
+        .iter()
+        .filter(|v| v.check == check)
+        .count()
+}
+
+#[test]
+fn clean_fixture_passes_every_check() {
+    let outcome = run_audit(&fixture("clean")).expect("audit runs");
+    assert!(
+        outcome.is_clean(),
+        "expected clean, got: {:#?}",
+        outcome.violations
+    );
+    // The test-module and binary HashMaps were exempt; the library one was
+    // suppressed by the allowlist entry.
+    assert_eq!(outcome.allowlist_used, 1);
+    assert_eq!(outcome.crates_audited, 1);
+}
+
+#[test]
+fn dirty_fixture_trips_every_check() {
+    let outcome = run_audit(&fixture("dirty")).expect("audit runs");
+    // use + constructor for each hash container, plus the SystemTime read.
+    assert_eq!(
+        count(&outcome, Check::Determinism),
+        5,
+        "{:#?}",
+        outcome.violations
+    );
+    // Missing #![forbid(unsafe_code)].
+    assert_eq!(count(&outcome, Check::Unsafe), 1);
+    // 1 unwrap vs a bound of 0.
+    assert_eq!(count(&outcome, Check::PanicRatchet), 1);
+    // new_knob unclassified, stale_field gone, scheduler excluded-but-used.
+    assert_eq!(count(&outcome, Check::Fingerprint), 3);
+    // The thread_rng allow entry matches nothing.
+    assert_eq!(count(&outcome, Check::Config), 1);
+    assert_eq!(outcome.allowlist_used, 0);
+}
+
+#[test]
+fn dirty_fixture_reports_lines_and_messages() {
+    let outcome = run_audit(&fixture("dirty")).expect("audit runs");
+    let det: Vec<_> = outcome
+        .violations
+        .iter()
+        .filter(|v| v.check == Check::Determinism)
+        .collect();
+    assert!(det.iter().all(|v| v.file == "src/lib.rs"));
+    assert!(det.iter().all(|v| v.line > 0));
+    assert!(det.iter().any(|v| v.message.contains("`SystemTime`")));
+    let fp: Vec<_> = outcome
+        .violations
+        .iter()
+        .filter(|v| v.check == Check::Fingerprint)
+        .collect();
+    assert!(fp.iter().any(|v| v.message.contains("`new_knob`")));
+    assert!(fp.iter().any(|v| v.message.contains("`stale_field`")));
+    assert!(fp.iter().any(|v| v.message.contains("`scheduler`")));
+}
+
+#[test]
+fn unsafe_allowlisted_crate_needs_safety_comments() {
+    let outcome = run_audit(&fixture("unsafe-allowed")).expect("audit runs");
+    let unsafe_v: Vec<_> = outcome
+        .violations
+        .iter()
+        .filter(|v| v.check == Check::Unsafe)
+        .collect();
+    // `documented` passes, `undocumented` is flagged.
+    assert_eq!(unsafe_v.len(), 1, "{:#?}", outcome.violations);
+    assert!(unsafe_v[0].message.contains("SAFETY"));
+    assert_eq!(outcome.allowlist_used, 1);
+    assert_eq!(count(&outcome, Check::Config), 0);
+}
+
+#[test]
+fn ratchet_improvement_demands_fix_ratchet_then_passes() {
+    // Work on a scratch copy so --fix-ratchet cannot dirty the committed
+    // fixture.
+    let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("ratchet-low");
+    if scratch.exists() {
+        std::fs::remove_dir_all(&scratch).expect("clear scratch");
+    }
+    copy_dir(&fixture("ratchet-low"), &scratch).expect("copy fixture");
+
+    let before = run_audit(&scratch).expect("audit runs");
+    let ratchet: Vec<_> = before
+        .violations
+        .iter()
+        .filter(|v| v.check == Check::PanicRatchet)
+        .collect();
+    assert_eq!(ratchet.len(), 1, "{:#?}", before.violations);
+    assert!(ratchet[0].message.contains("--fix-ratchet"));
+
+    let counts = fix_ratchet(&scratch).expect("fix-ratchet runs");
+    assert_eq!(counts, vec![("fix-low".to_string(), 0)]);
+    let after = run_audit(&scratch).expect("audit runs");
+    assert!(after.is_clean(), "{:#?}", after.violations);
+}
+
+#[test]
+fn json_report_is_stable_and_well_formed() {
+    let a = run_audit(&fixture("dirty")).expect("audit runs");
+    let b = run_audit(&fixture("dirty")).expect("audit runs");
+    assert_eq!(a.to_json(), b.to_json(), "report must be byte-stable");
+    let json = a.to_json();
+    assert!(json.contains("\"scenario\": \"arcc_audit\""));
+    assert!(json.contains("\"name\": \"violations\""));
+    assert!(json.contains("\"name\": \"panic_sites\""));
+    assert!(json.contains("[\"fix-dirty\", 1]"));
+    assert!(json.contains("\"clean\": false"));
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let outcome = run_audit(&root).expect("audit runs");
+    assert!(
+        outcome.is_clean(),
+        "the workspace no longer passes its own audit:\n{}",
+        outcome
+            .violations
+            .iter()
+            .map(|v| format!("  {v}\n"))
+            .collect::<String>()
+    );
+    assert!(outcome.crates_audited >= 13);
+}
+
+fn copy_dir(from: &Path, to: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(to)?;
+    for entry in std::fs::read_dir(from)? {
+        let entry = entry?;
+        let target = to.join(entry.file_name());
+        if entry.file_type()?.is_dir() {
+            copy_dir(&entry.path(), &target)?;
+        } else {
+            std::fs::copy(entry.path(), &target)?;
+        }
+    }
+    Ok(())
+}

@@ -13,6 +13,8 @@
 //! [`arcc_exp::Experiment::from_env`], which the shims use so existing CI
 //! configurations keep working.
 
+#![forbid(unsafe_code)]
+
 use arcc_core::MixResult;
 use arcc_exp::Experiment;
 use arcc_trace::{Mix, TraceConfig};

@@ -23,6 +23,23 @@ use crate::schemes::ArccScheme;
 /// Lines per 4 KB page.
 pub const LINES_PER_PAGE: u64 = 64;
 
+/// Encodes `data` with a codec of the scheme's fixed geometry.
+///
+/// Every caller passes data whose length equals `codec.data_bytes()` by
+/// construction, so the encode cannot fail; this helper is the module's
+/// single deliberate panic site for that invariant (everything else
+/// routes through it), which keeps the panic ratchet honest.
+///
+/// # Panics
+///
+/// Panics if the data length does not match the codec geometry.
+fn encode_fixed(codec: &LineCodec, data: &[u8]) -> EncodedLine {
+    match codec.encode_line(data) {
+        Ok(enc) => enc,
+        Err(e) => panic!("fixed-geometry encode failed: {e:?}"),
+    }
+}
+
 /// How a faulty device mangles the symbols it returns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultBehavior {
@@ -130,7 +147,7 @@ impl FunctionalMemory {
         let scheme = ArccScheme::commercial();
         let zero = vec![0u8; 64];
         let proto: Vec<EncodedLine> = (0..LINES_PER_PAGE)
-            .map(|_| scheme.relaxed().encode_line(&zero).expect("fixed geometry"))
+            .map(|_| encode_fixed(scheme.relaxed(), &zero))
             .collect();
         Self {
             scheme,
@@ -268,6 +285,14 @@ impl FunctionalMemory {
         }
     }
 
+    /// The codec for `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`ProtectionMode::Upgraded2`] on a 2-channel image — the
+    /// page table can never hold that mode there (`convert_page` asserts
+    /// it), so this is the module's single invariant guard for the codec
+    /// lookup.
     fn codec_for(&self, mode: ProtectionMode) -> &LineCodec {
         match mode {
             ProtectionMode::Relaxed => self.scheme.relaxed(),
@@ -295,20 +320,17 @@ impl FunctionalMemory {
         let mode = self.table.mode(page);
         self.stats.reads += 1;
         let base = self.span_base(mode, lip) as u32;
-        let (mut enc, codec, offset) = match (&self.pages[page as usize], mode) {
+        let codec = self.codec_for(mode);
+        let (mut enc, offset) = match (&self.pages[page as usize], mode) {
             (PageStore::Relaxed(lines), ProtectionMode::Relaxed) => {
-                (lines[lip as usize].clone(), self.scheme.relaxed(), 0usize)
+                (lines[lip as usize].clone(), 0usize)
             }
-            (PageStore::Upgraded(lines), ProtectionMode::Upgraded) => (
-                lines[(lip / 2) as usize].clone(),
-                self.scheme.upgraded(),
-                (lip % 2) as usize * 64,
-            ),
-            (PageStore::Upgraded2(lines), ProtectionMode::Upgraded2) => (
-                lines[(lip / 4) as usize].clone(),
-                self.scheme.upgraded2().expect("4-channel image"),
-                (lip % 4) as usize * 64,
-            ),
+            (PageStore::Upgraded(lines), ProtectionMode::Upgraded) => {
+                (lines[(lip / 2) as usize].clone(), (lip % 2) as usize * 64)
+            }
+            (PageStore::Upgraded2(lines), ProtectionMode::Upgraded2) => {
+                (lines[(lip / 4) as usize].clone(), (lip % 4) as usize * 64)
+            }
             _ => unreachable!("page store always matches page-table mode"),
         };
         self.apply_faults(page, mode, lip, &mut enc);
@@ -355,11 +377,7 @@ impl FunctionalMemory {
         self.stats.writes += 1;
         match mode {
             ProtectionMode::Relaxed => {
-                let enc = self
-                    .scheme
-                    .relaxed()
-                    .encode_line(data)
-                    .expect("fixed geometry");
+                let enc = encode_fixed(self.scheme.relaxed(), data);
                 if let PageStore::Relaxed(lines) = &mut self.pages[page as usize] {
                     lines[lip as usize] = enc;
                 }
@@ -378,14 +396,14 @@ impl FunctionalMemory {
                 let mut joined = codec.extract_data(&current);
                 let off = (lip % 2) as usize * 64;
                 joined[off..off + 64].copy_from_slice(data);
-                let enc = codec.encode_line(&joined).expect("fixed geometry");
+                let enc = encode_fixed(codec, &joined);
                 if let PageStore::Upgraded(lines) = &mut self.pages[page as usize] {
                     lines[idx] = enc;
                 }
                 Ok(())
             }
             ProtectionMode::Upgraded2 => {
-                let codec = self.scheme.upgraded2().expect("4-channel image");
+                let codec = self.codec_for(mode);
                 let idx = (lip / 4) as usize;
                 let mut current = match &self.pages[page as usize] {
                     PageStore::Upgraded2(lines) => lines[idx].clone(),
@@ -397,7 +415,7 @@ impl FunctionalMemory {
                 let mut joined = codec.extract_data(&current);
                 let off = (lip % 4) as usize * 64;
                 joined[off..off + 64].copy_from_slice(data);
-                let enc = codec.encode_line(&joined).expect("fixed geometry");
+                let enc = encode_fixed(codec, &joined);
                 if let PageStore::Upgraded2(lines) = &mut self.pages[page as usize] {
                     lines[idx] = enc;
                 }
@@ -421,9 +439,7 @@ impl FunctionalMemory {
         let codec = self.codec_for(mode);
         let devices = codec.devices();
         let beats = codec.beats();
-        let mut probe = codec
-            .encode_line(&vec![0u8; codec.data_bytes()])
-            .expect("fixed geometry");
+        let mut probe = encode_fixed(codec, &vec![0u8; codec.data_bytes()]);
         for d in 0..devices {
             for b in 0..beats {
                 probe.set_symbol(d, b, pattern);
@@ -465,11 +481,7 @@ impl FunctionalMemory {
         let store = match target {
             ProtectionMode::Relaxed => {
                 let codec = self.scheme.relaxed();
-                PageStore::Relaxed(
-                    data.iter()
-                        .map(|d| codec.encode_line(d).expect("fixed geometry"))
-                        .collect(),
-                )
+                PageStore::Relaxed(data.iter().map(|d| encode_fixed(codec, d)).collect())
             }
             ProtectionMode::Upgraded => {
                 let codec = self.scheme.upgraded();
@@ -478,13 +490,13 @@ impl FunctionalMemory {
                         .map(|pair| {
                             let mut joined = pair[0].clone();
                             joined.extend_from_slice(&pair[1]);
-                            codec.encode_line(&joined).expect("fixed geometry")
+                            encode_fixed(codec, &joined)
                         })
                         .collect(),
                 )
             }
             ProtectionMode::Upgraded2 => {
-                let codec = self.scheme.upgraded2().expect("4-channel image");
+                let codec = self.codec_for(target);
                 PageStore::Upgraded2(
                     data.chunks(4)
                         .map(|quad| {
@@ -492,7 +504,7 @@ impl FunctionalMemory {
                             for q in quad {
                                 joined.extend_from_slice(q);
                             }
-                            codec.encode_line(&joined).expect("fixed geometry")
+                            encode_fixed(codec, &joined)
                         })
                         .collect(),
                 )

@@ -125,9 +125,10 @@ pub fn run_timeline(
     let mut report = LifetimeReport::default();
     let mut next_fault = 0usize;
     // Consecutive-scrub bad streak per device (sparing candidacy).
-    let mut streak: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-    // Pages already known to be uncorrectable (logged once).
-    let mut known_failed: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    // BTreeMap/BTreeSet keep the maintenance loop iteration-order
+    // deterministic (audited by arcc-audit's determinism check).
+    let mut streak: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    let mut known_failed: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     let mut t = cfg.scrub_interval_h;
     while t <= cfg.lifespan_h {
         // Inject faults that arrived before this tick.

@@ -1,7 +1,7 @@
 //! The [`Experiment`] builder: every knob the paper's evaluation grid
 //! exposes, as typed methods instead of environment variables.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use arcc_core::{MixResult, SchemeKind, SimConfig, SystemSim};
@@ -20,9 +20,10 @@ type SimKey = (bool, &'static [&'static str], u64, usize, u64);
 /// `repro_all` would otherwise repeat its most expensive simulations.
 /// Keys capture every knob that affects a result, so clones of an
 /// [`Experiment`] reconfigured via the builder can share the cache
-/// safely.
+/// safely. A `BTreeMap` (point lookups only, never iterated) keeps the
+/// crate free of hash-order containers for the determinism audit.
 #[derive(Debug, Clone, Default)]
-struct SimCache(Arc<Mutex<HashMap<SimKey, MixResult>>>);
+struct SimCache(Arc<Mutex<BTreeMap<SimKey, MixResult>>>);
 
 /// Default upgraded-page fraction grid for user sweeps: fault-free plus
 /// the Table 7.4 per-fault-type fractions (column, subbank, device, lane).

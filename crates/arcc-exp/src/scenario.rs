@@ -138,8 +138,10 @@ mod tests {
     fn registry_has_eighteen_unique_scenarios() {
         let ns = names();
         assert_eq!(ns.len(), 18);
-        let unique: std::collections::HashSet<_> = ns.iter().collect();
-        assert_eq!(unique.len(), ns.len());
+        let mut sorted = ns.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ns.len(), "duplicate scenario names");
         for expected in [
             "fig_layouts",
             "table7_1",

@@ -387,7 +387,12 @@ impl<F: GaloisField> ReedSolomon<F> {
                 let t = lambda.add(&b.mul(&Poly::monomial(discr, 1)));
                 if 2 * el < r + nu {
                     el = r + nu - el;
-                    let dinv = F::inv(discr).expect("non-zero discrepancy");
+                    // discr != 0 on this branch, so inv always succeeds;
+                    // treat the impossible case as an uncorrectable word
+                    // rather than panicking in library code.
+                    let Some(dinv) = F::inv(discr) else {
+                        return Err(DecodeError::Uncorrectable { erasures: nu });
+                    };
                     b = lambda.scale(dinv);
                 } else {
                     b = b.mul(&Poly::monomial(1, 1));
@@ -408,7 +413,11 @@ impl<F: GaloisField> ReedSolomon<F> {
         // code. Roots landing in the virtual padding mean a bogus locator.
         let mut root_positions = Vec::with_capacity(deg_lambda);
         for j in 0..self.n {
-            let xinv = F::inv(self.loc(j)).expect("location values are non-zero");
+            // loc(j) is a non-zero field element by construction; skip the
+            // impossible zero rather than panicking.
+            let Some(xinv) = F::inv(self.loc(j)) else {
+                return Err(DecodeError::Uncorrectable { erasures: nu });
+            };
             if lambda.eval(xinv) == 0 {
                 root_positions.push(j);
             }
@@ -427,7 +436,9 @@ impl<F: GaloisField> ReedSolomon<F> {
         // leading factor 1.
         let mut corrections = Vec::with_capacity(root_positions.len());
         for &j in &root_positions {
-            let xinv = F::inv(self.loc(j)).expect("non-zero location");
+            let Some(xinv) = F::inv(self.loc(j)) else {
+                return Err(DecodeError::Uncorrectable { erasures: nu });
+            };
             let denom = lambda_deriv.eval(xinv);
             let num = omega.eval(xinv);
             let mag = match F::div(num, denom) {
