@@ -1,0 +1,14 @@
+//! API-drift fixture: the committed snapshot still lists `frobnicate`,
+//! which has been renamed to `length` — the audit must report both the
+//! addition and the removal until `--fix-api` accepts the drift.
+#![forbid(unsafe_code)]
+
+/// Replaces the old `frobnicate`.
+pub fn length(v: &[u8]) -> usize {
+    v.len()
+}
+
+/// Unchanged since the snapshot was taken.
+pub fn checksum(v: &[u8]) -> u8 {
+    v.iter().fold(0, |a, b| a ^ b)
+}

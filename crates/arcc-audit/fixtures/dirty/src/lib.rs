@@ -1,12 +1,14 @@
 //! Dirty fixture: trips every audit check at once.
 //!
 //! No `#![forbid(unsafe_code)]`, hash containers and a wall-clock read in
-//! library code, a panic site above the ratchet bound, and fingerprint
-//! drift (an unclassified field, a stale manifest entry, and an excluded
-//! field referenced by the fingerprint fn).
+//! library code, a shared-state `Mutex`, a panic site above the ratchet
+//! bound, fingerprint drift (an unclassified field, a stale manifest
+//! entry, and an excluded field referenced by the fingerprint fn), no
+//! `audit/layers.toml`, no API snapshot, and no doc-coverage entry.
 
 use std::collections::HashMap;
 use std::collections::HashSet;
+use std::sync::Mutex;
 
 /// Spec with drifted fields.
 pub struct Spec {
@@ -32,6 +34,9 @@ pub fn now_ms() -> u128 {
         .unwrap()
         .as_millis()
 }
+
+/// Shared mutable state in deterministic library code.
+pub static LAST: Mutex<u64> = Mutex::new(0);
 
 /// Hash containers in deterministic library code.
 pub fn counts(keys: &[u32]) -> usize {

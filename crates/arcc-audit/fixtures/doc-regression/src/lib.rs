@@ -1,0 +1,12 @@
+//! Doc-regression fixture: `bare` lost its doc comment, dropping
+//! coverage below the 100% recorded in audit/ratchet.toml.
+#![forbid(unsafe_code)]
+
+/// Still documented.
+pub fn documented(x: u8) -> u8 {
+    x
+}
+
+pub fn bare(x: u8) -> u8 {
+    x.wrapping_add(1)
+}

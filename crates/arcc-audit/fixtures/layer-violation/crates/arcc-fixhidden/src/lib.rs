@@ -1,0 +1,5 @@
+//! Fixture crate reached by a `use` path without a manifest entry.
+#![forbid(unsafe_code)]
+
+/// A constant other crates sneak a path to.
+pub const SECRET: u32 = 0xA5A5;

@@ -1,0 +1,7 @@
+//! High-layer fixture crate: nothing wrong here.
+#![forbid(unsafe_code)]
+
+/// Adds one.
+pub fn succ(x: u32) -> u32 {
+    x.wrapping_add(1)
+}

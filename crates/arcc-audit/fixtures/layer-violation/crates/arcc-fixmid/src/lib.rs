@@ -1,0 +1,11 @@
+//! Mid-layer fixture crate: depends upward and reaches a crate its
+//! manifest never names.
+#![forbid(unsafe_code)]
+
+use arcc_fixhidden::SECRET;
+use arcc_fixhigh::succ;
+
+/// Combines the upward dependency with the undeclared one.
+pub fn combine(x: u32) -> u32 {
+    succ(x) ^ SECRET
+}

@@ -1,0 +1,9 @@
+//! Peer-layer fixture crate: its equal-layer dependency is allowlisted.
+#![forbid(unsafe_code)]
+
+use arcc_fixmid::combine;
+
+/// Doubles the combined value.
+pub fn twice(x: u32) -> u32 {
+    combine(x).wrapping_mul(2)
+}

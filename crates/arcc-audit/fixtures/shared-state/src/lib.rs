@@ -1,0 +1,27 @@
+//! Shared-state fixture: trips the parallelism-safety lint in several
+//! distinct ways, with exactly one primitive allowlisted.
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::sync::atomic::AtomicU32;
+use std::sync::OnceLock;
+
+/// A mutable static: flagged structurally, not by token match.
+pub static mut LEGACY_TOGGLE: u64 = 0;
+
+/// Interior mutability in library code.
+pub struct Counter {
+    /// Flagged: `RefCell` hides write ordering from callers.
+    pub slot: RefCell<u32>,
+}
+
+/// An atomic counter: flagged unless allowlisted.
+pub static HITS: AtomicU32 = AtomicU32::new(0);
+
+/// Allowlisted: idempotent one-time init of a pure table.
+pub static TABLE: OnceLock<[u8; 4]> = OnceLock::new();
+
+/// Reads the memoised table.
+pub fn table() -> &'static [u8; 4] {
+    TABLE.get_or_init(|| [1, 2, 4, 8])
+}

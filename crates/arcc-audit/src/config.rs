@@ -242,11 +242,14 @@ impl Allowlist {
     }
 }
 
-/// The committed panic-site ratchet: per-crate upper bounds.
+/// The committed two-part ratchet: per-crate panic-site upper bounds and
+/// per-crate public-API doc-coverage lower bounds (integer percent).
 #[derive(Debug, Clone, Default)]
 pub struct Ratchet {
-    /// `(crate name, bound)` pairs in file order.
+    /// `[panic_sites]` `(crate name, bound)` pairs in file order.
     pub bounds: Vec<(String, i64)>,
+    /// `[doc_coverage]` `(crate name, percent)` pairs in file order.
+    pub doc_bounds: Vec<(String, i64)>,
 }
 
 impl Ratchet {
@@ -265,36 +268,108 @@ impl Ratchet {
         let text = read(rel, &path)?;
         let mut ratchet = Self::default();
         for table in parse_toml(rel, &text)? {
-            if table.name != "panic_sites" {
-                continue;
-            }
+            let into = match table.name.as_str() {
+                "panic_sites" => &mut ratchet.bounds,
+                "doc_coverage" => &mut ratchet.doc_bounds,
+                _ => continue,
+            };
             for (k, v) in &table.pairs {
                 if let TomlValue::Int(n) = v {
-                    ratchet.bounds.push((k.clone(), *n));
+                    into.push((k.clone(), *n));
                 }
             }
         }
         Ok(Some(ratchet))
     }
 
-    /// The bound for a crate, if seeded.
+    /// The panic-site bound for a crate, if seeded.
     pub fn bound(&self, name: &str) -> Option<i64> {
         self.bounds.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
     }
 
-    /// Serialises current counts as the new ratchet file content.
-    pub fn render(counts: &[(String, i64)]) -> String {
+    /// The doc-coverage bound for a crate, if seeded.
+    pub fn doc_bound(&self, name: &str) -> Option<i64> {
+        self.doc_bounds
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serialises measured counts as the new ratchet file content.
+    pub fn render(panic_counts: &[(String, i64)], doc_counts: &[(String, i64)]) -> String {
         let mut out = String::from(
-            "# Panic-site ratchet: unwrap()/expect()/panic!/unreachable!/todo!/\n\
-             # unimplemented! occurrences in non-test library code, per crate.\n\
-             # Managed by `cargo run -p arcc-audit -- --fix-ratchet`; lower a\n\
-             # bound by burning sites down and re-running, never by hand-editing\n\
-             # it upward.\n\n[panic_sites]\n",
+            "# Two-part ratchet, managed by `cargo run -p arcc-audit -- --fix-ratchet`.\n\
+             #\n\
+             # [panic_sites]: unwrap()/expect()/panic!/unreachable!/todo!/\n\
+             # unimplemented! occurrences in non-test library code, per crate —\n\
+             # counts may never rise. Lower a bound by burning sites down and\n\
+             # re-running, never by hand-editing it upward.\n\
+             #\n\
+             # [doc_coverage]: percent of public items carrying docs, per crate —\n\
+             # coverage may never fall. Raise it by documenting public items and\n\
+             # re-running --fix-ratchet to lock the improvement in.\n\n[panic_sites]\n",
         );
-        for (name, n) in counts {
+        for (name, n) in panic_counts {
+            out.push_str(&format!("{name} = {n}\n"));
+        }
+        out.push_str("\n[doc_coverage]\n");
+        for (name, n) in doc_counts {
             out.push_str(&format!("{name} = {n}\n"));
         }
         out
+    }
+}
+
+/// The declared crate-layering DAG of `audit/layers.toml`: each crate is
+/// assigned an integer layer, and a crate may only depend on crates in
+/// strictly lower layers.
+#[derive(Debug, Clone, Default)]
+pub struct Layers {
+    /// `(crate name, layer)` pairs in file order.
+    pub layers: Vec<(String, i64)>,
+}
+
+impl Layers {
+    /// Loads `audit/layers.toml` under `root`. Returns `None` when the
+    /// file does not exist (the caller reports that as a violation).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] on unreadable or malformed content, including
+    /// non-integer layer values and duplicate crate entries.
+    pub fn load(root: &Path) -> Result<Option<Self>, ConfigError> {
+        let rel = "audit/layers.toml";
+        let path = root.join(rel);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text = read(rel, &path)?;
+        let bad = |what: String| ConfigError {
+            file: rel.to_string(),
+            line: 0,
+            what,
+        };
+        let mut out = Self::default();
+        for table in parse_toml(rel, &text)? {
+            if table.name != "layers" {
+                return Err(bad(format!("unknown section [{}]", table.name)));
+            }
+            for (k, v) in &table.pairs {
+                let TomlValue::Int(n) = v else {
+                    return Err(bad(format!("layer for {k} must be an integer")));
+                };
+                if out.layer(k).is_some() {
+                    return Err(bad(format!("duplicate layer entry for {k}")));
+                }
+                out.layers.push((k.clone(), *n));
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// The declared layer of a crate, if any.
+    pub fn layer(&self, name: &str) -> Option<i64> {
+        self.layers.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
     }
 }
 
@@ -432,9 +507,24 @@ mod tests {
 
     #[test]
     fn ratchet_render_is_stable() {
-        let r = Ratchet::render(&[("a".into(), 3), ("b".into(), 0)]);
+        let r = Ratchet::render(&[("a".into(), 3), ("b".into(), 0)], &[("a".into(), 75)]);
         assert!(r.contains("[panic_sites]\na = 3\nb = 0\n"));
+        assert!(r.contains("[doc_coverage]\na = 75\n"));
         let parsed = parse_toml("r", &r).expect("self-parse");
-        assert_eq!(parsed.last().map(|t| t.pairs.len()), Some(2));
+        assert_eq!(parsed.last().map(|t| t.pairs.len()), Some(1));
+        assert_eq!(parsed.first().map(|t| t.pairs.len()), Some(2));
+    }
+
+    #[test]
+    fn layers_parse_and_reject_duplicates() {
+        let dir = std::env::temp_dir().join("arcc-audit-layers-test");
+        std::fs::create_dir_all(dir.join("audit")).expect("mkdir");
+        std::fs::write(dir.join("audit/layers.toml"), "[layers]\na = 0\nb = 1\n").expect("write");
+        let l = Layers::load(&dir).expect("parse").expect("present");
+        assert_eq!(l.layer("a"), Some(0));
+        assert_eq!(l.layer("b"), Some(1));
+        assert_eq!(l.layer("c"), None);
+        std::fs::write(dir.join("audit/layers.toml"), "[layers]\na = 0\na = 1\n").expect("write");
+        assert!(Layers::load(&dir).is_err());
     }
 }

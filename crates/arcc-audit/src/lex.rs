@@ -1,0 +1,621 @@
+//! A small pure-std Rust lexer and token-tree builder.
+//!
+//! This is the foundation of the semantic model in [`crate::model`]: the
+//! lexer turns source text into spanned tokens (identifiers, literals,
+//! punctuation, delimiters, doc comments), classifying every byte of the
+//! file exactly once, and the tree builder nests delimiter groups. Both are
+//! total functions — arbitrary byte soup lexes to *some* token stream
+//! (unterminated literals run to end of file, stray closers become plain
+//! tokens), never a panic; a proptest in `tests/lexer_fuzz.rs` holds that
+//! line.
+//!
+//! Precise lexing is what fixes the old line-oriented scanner's blind
+//! spots: byte-char literals containing quotes (`b'"'`), string literals
+//! containing `//`, raw strings with any number of hashes, and doc
+//! comments are all single tokens here, so no downstream check can be
+//! confused by their interiors.
+
+use std::fmt;
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// `'lifetime` (or a stray unterminated quote that is not a char).
+    Lifetime,
+    /// String / raw string / byte string / char / byte-char literal.
+    /// Interiors are opaque to every consumer.
+    StrLit,
+    /// Numeric literal.
+    NumLit,
+    /// `///` or `/** */` outer doc comment.
+    DocOuter,
+    /// `//!` or `/*! */` inner doc comment.
+    DocInner,
+    /// Punctuation; compound tokens `::`, `->`, `=>`, `..=`, `...`, `..`
+    /// are kept whole, everything else is a single character.
+    Punct,
+    /// `(`, `[`, or `{`.
+    Open(Delim),
+    /// `)`, `]`, or `}`.
+    Close(Delim),
+}
+
+/// Delimiter family of a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `( )`
+    Paren,
+    /// `[ ]`
+    Bracket,
+    /// `{ }`
+    Brace,
+}
+
+/// One spanned token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: usize,
+}
+
+impl Tok {
+    /// The token's text within its source.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@{}..{}", self.kind, self.start, self.end)
+    }
+}
+
+/// Lexes `src` into a token stream. Total: never panics, classifies every
+/// input, and tolerates unterminated literals and comments.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src,
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    b: &'s [u8],
+    i: usize,
+    line: usize,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.i < self.b.len() {
+            let start = self.i;
+            let line = self.line;
+            let c = self.b[self.i];
+            let kind = match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    let k = self.line_comment();
+                    match k {
+                        Some(kind) => kind,
+                        None => continue,
+                    }
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    let k = self.block_comment();
+                    match k {
+                        Some(kind) => kind,
+                        None => continue,
+                    }
+                }
+                b'r' | b'b' => {
+                    if let Some(kind) = self.raw_or_byte_prefix() {
+                        kind
+                    } else {
+                        self.ident();
+                        TokKind::Ident
+                    }
+                }
+                b'"' => {
+                    self.string();
+                    TokKind::StrLit
+                }
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => {
+                    self.number();
+                    TokKind::NumLit
+                }
+                b'(' => self.delim(TokKind::Open(Delim::Paren)),
+                b')' => self.delim(TokKind::Close(Delim::Paren)),
+                b'[' => self.delim(TokKind::Open(Delim::Bracket)),
+                b']' => self.delim(TokKind::Close(Delim::Bracket)),
+                b'{' => self.delim(TokKind::Open(Delim::Brace)),
+                b'}' => self.delim(TokKind::Close(Delim::Brace)),
+                _ if is_ident_start(self.cur_char()) => {
+                    self.ident();
+                    TokKind::Ident
+                }
+                _ => {
+                    self.punct();
+                    TokKind::Punct
+                }
+            };
+            self.out.push(Tok {
+                kind,
+                start,
+                end: self.i,
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn bump(&mut self) {
+        if self.i < self.b.len() {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+            }
+            // Advance a whole UTF-8 character so multi-byte chars are never
+            // split (the source is &str, so boundaries are well-formed).
+            let mut j = self.i + 1;
+            while j < self.b.len() && (self.b[j] & 0xC0) == 0x80 {
+                j += 1;
+            }
+            self.i = j;
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn cur_char(&self) -> char {
+        self.src[self.i..].chars().next().unwrap_or(' ')
+    }
+
+    /// `//` comment; returns a doc kind or `None` for a plain comment.
+    fn line_comment(&mut self) -> Option<TokKind> {
+        let kind = if self.peek(2) == Some(b'/') && self.peek(3) != Some(b'/') {
+            Some(TokKind::DocOuter)
+        } else if self.peek(2) == Some(b'!') {
+            Some(TokKind::DocInner)
+        } else {
+            None
+        };
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.bump();
+        }
+        kind
+    }
+
+    /// `/* */` comment with nesting; returns a doc kind or `None`.
+    fn block_comment(&mut self) -> Option<TokKind> {
+        // `/**/` and `/***` are plain; `/**x` is outer doc, `/*!` inner.
+        let kind = match (self.peek(2), self.peek(3)) {
+            (Some(b'*'), Some(b'/')) | (Some(b'*'), Some(b'*')) | (Some(b'*'), None) => None,
+            (Some(b'*'), Some(_)) => Some(TokKind::DocOuter),
+            (Some(b'!'), _) => Some(TokKind::DocInner),
+            _ => None,
+        };
+        let mut depth = 0usize;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth = depth.saturating_sub(1);
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        kind
+    }
+
+    /// At `r` or `b`: raw strings (`r"`, `r#"`), byte strings (`b"`,
+    /// `br#"`), and byte chars (`b'x'`). Raw identifiers (`r#ident`) lex
+    /// as identifiers. Returns `None` when this is an ordinary identifier.
+    fn raw_or_byte_prefix(&mut self) -> Option<TokKind> {
+        let c = self.b[self.i];
+        // b'x' byte-char literal.
+        if c == b'b' && self.peek(1) == Some(b'\'') {
+            self.bump(); // b
+            self.bump(); // '
+            self.char_body();
+            return Some(TokKind::StrLit);
+        }
+        // b"..." byte string.
+        if c == b'b' && self.peek(1) == Some(b'"') {
+            self.bump();
+            self.string();
+            return Some(TokKind::StrLit);
+        }
+        // r / br raw-string prefixes.
+        let after_prefix = if c == b'b' && self.peek(1) == Some(b'r') {
+            2
+        } else if c == b'r' {
+            1
+        } else {
+            return None;
+        };
+        let mut k = after_prefix;
+        while self.peek(k) == Some(b'#') {
+            k += 1;
+        }
+        let hashes = k - after_prefix;
+        if self.peek(k) == Some(b'"') {
+            for _ in 0..=k {
+                self.bump(); // prefix, hashes, opening quote
+            }
+            // Scan to `"` followed by `hashes` hashes.
+            while self.i < self.b.len() {
+                if self.b[self.i] == b'"' && (0..hashes).all(|h| self.peek(1 + h) == Some(b'#')) {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    return Some(TokKind::StrLit);
+                }
+                self.bump();
+            }
+            return Some(TokKind::StrLit); // unterminated: runs to EOF
+        }
+        // r#ident raw identifier (or plain r/b identifier).
+        None
+    }
+
+    /// Ordinary string body starting at the opening quote.
+    fn string(&mut self) {
+        self.bump(); // opening "
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Char-literal body after the opening quote (escapes, unicode).
+    fn char_body(&mut self) {
+        if self.i < self.b.len() && self.b[self.i] == b'\\' {
+            self.bump();
+            self.bump();
+            // \u{...} and multi-char escapes: scan to the closing quote,
+            // bounded so a stray backslash cannot run away.
+            let mut guard = 0;
+            while self.i < self.b.len() && self.b[self.i] != b'\'' && guard < 12 {
+                self.bump();
+                guard += 1;
+            }
+        } else {
+            self.bump(); // the char itself (whole UTF-8 sequence)
+        }
+        if self.i < self.b.len() && self.b[self.i] == b'\'' {
+            self.bump();
+        }
+    }
+
+    /// At `'`: decides char literal vs lifetime. A lifetime is `'` followed
+    /// by an identifier **not** followed by another `'`.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        let next = self.src[self.i + 1..].chars().next();
+        let is_lifetime = match next {
+            Some(n) if is_ident_start(n) => {
+                // Find the char after the identifier run.
+                let rest = &self.src[self.i + 1..];
+                let ident_len: usize = rest
+                    .char_indices()
+                    .find(|&(_, ch)| !is_ident_continue(ch))
+                    .map(|(o, _)| o)
+                    .unwrap_or(rest.len());
+                ident_len != 1 || !rest[ident_len..].starts_with('\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            while self.i < self.b.len() && is_ident_continue(self.cur_char()) {
+                self.bump();
+            }
+            TokKind::Lifetime
+        } else {
+            self.bump(); // '
+            self.char_body();
+            TokKind::StrLit
+        }
+    }
+
+    fn ident(&mut self) {
+        // Raw identifier prefix r# is part of the token.
+        if self.b[self.i] == b'r' && self.peek(1) == Some(b'#') {
+            self.bump();
+            self.bump();
+        }
+        while self.i < self.b.len() && is_ident_continue(self.cur_char()) {
+            self.bump();
+        }
+    }
+
+    fn number(&mut self) {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+                continue;
+            }
+            // `1.5` continues the literal; `1..2` does not.
+            if c == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                self.bump();
+                continue;
+            }
+            // Exponent sign: 1e-3 / 1E+3.
+            if (c == b'+' || c == b'-')
+                && self.i > 0
+                && matches!(self.b[self.i - 1], b'e' | b'E')
+                && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+            {
+                self.bump();
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn delim(&mut self, kind: TokKind) -> TokKind {
+        self.bump();
+        kind
+    }
+
+    fn punct(&mut self) {
+        // Compound tokens that matter for rendering and item parsing.
+        const COMPOUND: &[&str] = &["..=", "...", "::", "->", "=>", ".."];
+        for p in COMPOUND {
+            if self.src[self.i..].starts_with(p) {
+                for _ in 0..p.len() {
+                    self.bump();
+                }
+                return;
+            }
+        }
+        self.bump();
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// One node of the token tree: a leaf token or a delimited group.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    /// Index into the token stream.
+    Leaf(usize),
+    /// A delimited group.
+    Group {
+        /// Delimiter family.
+        delim: Delim,
+        /// Token index of the opening delimiter.
+        open: usize,
+        /// Token index of the closing delimiter (`None` when unbalanced).
+        close: Option<usize>,
+        /// Nested children.
+        children: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// Token index of the first token of this tree.
+    pub fn first_tok(&self) -> usize {
+        match self {
+            Tree::Leaf(i) => *i,
+            Tree::Group { open, .. } => *open,
+        }
+    }
+
+    /// Token index of the last token of this tree.
+    pub fn last_tok(&self) -> usize {
+        match self {
+            Tree::Leaf(i) => *i,
+            Tree::Group {
+                open,
+                close,
+                children,
+                ..
+            } => close.unwrap_or_else(|| children.last().map(Tree::last_tok).unwrap_or(*open)),
+        }
+    }
+}
+
+/// Builds the token tree from a token stream. Stray closing delimiters
+/// become leaves; unclosed groups run to end of input with `close: None`.
+pub fn build_trees(toks: &[Tok]) -> Vec<Tree> {
+    // Stack of (delim, open index, children-so-far).
+    let mut stack: Vec<(Delim, usize, Vec<Tree>)> = Vec::new();
+    let mut top: Vec<Tree> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Open(d) => stack.push((d, i, Vec::new())),
+            TokKind::Close(d) => {
+                // Close the innermost matching group; mismatched closers
+                // close nothing and become leaves.
+                let matches_top = stack.last().is_some_and(|(sd, _, _)| *sd == d);
+                if let Some((delim, open, children)) = matches_top.then(|| stack.pop()).flatten() {
+                    let group = Tree::Group {
+                        delim,
+                        open,
+                        close: Some(i),
+                        children,
+                    };
+                    match stack.last_mut() {
+                        Some((_, _, parent)) => parent.push(group),
+                        None => top.push(group),
+                    }
+                } else {
+                    match stack.last_mut() {
+                        Some((_, _, parent)) => parent.push(Tree::Leaf(i)),
+                        None => top.push(Tree::Leaf(i)),
+                    }
+                }
+            }
+            _ => match stack.last_mut() {
+                Some((_, _, parent)) => parent.push(Tree::Leaf(i)),
+                None => top.push(Tree::Leaf(i)),
+            },
+        }
+    }
+    // Unclosed groups: fold the stack down, keeping children.
+    while let Some((delim, open, children)) = stack.pop() {
+        let group = Tree::Group {
+            delim,
+            open,
+            close: None,
+            children,
+        };
+        match stack.last_mut() {
+            Some((_, _, parent)) => parent.push(group),
+            None => top.push(group),
+        }
+    }
+    top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = lex("let x: u64 = 1_000e-3;");
+        let texts: Vec<&str> = toks
+            .iter()
+            .map(|t| t.text("let x: u64 = 1_000e-3;"))
+            .collect();
+        assert_eq!(texts, vec!["let", "x", ":", "u64", "=", "1_000e-3", ";"]);
+    }
+
+    #[test]
+    fn byte_char_with_quote_is_one_literal() {
+        let src = "let q = b'\"'; x.unwrap();";
+        let toks = lex(src);
+        let lits: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::StrLit)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lits, vec!["b'\"'"]);
+        assert!(toks.iter().any(|t| t.text(src) == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_doc_comments() {
+        let src = "/// doc\nlet r = br##\"x \"# y\"##; //! inner\n/* plain */";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.kind == TokKind::DocOuter));
+        assert!(toks.iter().any(|t| t.kind == TokKind::DocInner));
+        let lit = toks
+            .iter()
+            .find(|t| t.kind == TokKind::StrLit)
+            .expect("lit");
+        assert_eq!(lit.text(src), "br##\"x \"# y\"##");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\u{41}'; }";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::StrLit).count(), 2);
+    }
+
+    #[test]
+    fn compound_puncts_stay_whole() {
+        let src = "a::b -> c => 0..=9 ..";
+        let toks = lex(src);
+        let texts: Vec<&str> = toks.iter().map(|t| t.text(src)).collect();
+        assert!(texts.contains(&"::"));
+        assert!(texts.contains(&"->"));
+        assert!(texts.contains(&"=>"));
+        assert!(texts.contains(&"..="));
+        assert!(texts.contains(&".."));
+    }
+
+    #[test]
+    fn trees_nest_and_tolerate_imbalance() {
+        let toks = lex("f(a[b{c}]) } extra");
+        let trees = build_trees(&toks);
+        // f, (…), stray }, extra
+        assert_eq!(trees.len(), 4);
+        let toks2 = lex("open { never closed");
+        let trees2 = build_trees(&toks2);
+        assert!(matches!(
+            trees2.last(),
+            Some(Tree::Group { close: None, .. })
+        ));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nb\n\"s\ntr\"\nc";
+        let toks = lex(src);
+        let c = toks.iter().find(|t| t.text(src) == "c").expect("c");
+        assert_eq!(c.line, 5);
+    }
+
+    #[test]
+    fn total_on_junk() {
+        for src in [
+            "'",
+            "r#",
+            "b'",
+            "\"",
+            "/*",
+            "#[",
+            "'\\",
+            "\u{FFFD}é'a",
+            "1e+",
+        ] {
+            let toks = lex(src);
+            let _ = build_trees(&toks);
+        }
+        assert_eq!(kinds("").len(), 0);
+    }
+}

@@ -1,8 +1,9 @@
 //! CLI for the workspace audit.
 //!
 //! ```text
-//! arcc-audit [--check] [--root PATH] [--json PATH]   # exit 0 clean, 1 dirty
-//! arcc-audit --fix-ratchet [--root PATH]             # reseed audit/ratchet.toml
+//! arcc-audit [--check] [--root PATH] [--json PATH] [--api-diff PATH]
+//! arcc-audit --fix-ratchet [--root PATH]   # reseed audit/ratchet.toml
+//! arcc-audit --fix-api [--root PATH]       # reseed audit/api/<crate>.txt
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
@@ -12,15 +13,23 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Mode {
+    Check,
+    FixRatchet,
+    FixApi,
+}
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json: Option<PathBuf> = None;
-    let mut fix = false;
+    let mut api_diff: Option<PathBuf> = None;
+    let mut mode = Mode::Check;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--check" => fix = false,
-            "--fix-ratchet" => fix = true,
+            "--check" => mode = Mode::Check,
+            "--fix-ratchet" => mode = Mode::FixRatchet,
+            "--fix-api" => mode = Mode::FixApi,
             "--root" => match args.next() {
                 Some(p) => root = PathBuf::from(p),
                 None => return usage("--root needs a path"),
@@ -29,14 +38,23 @@ fn main() -> ExitCode {
                 Some(p) => json = Some(PathBuf::from(p)),
                 None => return usage("--json needs a path"),
             },
+            "--api-diff" => match args.next() {
+                Some(p) => api_diff = Some(PathBuf::from(p)),
+                None => return usage("--api-diff needs a path"),
+            },
             "--help" | "-h" => {
                 println!(
                     "arcc-audit: static-analysis suite for the arcc workspace\n\n\
-                     USAGE: arcc-audit [--check | --fix-ratchet] [--root PATH] [--json PATH]\n\n\
-                     --check        run all checks (default); exit 1 on violations\n\
-                     --fix-ratchet  rewrite audit/ratchet.toml with measured panic-site counts\n\
-                     --root PATH    workspace root (default: current directory)\n\
-                     --json PATH    also write the JSON report to PATH"
+                     USAGE: arcc-audit [--check | --fix-ratchet | --fix-api]\n\
+                            [--root PATH] [--json PATH] [--api-diff PATH]\n\n\
+                     --check          run all checks (default); exit 1 on violations\n\
+                     --fix-ratchet    rewrite audit/ratchet.toml with measured panic-site\n\
+                                      counts and doc-coverage percentages\n\
+                     --fix-api        rewrite audit/api/<crate>.txt with the measured\n\
+                                      public-API snapshot of every library crate\n\
+                     --root PATH      workspace root (default: current directory)\n\
+                     --json PATH      also write the JSON report to PATH\n\
+                     --api-diff PATH  also write the committed-vs-current API diff to PATH"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -44,22 +62,40 @@ fn main() -> ExitCode {
         }
     }
 
-    if fix {
-        return match arcc_audit::fix_ratchet(&root) {
-            Ok(counts) => {
-                let total: i64 = counts.iter().map(|(_, n)| n).sum();
-                println!(
-                    "audit/ratchet.toml reseeded: {} crates, {} panic sites",
-                    counts.len(),
-                    total
-                );
-                for (name, n) in &counts {
-                    println!("  {name} = {n}");
+    match mode {
+        Mode::FixRatchet => {
+            return match arcc_audit::fix_ratchet(&root) {
+                Ok(counts) => {
+                    let total: i64 = counts.panic_counts.iter().map(|(_, n)| n).sum();
+                    println!(
+                        "audit/ratchet.toml reseeded: {} crates, {} panic sites",
+                        counts.panic_counts.len(),
+                        total
+                    );
+                    for (name, n) in &counts.panic_counts {
+                        println!("  {name} = {n} panic sites");
+                    }
+                    for (name, pct) in &counts.doc_counts {
+                        println!("  {name} = {pct}% doc coverage");
+                    }
+                    ExitCode::SUCCESS
                 }
-                ExitCode::SUCCESS
-            }
-            Err(e) => fail(&e),
-        };
+                Err(e) => fail(&e),
+            };
+        }
+        Mode::FixApi => {
+            return match arcc_audit::fix_api(&root) {
+                Ok(written) => {
+                    println!("audit/api reseeded: {} library crates", written.len());
+                    for (name, n) in &written {
+                        println!("  audit/api/{name}.txt: {n} public signatures");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            };
+        }
+        Mode::Check => {}
     }
 
     let outcome = match arcc_audit::run_audit(&root) {
@@ -67,12 +103,16 @@ fn main() -> ExitCode {
         Err(e) => return fail(&e),
     };
     if let Some(path) = &json {
-        if let Some(parent) = path.parent() {
-            if let Err(e) = std::fs::create_dir_all(parent) {
-                return fail(&e);
-            }
+        if let Err(e) = write_artifact(path, &outcome.to_json()) {
+            return fail(&e);
         }
-        if let Err(e) = std::fs::write(path, outcome.to_json()) {
+    }
+    if let Some(path) = &api_diff {
+        let diff = match arcc_audit::api_diff(&root) {
+            Ok(d) => d,
+            Err(e) => return fail(&e),
+        };
+        if let Err(e) = write_artifact(path, &diff) {
             return fail(&e);
         }
     }
@@ -91,11 +131,30 @@ fn main() -> ExitCode {
             "ies"
         }
     );
+    let check_hit = |c: arcc_audit::report::Check| outcome.violations.iter().any(|v| v.check == c);
+    if check_hit(arcc_audit::report::Check::ApiSnapshot) {
+        println!(
+            "hint: review the API drift above, then accept it with \
+             `cargo run -p arcc-audit -- --fix-api`"
+        );
+    }
+    if check_hit(arcc_audit::report::Check::PanicRatchet)
+        || check_hit(arcc_audit::report::Check::DocCoverage)
+    {
+        println!("hint: reseed the ratchet with `cargo run -p arcc-audit -- --fix-ratchet`");
+    }
     if outcome.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }
+}
+
+fn write_artifact(path: &std::path::Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, content)
 }
 
 fn usage(msg: &str) -> ExitCode {

@@ -14,10 +14,19 @@ use std::fmt;
 pub enum Check {
     /// Banned nondeterminism sources in deterministic library code.
     Determinism,
+    /// Banned shared-mutable-state primitives in deterministic library
+    /// code (the static precondition for `parallel_map` safety).
+    Parallelism,
+    /// Crate dependencies vs the declared layer DAG in `audit/layers.toml`.
+    Layering,
     /// `#![forbid(unsafe_code)]` / `// SAFETY:` policy.
     Unsafe,
     /// Panic-site counts vs the committed ratchet.
     PanicRatchet,
+    /// Public-API signatures vs the committed `audit/api/<crate>.txt`.
+    ApiSnapshot,
+    /// Public-item doc coverage vs the committed ratchet.
+    DocCoverage,
     /// Spec/checkpoint fields vs the committed fingerprint manifest.
     Fingerprint,
     /// Audit configuration problems (malformed/unused entries).
@@ -29,8 +38,12 @@ impl Check {
     pub fn name(self) -> &'static str {
         match self {
             Check::Determinism => "determinism",
+            Check::Parallelism => "parallelism",
+            Check::Layering => "layering",
             Check::Unsafe => "unsafe",
             Check::PanicRatchet => "panic_ratchet",
+            Check::ApiSnapshot => "api_snapshot",
+            Check::DocCoverage => "doc_coverage",
             Check::Fingerprint => "fingerprint",
             Check::Config => "config",
         }
@@ -81,6 +94,9 @@ pub struct AuditOutcome {
     pub files_scanned: usize,
     /// Per-crate panic-site counts measured this run, sorted by crate.
     pub panic_counts: Vec<(String, i64)>,
+    /// Per-crate `(documented, public, percent)` doc coverage measured
+    /// this run over library code, sorted by crate.
+    pub doc_coverage: Vec<(String, i64, i64, i64)>,
     /// Allowlist entries that suppressed at least one hit.
     pub allowlist_used: usize,
 }
@@ -99,11 +115,16 @@ impl AuditOutcome {
     }
 
     /// Renders the JSON report (arcc-exp report conventions).
+    ///
+    /// `meta.schema` is 2 since the semantic-model rewrite: version 1
+    /// reports had no `schema` key, no `doc_coverage` table, and only the
+    /// original four checks.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n  \"scenario\": \"arcc_audit\",\n");
         s.push_str("  \"title\": \"Workspace static-analysis audit\",\n");
         s.push_str("  \"meta\": {\n");
+        s.push_str("    \"schema\": 2,\n");
         s.push_str(&format!(
             "    \"crates_audited\": {},\n    \"files_scanned\": {},\n",
             self.crates_audited, self.files_scanned
@@ -147,13 +168,31 @@ impl AuditOutcome {
         if !self.panic_counts.is_empty() {
             s.push_str("\n      ");
         }
+        s.push_str("]\n    },\n");
+        // Table 3: public-item doc coverage.
+        s.push_str("    {\n      \"name\": \"doc_coverage\",\n");
+        s.push_str("      \"columns\": [\"crate\", \"documented\", \"public\", \"percent\"],\n");
+        s.push_str("      \"rows\": [");
+        for (i, (name, doc, pubs, pct)) in self.doc_coverage.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str(&format!(
+                "        [\"{}\", {}, {}, {}]",
+                json_escape(name),
+                doc,
+                pubs,
+                pct
+            ));
+        }
+        if !self.doc_coverage.is_empty() {
+            s.push_str("\n      ");
+        }
         s.push_str("]\n    }\n  ],\n");
         s.push_str("  \"notes\": [\n");
         s.push_str(
-            "    \"Checks: determinism lints, unsafe policy, panic ratchet, fingerprint drift.\",\n",
+            "    \"Checks: determinism lints, parallelism-safety lints, crate layering, unsafe policy, panic ratchet, public-API snapshot, doc-coverage ratchet, fingerprint drift.\",\n",
         );
         s.push_str(
-            "    \"Allowlist: audit/allowlist.toml; ratchet: audit/ratchet.toml (cargo run -p arcc-audit -- --fix-ratchet).\"\n",
+            "    \"Config: audit/allowlist.toml, audit/layers.toml, audit/api/*.txt (--fix-api), audit/ratchet.toml (--fix-ratchet), audit/fingerprint.toml.\"\n",
         );
         s.push_str("  ]\n}\n");
         s
@@ -201,14 +240,17 @@ mod tests {
             crates_audited: 2,
             files_scanned: 5,
             panic_counts: vec![("arcc-core".into(), 7)],
+            doc_coverage: vec![("arcc-core".into(), 9, 10, 90)],
             allowlist_used: 1,
         };
         o.finish();
         assert_eq!(o.violations[0].check, Check::Determinism);
         let json = o.to_json();
         assert!(json.contains("\"scenario\": \"arcc_audit\""));
+        assert!(json.contains("\"schema\": 2"));
         assert!(json.contains("\\\"HashMap\\\""));
         assert!(json.contains("[\"arcc-core\", 7]"));
+        assert!(json.contains("[\"arcc-core\", 9, 10, 90]"));
         assert!(json.contains("\"clean\": false"));
     }
 

@@ -1,236 +1,42 @@
-//! Source preprocessing for the lint passes.
+//! Text views and token search over the semantic model.
 //!
-//! The checks operate on a *processed* view of each file in which comment
-//! and string/char-literal interiors are blanked to spaces (so an
-//! `unwrap()` in an error message or doc example never counts) and, for
-//! library-code checks, `#[cfg(test)]` items are blanked as well. Blanking
-//! preserves every byte position — newlines included — so line numbers
-//! reported against the processed text are valid for the original file.
+//! The checks operate on *views* of each file in which non-code bytes are
+//! blanked to spaces: [`strip_comments_and_strings`] blanks comment, doc,
+//! and literal interiors; [`strip_cfg_test`] additionally blanks every
+//! `#[cfg(test)]` item. Blanking preserves every byte position — newlines
+//! included — so line numbers computed against a view are valid for the
+//! original file.
+//!
+//! Since PR 7 both views are produced by the real lexer and item parser
+//! ([`crate::lex`], [`crate::model`]) instead of a line-oriented regex
+//! scan. That fixes the scanner's known blind spots, pinned by the
+//! regression tests below:
+//!
+//! * byte-char literals containing quotes (`b'"'`) no longer desynchronise
+//!   string tracking, so a string literal containing `//` can never
+//!   swallow following code;
+//! * `#[cfg(all(test, ..))]` is recognised as test-only, nested
+//!   `#[cfg(test)]` items are blanked wherever they sit in the item tree,
+//!   and whole out-of-line test module *files* are exempted via the
+//!   module tree (see [`crate::model::CrateModel`]);
+//! * `#[cfg_attr(test, ..)]` is *not* stripped — the item still compiles
+//!   in non-test builds, so it stays linted.
 
-/// Replaces the interiors of comments, string literals, raw strings, byte
-/// strings, and char literals with spaces, preserving all newlines.
-///
-/// Lifetimes (`'a`) are distinguished from char literals by lookahead: a
-/// char literal closes within a few characters, a lifetime never closes.
+use crate::model::parse_file;
+
+/// Replaces the interiors of comments, doc comments, and string/char
+/// literals with spaces, preserving all newlines and byte positions.
 pub fn strip_comments_and_strings(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(b.len());
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        // Line comment.
-        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
-            while i < b.len() && b[i] != b'\n' {
-                out.push(b' ');
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment (nesting).
-        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-            let mut depth = 0usize;
-            while i < b.len() {
-                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                    depth += 1;
-                    out.push(b' ');
-                    out.push(b' ');
-                    i += 2;
-                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                    depth -= 1;
-                    out.push(b' ');
-                    out.push(b' ');
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw (byte) string: r"..." / r#"..."# / br#"..."#, provided the
-        // prefix is not the tail of an identifier (`bar"` is not raw).
-        if (c == b'r' || c == b'b') && !prev_is_ident(b, i) {
-            let mut j = i;
-            if b[j] == b'b' && j + 1 < b.len() && b[j + 1] == b'r' {
-                j += 1;
-            }
-            if b[j] == b'r' {
-                let mut k = j + 1;
-                let mut hashes = 0usize;
-                while k < b.len() && b[k] == b'#' {
-                    hashes += 1;
-                    k += 1;
-                }
-                if k < b.len() && b[k] == b'"' {
-                    // Blank from i through the closing quote+hashes.
-                    out.extend(std::iter::repeat_n(b' ', k - i + 1));
-                    i = k + 1;
-                    loop {
-                        if i >= b.len() {
-                            break;
-                        }
-                        if b[i] == b'"' && b[i + 1..].iter().take(hashes).all(|&h| h == b'#') {
-                            out.extend(std::iter::repeat_n(b' ', hashes + 1));
-                            i += 1 + hashes;
-                            break;
-                        }
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                    continue;
-                }
-            }
-        }
-        // Ordinary (or byte) string literal.
-        if c == b'"' {
-            out.push(b' ');
-            i += 1;
-            while i < b.len() {
-                if b[i] == b'\\' && i + 1 < b.len() {
-                    out.push(b' ');
-                    out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
-                    i += 2;
-                    continue;
-                }
-                let done = b[i] == b'"';
-                out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                i += 1;
-                if done {
-                    break;
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime.
-        if c == b'\'' && !prev_is_ident(b, i) {
-            let rest = &b[i + 1..];
-            let lit_len = match rest {
-                [b'\\', ..] => rest.iter().skip(1).position(|&x| x == b'\'').map(|p| p + 3),
-                [_, b'\'', ..] => Some(3),
-                _ => None,
-            };
-            if let Some(n) = lit_len {
-                for k in 0..n {
-                    out.push(if b[i + k] == b'\n' { b'\n' } else { b' ' });
-                }
-                i += n;
-                continue;
-            }
-            // Lifetime: fall through, emit the quote as-is.
-        }
-        out.push(c);
-        i += 1;
-    }
-    // Safety of from_utf8: we only ever copy ASCII bytes or original bytes
-    // at their original positions; multi-byte chars are either copied
-    // whole or replaced byte-for-byte with spaces.
-    String::from_utf8(out).unwrap_or_default()
+    parse_file(src).code_view
 }
 
-fn prev_is_ident(b: &[u8], i: usize) -> bool {
-    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
-}
-
-/// Blanks every `#[cfg(test)]`-attributed item (typically `mod tests { .. }`)
-/// in already comment/string-stripped text, preserving newlines.
+/// [`strip_comments_and_strings`] plus blanking of every `#[cfg(test)]`
+/// item (any nesting depth, including `all(test, ..)` predicates).
 ///
-/// The item body is found by brace matching from the end of the attribute;
-/// items that end at a `;` before any `{` (e.g. `#[cfg(test)] use ..;`)
-/// are blanked to the semicolon.
-pub fn strip_cfg_test(processed: &str) -> String {
-    let mut text = processed.to_string();
-    loop {
-        let Some(start) = find_cfg_test(&text) else {
-            return text;
-        };
-        let b = text.as_bytes();
-        // Walk from the end of the attribute to the item it decorates,
-        // skipping further attributes, then blank through the item.
-        let mut i = start;
-        // Skip the `#[cfg(test)]` attribute itself (balanced brackets).
-        i = skip_attr(b, i);
-        let mut end = b.len();
-        while i < b.len() {
-            match b[i] {
-                b'#' => i = skip_attr(b, i),
-                b';' => {
-                    end = i + 1;
-                    break;
-                }
-                b'{' => {
-                    let mut depth = 0usize;
-                    while i < b.len() {
-                        match b[i] {
-                            b'{' => depth += 1,
-                            b'}' => {
-                                depth -= 1;
-                                if depth == 0 {
-                                    break;
-                                }
-                            }
-                            _ => {}
-                        }
-                        i += 1;
-                    }
-                    end = (i + 1).min(b.len());
-                    break;
-                }
-                _ => i += 1,
-            }
-        }
-        let blanked: String = text[start..end]
-            .chars()
-            .map(|c| if c == '\n' { '\n' } else { ' ' })
-            .collect();
-        text.replace_range(start..end, &blanked);
-    }
-}
-
-/// Byte offset of the next `#[cfg(test)]` attribute, tolerating interior
-/// whitespace (`#[cfg( test )]`), or `None`.
-fn find_cfg_test(text: &str) -> Option<usize> {
-    let b = text.as_bytes();
-    let mut from = 0;
-    while let Some(rel) = text[from..].find("#[") {
-        let start = from + rel;
-        let end = skip_attr(b, start);
-        let inner: String = text[start..end]
-            .chars()
-            .filter(|c| !c.is_whitespace())
-            .collect();
-        if inner == "#[cfg(test)]" {
-            return Some(start);
-        }
-        from = end.max(start + 2);
-    }
-    None
-}
-
-/// Skips a `#[...]` attribute starting at `i` (which must point at `#`),
-/// returning the offset just past its closing bracket.
-fn skip_attr(b: &[u8], i: usize) -> usize {
-    let mut j = i;
-    while j < b.len() && b[j] != b'[' {
-        j += 1;
-    }
-    let mut depth = 0usize;
-    while j < b.len() {
-        match b[j] {
-            b'[' => depth += 1,
-            b']' => {
-                depth -= 1;
-                if depth == 0 {
-                    return j + 1;
-                }
-            }
-            _ => {}
-        }
-        j += 1;
-    }
-    b.len()
+/// Prefer [`parse_file`] when the model is needed anyway — this
+/// convenience re-parses from raw source.
+pub fn strip_cfg_test(src: &str) -> String {
+    parse_file(src).lib_view
 }
 
 /// Byte offsets of identifier-boundary-respecting occurrences of `token`.
@@ -304,7 +110,7 @@ mod tests {
     #[test]
     fn cfg_test_mod_is_blanked() {
         let src = "fn lib() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { b.unwrap(); }\n}\nfn tail() {}\n";
-        let p = strip_cfg_test(&strip_comments_and_strings(src));
+        let p = strip_cfg_test(src);
         assert_eq!(token_hits(&p, "unwrap()").len(), 1);
         assert!(p.contains("fn tail"));
     }
@@ -312,7 +118,7 @@ mod tests {
     #[test]
     fn cfg_test_use_statement_is_blanked() {
         let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn f() {}\n";
-        let p = strip_cfg_test(&strip_comments_and_strings(src));
+        let p = strip_cfg_test(src);
         assert!(token_hits(&p, "HashMap").is_empty());
         assert!(p.contains("fn f"));
     }
@@ -331,5 +137,61 @@ mod tests {
         assert_eq!(line_of(t, 0), 1);
         assert_eq!(line_of(t, 2), 2);
         assert_eq!(line_of(t, 4), 3);
+    }
+
+    // ------------------------------------------------------------------
+    // Regression tests for the PR-6 line-oriented scanner's bugs. Each of
+    // these produced a wrong count under the old `scan.rs` and is fixed
+    // by lexing for real.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn regression_byte_char_quote_does_not_desync_strings() {
+        // The old scanner did not know byte-char literals: `b'"'` left an
+        // unmatched quote that swallowed following code into a phantom
+        // string, hiding `real.unwrap()` — the string containing `//`
+        // then blanked the rest of the line as a "comment".
+        let src = "let q = b'\"';\nlet s = \"// not code: x.unwrap()\";\nreal.unwrap();\n";
+        let p = strip_comments_and_strings(src);
+        assert_eq!(token_hits(&p, "unwrap()").len(), 1, "view:\n{p}");
+        assert!(p.contains("real"));
+    }
+
+    #[test]
+    fn regression_string_slashes_never_open_comments() {
+        let src = "let url = \"https://example.com\"; live.unwrap(); // gone\n";
+        let p = strip_comments_and_strings(src);
+        assert_eq!(token_hits(&p, "unwrap()").len(), 1);
+    }
+
+    #[test]
+    fn regression_cfg_all_test_is_stripped() {
+        // The old scanner only matched the literal `#[cfg(test)]`, so an
+        // `all(test, ..)` test-only item was linted as library code.
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nmod heavy { fn t() { a.unwrap(); } }\nfn lib() {}\n";
+        let p = strip_cfg_test(src);
+        assert!(token_hits(&p, "unwrap()").is_empty());
+        assert!(p.contains("fn lib"));
+    }
+
+    #[test]
+    fn regression_cfg_attr_is_not_stripped() {
+        // `#[cfg_attr(test, allow(..))]` items compile in non-test builds
+        // and must stay visible to the lints.
+        let src = "#[cfg_attr(test, allow(dead_code))]\nfn still_lib() { x.unwrap(); }\n";
+        let p = strip_cfg_test(src);
+        assert_eq!(token_hits(&p, "unwrap()").len(), 1);
+    }
+
+    #[test]
+    fn regression_nested_cfg_test_inside_inline_mod() {
+        // A test module nested inside a non-test inline module: the old
+        // brace-matcher handled the simple case, but combined with a
+        // string literal containing braces it lost track.
+        let src = "mod outer {\n  pub fn keep() { k.unwrap(); }\n  #[cfg(test)]\n  mod tests {\n    const B: &str = \"}\";\n    fn t() { gone.unwrap(); }\n  }\n}\n";
+        let p = strip_cfg_test(src);
+        assert_eq!(token_hits(&p, "unwrap()").len(), 1);
+        assert!(p.contains("keep"));
+        assert!(!p.contains("gone"));
     }
 }

@@ -26,6 +26,9 @@ pub enum FileKind {
 pub struct SourceFile {
     /// Path relative to the workspace root, `/`-separated.
     pub rel_path: String,
+    /// Path relative to the crate's `src/` directory, `/`-separated
+    /// (e.g. `lib.rs`, `sched.rs`, `foo/mod.rs`) — the module-tree key.
+    pub src_rel: String,
     /// Absolute path on disk.
     pub abs_path: PathBuf,
     /// Library or binary code.
@@ -43,6 +46,10 @@ pub struct CrateInfo {
     /// Crate-root source file (`src/lib.rs`, else `src/main.rs`), relative
     /// to the workspace root.
     pub root_file: Option<String>,
+    /// The crate has a library target (`src/lib.rs`).
+    pub has_lib: bool,
+    /// `[dependencies]` package names from the crate's manifest, sorted.
+    pub deps: Vec<String>,
     /// Source files under `src/`, sorted by path.
     pub files: Vec<SourceFile>,
 }
@@ -75,7 +82,7 @@ impl Workspace {
         let manifest_text = fs::read_to_string(&root_manifest)?;
         if manifest_text.contains("[package]") {
             if let Some(name) = package_name(&manifest_text) {
-                crates.push(load_crate(root, root, name)?);
+                crates.push(load_crate(root, root, name, &manifest_text)?);
             }
         }
         let crates_dir = root.join("crates");
@@ -90,7 +97,7 @@ impl Workspace {
                 let Some(name) = package_name(&text) else {
                     continue;
                 };
-                crates.push(load_crate(root, &dir, name)?);
+                crates.push(load_crate(root, &dir, name, &text)?);
             }
         }
         crates.sort_by(|a, b| a.name.cmp(&b.name));
@@ -128,7 +135,41 @@ fn package_name(manifest: &str) -> Option<String> {
     None
 }
 
-fn load_crate(root: &Path, dir: &Path, name: String) -> io::Result<CrateInfo> {
+/// Package names listed under `[dependencies]` (not dev- or
+/// build-dependencies): `name = "..."`, `name = { .. }`,
+/// `name.workspace = true`, and `[dependencies.name]` headers.
+fn dependency_names(manifest: &str) -> Vec<String> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            if let Some(rest) = line.strip_prefix("[dependencies.") {
+                if let Some(name) = rest.strip_suffix(']') {
+                    deps.push(name.trim().to_string());
+                }
+                in_deps = false;
+                continue;
+            }
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `name = ...` or `name.workspace = ...`
+        let key = line.split('=').next().unwrap_or("").trim();
+        let name = key.split('.').next().unwrap_or("").trim();
+        if !name.is_empty() {
+            deps.push(name.trim_matches('"').to_string());
+        }
+    }
+    deps.sort();
+    deps.dedup();
+    deps
+}
+
+fn load_crate(root: &Path, dir: &Path, name: String, manifest: &str) -> io::Result<CrateInfo> {
     let src = dir.join("src");
     let mut files = Vec::new();
     if src.is_dir() {
@@ -140,6 +181,7 @@ fn load_crate(root: &Path, dir: &Path, name: String) -> io::Result<CrateInfo> {
         .into_iter()
         .map(|abs| {
             let rel = rel_to(root, &abs);
+            let src_rel = rel_to(&src, &abs);
             let in_bin_dir = abs
                 .strip_prefix(&src)
                 .ok()
@@ -159,6 +201,7 @@ fn load_crate(root: &Path, dir: &Path, name: String) -> io::Result<CrateInfo> {
             };
             SourceFile {
                 rel_path: rel,
+                src_rel,
                 abs_path: abs,
                 kind,
             }
@@ -175,6 +218,8 @@ fn load_crate(root: &Path, dir: &Path, name: String) -> io::Result<CrateInfo> {
         name,
         rel_dir: rel_to(root, dir),
         root_file,
+        has_lib,
+        deps: dependency_names(manifest),
         files: sources,
     })
 }

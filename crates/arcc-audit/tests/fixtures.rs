@@ -6,7 +6,7 @@
 use std::path::{Path, PathBuf};
 
 use arcc_audit::report::Check;
-use arcc_audit::{fix_ratchet, run_audit};
+use arcc_audit::{api_diff, fix_api, fix_ratchet, run_audit};
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -46,10 +46,23 @@ fn dirty_fixture_trips_every_check() {
         "{:#?}",
         outcome.violations
     );
+    // The `use` plus both `Mutex` tokens of the static declaration.
+    assert_eq!(
+        count(&outcome, Check::Parallelism),
+        3,
+        "{:#?}",
+        outcome.violations
+    );
+    // No audit/layers.toml at all.
+    assert_eq!(count(&outcome, Check::Layering), 1);
     // Missing #![forbid(unsafe_code)].
     assert_eq!(count(&outcome, Check::Unsafe), 1);
     // 1 unwrap vs a bound of 0.
     assert_eq!(count(&outcome, Check::PanicRatchet), 1);
+    // No committed audit/api/fix-dirty.txt snapshot.
+    assert_eq!(count(&outcome, Check::ApiSnapshot), 1);
+    // No [doc_coverage] entry for the crate.
+    assert_eq!(count(&outcome, Check::DocCoverage), 1);
     // new_knob unclassified, stale_field gone, scheduler excluded-but-used.
     assert_eq!(count(&outcome, Check::Fingerprint), 3);
     // The thread_rng allow entry matches nothing.
@@ -113,7 +126,118 @@ fn ratchet_improvement_demands_fix_ratchet_then_passes() {
     assert!(ratchet[0].message.contains("--fix-ratchet"));
 
     let counts = fix_ratchet(&scratch).expect("fix-ratchet runs");
-    assert_eq!(counts, vec![("fix-low".to_string(), 0)]);
+    assert_eq!(counts.panic_counts, vec![("fix-low".to_string(), 0)]);
+    assert_eq!(counts.doc_counts, vec![("fix-low".to_string(), 100)]);
+    let after = run_audit(&scratch).expect("audit runs");
+    assert!(after.is_clean(), "{:#?}", after.violations);
+}
+
+#[test]
+fn layer_fixture_reports_inversion_and_undeclared_use() {
+    let outcome = run_audit(&fixture("layer-violation")).expect("audit runs");
+    let layering: Vec<_> = outcome
+        .violations
+        .iter()
+        .filter(|v| v.check == Check::Layering)
+        .collect();
+    // The upward dependency and the undeclared `use arcc_fixhidden` path;
+    // the equal-layer arcc-fixpeer edge is allowlisted.
+    assert_eq!(layering.len(), 2, "{:#?}", outcome.violations);
+    assert!(layering
+        .iter()
+        .any(|v| v.file == "crates/arcc-fixmid/Cargo.toml"
+            && v.message.contains("strictly lower layers")));
+    assert!(layering
+        .iter()
+        .any(|v| v.file == "crates/arcc-fixmid/src/lib.rs"
+            && v.line == 5
+            && v.message.contains("arcc-fixhidden")));
+    assert_eq!(outcome.violations.len(), 2, "{:#?}", outcome.violations);
+    assert_eq!(outcome.allowlist_used, 1);
+}
+
+#[test]
+fn shared_state_fixture_flags_each_primitive_once_allowlisted_once() {
+    let outcome = run_audit(&fixture("shared-state")).expect("audit runs");
+    let par: Vec<_> = outcome
+        .violations
+        .iter()
+        .filter(|v| v.check == Check::Parallelism)
+        .collect();
+    // RefCell (use + field), AtomicU32 (use + both static tokens), and the
+    // structural `static mut`; the OnceLock table is allowlisted.
+    assert_eq!(par.len(), 6, "{:#?}", outcome.violations);
+    assert!(par.iter().any(|v| v.message.contains("`static mut`")));
+    assert!(par.iter().any(|v| v.message.contains("`RefCell`")));
+    assert!(par.iter().any(|v| v.message.contains("`AtomicU32`")));
+    assert!(par.iter().all(|v| !v.message.contains("OnceLock")));
+    assert_eq!(outcome.violations.len(), 6, "{:#?}", outcome.violations);
+    assert_eq!(outcome.allowlist_used, 1);
+}
+
+#[test]
+fn api_drift_fixture_reports_both_directions_then_fix_api_accepts() {
+    let outcome = run_audit(&fixture("api-drift")).expect("audit runs");
+    let api: Vec<_> = outcome
+        .violations
+        .iter()
+        .filter(|v| v.check == Check::ApiSnapshot)
+        .collect();
+    assert_eq!(api.len(), 2, "{:#?}", outcome.violations);
+    assert!(api
+        .iter()
+        .any(|v| v.message.contains("added") && v.message.contains("length")));
+    assert!(api
+        .iter()
+        .any(|v| v.message.contains("removed") && v.message.contains("frobnicate")));
+    assert_eq!(outcome.violations.len(), 2, "{:#?}", outcome.violations);
+
+    // Accepting the drift on a scratch copy makes the audit pass.
+    let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("api-drift");
+    if scratch.exists() {
+        std::fs::remove_dir_all(&scratch).expect("clear scratch");
+    }
+    copy_dir(&fixture("api-drift"), &scratch).expect("copy fixture");
+    let diff = api_diff(&scratch).expect("api-diff renders");
+    assert!(diff.contains("fix-api: +1 -1"), "{diff}");
+    assert!(
+        diff.contains("+ length") && diff.contains("- frobnicate"),
+        "{diff}"
+    );
+    let written = fix_api(&scratch).expect("fix-api runs");
+    assert_eq!(written, vec![("fix-api".to_string(), 2)]);
+    let after = run_audit(&scratch).expect("audit runs");
+    assert!(after.is_clean(), "{:#?}", after.violations);
+    assert_eq!(
+        api_diff(&scratch).expect("api-diff renders"),
+        "no public-API drift\n"
+    );
+}
+
+#[test]
+fn doc_regression_fixture_fails_until_ratchet_reseeded() {
+    let outcome = run_audit(&fixture("doc-regression")).expect("audit runs");
+    let docs: Vec<_> = outcome
+        .violations
+        .iter()
+        .filter(|v| v.check == Check::DocCoverage)
+        .collect();
+    assert_eq!(docs.len(), 1, "{:#?}", outcome.violations);
+    assert!(
+        docs[0].message.contains("fell to 66%"),
+        "{}",
+        docs[0].message
+    );
+    assert_eq!(outcome.violations.len(), 1, "{:#?}", outcome.violations);
+
+    // Reseeding on a scratch copy records the regression and passes.
+    let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("doc-regression");
+    if scratch.exists() {
+        std::fs::remove_dir_all(&scratch).expect("clear scratch");
+    }
+    copy_dir(&fixture("doc-regression"), &scratch).expect("copy fixture");
+    let counts = fix_ratchet(&scratch).expect("fix-ratchet runs");
+    assert_eq!(counts.doc_counts, vec![("fix-docs".to_string(), 66)]);
     let after = run_audit(&scratch).expect("audit runs");
     assert!(after.is_clean(), "{:#?}", after.violations);
 }
@@ -125,8 +249,10 @@ fn json_report_is_stable_and_well_formed() {
     assert_eq!(a.to_json(), b.to_json(), "report must be byte-stable");
     let json = a.to_json();
     assert!(json.contains("\"scenario\": \"arcc_audit\""));
+    assert!(json.contains("\"schema\": 2"));
     assert!(json.contains("\"name\": \"violations\""));
     assert!(json.contains("\"name\": \"panic_sites\""));
+    assert!(json.contains("\"name\": \"doc_coverage\""));
     assert!(json.contains("[\"fix-dirty\", 1]"));
     assert!(json.contains("\"clean\": false"));
 }

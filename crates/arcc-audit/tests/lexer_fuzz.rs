@@ -1,0 +1,84 @@
+//! Never-panic fuzzing for the lexer and the item-model parser.
+//!
+//! The audit runs over every source file of the workspace, including ones
+//! that are mid-edit or syntactically broken, so totality is part of the
+//! contract: `lex`, `build_trees` and `parse_file` must terminate without
+//! panicking on arbitrary byte soup. Each case interleaves random bytes
+//! with syntax fragments chosen to stress the tricky lexer states (raw
+//! strings, byte chars, unbalanced delimiters, cfg attributes, stray `//`
+//! inside strings).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use arcc_audit::lex::{build_trees, lex};
+use arcc_audit::model::parse_file;
+
+/// Fragments that steer the soup towards lexer/parser edge cases.
+const SPICE: &[&str] = &[
+    "r#\"",
+    "\"#",
+    "b'\"'",
+    "r##\"x\"#",
+    "'\\''",
+    "'a",
+    "\"// not a comment",
+    "/* unterminated",
+    "//! doc",
+    "/// doc",
+    "#[cfg(test)]",
+    "#[cfg_attr(test, allow(dead_code))]",
+    "#[cfg(any(test, feature = \"x\"))]",
+    "pub fn f(",
+    "mod m {",
+    "}}}",
+    "{{{",
+    ")]}",
+    "([{",
+    "pub struct S<'a, T: Iterator<Item = &'a str>>",
+    "impl<T> Trait for S<T>",
+    "use arcc_core::{a, b::*};",
+    "static mut X: u64 = 0;",
+    "b\"bytes\"",
+    "'static",
+    "=>",
+    "..=",
+    "\u{0}",
+    "\u{fffd}",
+];
+
+fn soup() -> impl Strategy<Value = String> {
+    (
+        vec(any::<u8>(), 0..64),
+        vec(0usize..SPICE.len(), 0..12),
+        vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(head, picks, tail)| {
+            let mut s = String::from_utf8_lossy(&head).into_owned();
+            for i in picks {
+                s.push_str(SPICE[i]);
+                s.push(' ');
+            }
+            s.push_str(&String::from_utf8_lossy(&tail));
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_and_parser_are_total(src in soup()) {
+        let toks = lex(&src);
+        // Every span must slice the source at char boundaries.
+        for t in &toks {
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            prop_assert!(t.start <= t.end && t.end <= src.len());
+        }
+        let _trees = build_trees(&toks);
+        let parsed = parse_file(&src);
+        // The blanked views must preserve byte positions exactly.
+        prop_assert_eq!(parsed.code_view.len(), src.len());
+        prop_assert_eq!(parsed.lib_view.len(), src.len());
+    }
+}
