@@ -29,6 +29,7 @@ pub const DEFAULT_DETERMINISTIC_CRATES: &[&str] = &[
     "arcc-fleet",
     "arcc-replay",
     "arcc-exp",
+    "arcc-serve",
 ];
 
 /// Checks whose findings may be suppressed by `[[allow]]` entries.

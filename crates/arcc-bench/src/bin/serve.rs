@@ -1,0 +1,149 @@
+//! Digital-twin service driver: segment-wise ingestion and what-if
+//! latency ladder, doubling as the serve-mode CI bench gate.
+//!
+//! For each rung of `ARCC_SERVE_SIZES` (default `20_000,100_000,400_000`
+//! channels) a fault log is generated from the baseline fleet spec,
+//! split into `ARCC_SERVE_SEGMENTS` (default 8) segment documents, and
+//! ingested through a [`TwinEngine`] — the full service path: strict
+//! parse, arrival extension, and incremental checkpoint extension for
+//! every branch. Ingest throughput (channels/sec end to end, plus
+//! segments/sec) is gated against a committed `BENCH_serve.json` when
+//! `ARCC_BENCH_BASELINE` names it, exactly like the `fleet` and
+//! `replay` bins. After ingestion the rung reports what-if latency
+//! three ways: the cold fork (runs the divergent prefix), the warm
+//! branch re-query (at most one tail shard), and the memoised protocol
+//! re-issue (no simulation at all — byte-identical cached bytes).
+
+use std::time::Instant;
+
+use arcc_bench::BenchGate;
+use arcc_exp::default_threads;
+use arcc_fleet::FleetSpec;
+use arcc_replay::generate_log;
+use arcc_serve::{Service, TwinEngine};
+
+fn sizes() -> Vec<u64> {
+    std::env::var("ARCC_SERVE_SIZES")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|v| v.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![20_000, 100_000, 400_000])
+}
+
+fn segment_count() -> usize {
+    std::env::var("ARCC_SERVE_SEGMENTS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(8)
+}
+
+/// Ingests every segment through a fresh service, returning
+/// (service, seconds).
+fn ingest_ladder(threads: usize, channels: u64, segments: &[String]) -> (Service, f64) {
+    let engine = TwinEngine::new(threads, 0x5E21).shard_channels(4096);
+    let mut service = Service::new(engine);
+    let start = Instant::now();
+    for text in segments {
+        let request = format!("ingest lines={}", text.lines().count());
+        let reply = service.handle(&request, Some(text));
+        if !reply.starts_with("{\"ok\":true") {
+            eprintln!("ingest refused: {reply}");
+            std::process::exit(1);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        service.engine().channels(),
+        channels,
+        "every channel must be ingested"
+    );
+    (service, secs)
+}
+
+fn main() {
+    let threads = default_threads();
+    let n_segments = segment_count();
+    let mut gate = BenchGate::from_env();
+    println!();
+    println!("==================================================================");
+    println!("serve: digital-twin ingestion + what-if ladder ({threads} workers)");
+    println!("==================================================================");
+    println!(
+        "{:>10}  {:>9}  {:>9}  {:>13}  {:>10}  {:>12}  {:>12}  {:>12}",
+        "channels",
+        "segments",
+        "seconds",
+        "channels/sec",
+        "segs/sec",
+        "whatif cold",
+        "whatif warm",
+        "whatif memo"
+    );
+    for channels in sizes() {
+        let spec = FleetSpec::baseline(channels);
+        let log = generate_log(&spec);
+        let per_segment = (log.dimms.len() / n_segments).max(1);
+        let segments: Vec<String> = log
+            .split_channels(per_segment)
+            .iter()
+            .map(|s| s.to_text())
+            .collect();
+
+        let (mut service, mut secs) = ingest_ladder(threads, channels, &segments);
+        let mut rate = channels as f64 / secs;
+
+        // What-if ladder over the ingested fleet: cold fork, warm
+        // re-query of the (now existing) branch, memoised re-issue.
+        let request = "whatif policy=replace-on-due";
+        let start = Instant::now();
+        let cold = service.handle(request, None);
+        let cold_secs = start.elapsed().as_secs_f64();
+        // Drop the memo entry but keep the branch: a mutation-free way
+        // to time the warm (tail-shard-only) path is to query the
+        // branch through the engine-level API... the protocol layer has
+        // no eviction, so time `query-stats` on the what-if branch cold.
+        let start = Instant::now();
+        let warm = service.handle("query-stats branch=whatif:replace-on-due", None);
+        let warm_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let memo = service.handle(request, None);
+        let memo_secs = start.elapsed().as_secs_f64();
+        assert_eq!(cold, memo, "memoised response must be byte-identical");
+        assert!(warm.starts_with("{\"ok\":true"), "{warm}");
+
+        println!(
+            "{:>10}  {:>9}  {:>9.3}  {:>13.0}  {:>10.1}  {:>9.1}ms  {:>9.1}ms  {:>9.3}ms",
+            channels,
+            segments.len(),
+            secs,
+            rate,
+            segments.len() as f64 / secs,
+            cold_secs * 1e3,
+            warm_secs * 1e3,
+            memo_secs * 1e3
+        );
+        if let Some(base_rate) = gate.baseline_rate(channels) {
+            let floor = BenchGate::floor_for(base_rate);
+            if rate < floor {
+                // One retry before failing (baseline is best-of-3).
+                let (_, retry) = ingest_ladder(threads, channels, &segments);
+                secs = secs.min(retry);
+                rate = channels as f64 / secs;
+            }
+            if rate < floor {
+                gate.fail_rung(channels, rate, base_rate);
+            }
+        }
+    }
+    println!();
+    println!("note: ingestion is the full service path (parse + extend, never rerun);");
+    println!("the memoised what-if answers from the BTreeMap without touching the engine.");
+    if !gate.finish() {
+        std::process::exit(1);
+    }
+}

@@ -123,6 +123,21 @@ impl FleetCheckpoint {
         }
     }
 
+    /// The empty prefix of an *incrementally extended* replay run (a
+    /// digital twin whose log arrives in segments): stamped with the
+    /// prefix run fingerprint over zero channels, which is what
+    /// [`extend_replay`](crate::extend_replay) derives for a checkpoint
+    /// with no shards done. Fork a twin onto a counterfactual spec by
+    /// calling this with the same arrivals and a different policy —
+    /// the next extension reruns the covered prefix under the new spec.
+    pub fn start_twin(spec: &FleetSpec, arrivals: &ReplayArrivals) -> Self {
+        Self {
+            fingerprint: arrivals.run_fingerprint_prefix(spec, 0),
+            shards_done: 0,
+            stats: FleetStats::empty(spec.epochs(), spec.populations.len()),
+        }
+    }
+
     /// Does this checkpoint belong to `spec`?
     pub fn matches(&self, spec: &FleetSpec) -> bool {
         self.fingerprint == spec.fingerprint()
@@ -443,6 +458,43 @@ mod tests {
         let padded = text.clone() + "faults=1\n";
         assert!(FleetCheckpoint::from_text(&padded).is_err());
         assert_eq!(FleetCheckpoint::from_text(&text).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn write_atomic_round_trips_through_disk() {
+        // The crash-safety path itself: write_atomic (tmp + fsync +
+        // rename + dir sync) followed by load must reproduce the
+        // checkpoint exactly, leave no tmp sibling behind, and replace
+        // an existing file atomically rather than appending to it.
+        let mut ckpt = FleetCheckpoint::start(&spec());
+        ckpt.shards_done = 3;
+        ckpt.stats.channels = 1536;
+        ckpt.stats.channel_hours = 1536.0 * 61320.0 + 0.0625;
+        ckpt.stats.faults = 41;
+        ckpt.stats.populations[0].faults = 40;
+        let path = std::env::temp_dir().join(format!(
+            "arcc-fleet-{}-write-atomic.ckpt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        ckpt.write_atomic(&path).expect("write");
+        let loaded = FleetCheckpoint::load(&path).expect("load").expect("exists");
+        assert_eq!(loaded, ckpt);
+        assert_eq!(
+            loaded.stats.channel_hours.to_bits(),
+            ckpt.stats.channel_hours.to_bits()
+        );
+        let tmp =
+            std::path::PathBuf::from(format!("{}.tmp.{}", path.display(), std::process::id()));
+        assert!(!tmp.exists(), "tmp file must be renamed away");
+        // Overwriting with a further-along checkpoint wins cleanly.
+        let mut newer = ckpt.clone();
+        newer.shards_done = 4;
+        newer.stats.faults = 55;
+        newer.write_atomic(&path).expect("overwrite");
+        let reloaded = FleetCheckpoint::load(&path).expect("load").expect("exists");
+        assert_eq!(reloaded, newer);
+        std::fs::remove_file(&path).expect("cleanup");
     }
 
     #[test]

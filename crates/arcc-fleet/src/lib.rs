@@ -81,8 +81,8 @@ pub mod stats;
 
 pub use checkpoint::{CheckpointError, FleetCheckpoint, PersistError};
 pub use runner::{
-    resume_fleet, resume_replay, run_fleet, run_fleet_checkpointed, run_fleet_until, run_replay,
-    run_replay_checkpointed, run_replay_until, run_shard, run_shard_replay,
+    extend_replay, resume_fleet, resume_replay, run_fleet, run_fleet_checkpointed, run_fleet_until,
+    run_replay, run_replay_checkpointed, run_replay_until, run_shard, run_shard_replay,
 };
 pub use source::{ReplayArrivals, ReplayError};
 pub use spec::{DimmPopulation, FleetSpec, OperatorPolicy, SchedulerKind, DEFAULT_SHARD_CHANNELS};

@@ -105,6 +105,60 @@ pub fn run_replay_until(
     ))
 }
 
+/// Extends a checkpointed replay run whose arrival set has *grown*
+/// ([`ReplayArrivals::extend`]) since the checkpoint was taken: verifies
+/// that `ckpt` is the prefix of `arrivals` it claims to be (the prefix
+/// run fingerprint of its first `shards_done` shards), runs every newly
+/// **complete** shard, and returns the checkpoint re-stamped for the new
+/// covered prefix. Repeated calls as segments land cost the same total
+/// simulation work as one one-shot [`run_replay`] of the final log.
+///
+/// The trailing partial shard — channels past the last complete shard
+/// boundary — is deliberately *not* folded in: a shard's spare pool
+/// couples its channels, so a partially populated shard cannot be run
+/// now and topped up later. Aggregate the tail on demand with
+/// [`run_shard_replay`] (shard id `ckpt.shards_done`) and merge it into
+/// a *copy* of `ckpt.stats`; the digital-twin service in `arcc-serve`
+/// does exactly that per query.
+///
+/// Start a fresh twin from [`FleetCheckpoint::start_twin`]; fork a
+/// counterfactual by starting a twin under a different policy spec and
+/// extending it over the same arrivals.
+///
+/// # Errors
+///
+/// [`ReplayError::CheckpointMismatch`] when `ckpt` does not carry the
+/// prefix fingerprint of its `shards_done` shards over (`spec`,
+/// `arrivals`) — a checkpoint from a different log or spec, or one
+/// claiming more complete shards than the set holds (reported against
+/// the full-set fingerprint) — plus the [`run_replay`] validations.
+pub fn extend_replay(
+    threads: usize,
+    spec: &FleetSpec,
+    arrivals: &ReplayArrivals,
+    ckpt: FleetCheckpoint,
+) -> Result<FleetCheckpoint, ReplayError> {
+    arrivals.validate_for(spec)?;
+    let shard = u64::from(spec.shard_channels);
+    let complete = spec.channels / shard;
+    if ckpt.shards_done > complete {
+        return Err(ReplayError::CheckpointMismatch {
+            expected: ckpt.fingerprint,
+            actual: arrivals.run_fingerprint(spec),
+        });
+    }
+    let expected = arrivals.run_fingerprint_prefix(spec, ckpt.shards_done * shard);
+    if ckpt.fingerprint != expected {
+        return Err(ReplayError::CheckpointMismatch {
+            expected: ckpt.fingerprint,
+            actual: expected,
+        });
+    }
+    let mut ckpt = ckpt;
+    ckpt.fingerprint = arrivals.run_fingerprint_prefix(spec, complete * shard);
+    Ok(run_span(threads, spec, ckpt, complete, Some(arrivals)))
+}
+
 /// Resumes a checkpointed replay run to completion.
 ///
 /// # Errors
@@ -405,6 +459,91 @@ mod tests {
                 arrivals: 500
             })
         ));
+    }
+
+    #[test]
+    fn incremental_extension_matches_one_shot_replay() {
+        // A 700-channel log lands in three segments (300 + 250 + 150)
+        // over 256-channel shards; extending after each segment must
+        // reproduce the one-shot replay bit for bit, running each
+        // complete shard exactly once.
+        let sampler = FaultSampler::new(FaultGeometry::paper_channel(), FitRates::sridharan_sc12());
+        let mut rng = StdRng::seed_from_u64(0x7117);
+        let mut stream = |n: usize, faults: &[(usize, f64)]| {
+            let mut per = vec![Vec::new(); n];
+            for &(c, t) in faults {
+                per[c].push(sampler.draw_fault(&mut rng, t));
+            }
+            per
+        };
+        let seg_a = stream(300, &[(3, 100.0), (3, 2000.0), (120, 50.0)]);
+        let seg_b = stream(250, &[(10, 7.0), (200, 30_000.0)]);
+        let seg_c = stream(150, &[(0, 1.5), (149, 61_000.0)]);
+        let spec_for = |channels: u64| FleetSpec::baseline(channels).shard_channels(256).seed(21);
+
+        // One-shot ground truth over the concatenated log.
+        let mut all = seg_a.clone();
+        all.extend(seg_b.iter().cloned());
+        all.extend(seg_c.iter().cloned());
+        let full_spec = spec_for(700);
+        let oneshot = ReplayArrivals::new(vec![0; 700], all).expect("arrivals");
+        let truth = run_replay(2, &full_spec, &oneshot).expect("one-shot");
+
+        // Incremental: start a twin, extend per segment.
+        let mut arrivals = ReplayArrivals::new(Vec::new(), Vec::new()).expect("empty");
+        let mut ckpt = FleetCheckpoint::start_twin(&spec_for(0), &arrivals);
+        let mut shard_runs = Vec::new();
+        for seg in [seg_a, seg_b, seg_c] {
+            let n = seg.len();
+            arrivals.extend(vec![0; n], seg).expect("extend arrivals");
+            let spec = spec_for(arrivals.channels());
+            ckpt = extend_replay(2, &spec, &arrivals, ckpt).expect("extend replay");
+            shard_runs.push(ckpt.shards_done);
+        }
+        // 300 → 1 complete shard, 550 → 2, 700 → 2 (tail of 188 pending).
+        assert_eq!(shard_runs, vec![1, 2, 2]);
+        // Fold the pending tail shard on demand.
+        let mut stats = ckpt.stats.clone();
+        stats.merge(&run_shard_replay(&full_spec, ckpt.shards_done, &oneshot));
+        assert!(stats.bitwise_eq(&truth), "incremental != one-shot");
+
+        // Counterfactual fork: a twin under a different policy, extended
+        // over the same arrivals, equals that policy's one-shot replay.
+        let forked_spec = full_spec
+            .clone()
+            .policy(crate::spec::OperatorPolicy::ReplaceOnDue);
+        let fork = FleetCheckpoint::start_twin(&forked_spec, &arrivals);
+        let fork = extend_replay(2, &forked_spec, &arrivals, fork).expect("fork extend");
+        let mut fork_stats = fork.stats.clone();
+        fork_stats.merge(&run_shard_replay(&forked_spec, fork.shards_done, &oneshot));
+        let fork_truth = run_replay(2, &forked_spec, &oneshot).expect("fork one-shot");
+        assert!(fork_stats.bitwise_eq(&fork_truth));
+    }
+
+    #[test]
+    fn extend_refuses_foreign_and_overrun_checkpoints() {
+        let arrivals = arrivals_at(700, &[(1, &[10.0]), (400, &[99.5])]);
+        let s = FleetSpec::baseline(700).shard_channels(256).seed(5);
+        // A twin from a different seed is a typed mismatch, not a panic.
+        let foreign = FleetCheckpoint::start_twin(&s.clone().seed(6), &arrivals);
+        assert!(matches!(
+            extend_replay(1, &s, &arrivals, foreign),
+            Err(ReplayError::CheckpointMismatch { .. })
+        ));
+        // A checkpoint claiming more complete shards than the arrival
+        // set holds is refused the same way.
+        let mut overrun = FleetCheckpoint::start_twin(&s, &arrivals);
+        overrun.shards_done = 99;
+        assert!(matches!(
+            extend_replay(1, &s, &arrivals, overrun),
+            Err(ReplayError::CheckpointMismatch { .. })
+        ));
+        // A fully-extended checkpoint extends again as a no-op.
+        let ckpt = extend_replay(2, &s, &arrivals, FleetCheckpoint::start_twin(&s, &arrivals))
+            .expect("extend");
+        assert_eq!(ckpt.shards_done, 2);
+        let again = extend_replay(2, &s, &arrivals, ckpt.clone()).expect("re-extend");
+        assert_eq!(again, ckpt);
     }
 
     fn temp_path(name: &str) -> std::path::PathBuf {

@@ -189,6 +189,35 @@ impl ReplayArrivals {
         })
     }
 
+    /// Appends additional arrival slices to the set: the new channels are
+    /// numbered after the existing ones, so an extended set is a strict
+    /// CSR superset of the old one and every
+    /// [prefix fingerprint](Self::fingerprint_prefix) over the old
+    /// channels is unchanged. This is the ingestion primitive of the
+    /// digital-twin service: new fault-log segments arrive as slices and
+    /// the accumulated set only ever grows.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::new`], applied to the appended slices alone.
+    pub fn extend(
+        &mut self,
+        populations: Vec<u32>,
+        per_channel: Vec<Vec<FaultEvent>>,
+    ) -> Result<(), ReplayError> {
+        let segment = Self::new(populations, per_channel)?;
+        let base = self.events.len();
+        assert!(
+            u32::try_from(base + segment.events.len()).is_ok(),
+            "replay arrival sets are capped at u32::MAX events"
+        );
+        self.populations.extend(segment.populations);
+        self.offsets
+            .extend(segment.offsets.iter().skip(1).map(|&o| o + base as u32));
+        self.events.extend(segment.events);
+        Ok(())
+    }
+
     /// Channels the arrival set covers.
     pub fn channels(&self) -> u64 {
         self.populations.len() as u64
@@ -255,9 +284,25 @@ impl ReplayArrivals {
     /// checkpoints so a checkpoint from one log never resumes against
     /// another.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = splitmix64(0xA2CC_5EED ^ self.channels());
+        self.fingerprint_prefix(self.channels())
+    }
+
+    /// [`Self::fingerprint`] restricted to the first `channels` channels
+    /// and their events. Because [`Self::extend`] only appends, the
+    /// prefix fingerprint of the channels an older, smaller set covered
+    /// is unchanged after extension — so a checkpoint stamped with a
+    /// prefix fingerprint can recognise its own prefix inside a grown
+    /// arrival set. `fingerprint_prefix(channels())` equals
+    /// [`Self::fingerprint`].
+    ///
+    /// # Panics
+    ///
+    /// When `channels` exceeds [`Self::channels`].
+    pub fn fingerprint_prefix(&self, channels: u64) -> u64 {
+        let k = channels as usize;
+        let mut h = splitmix64(0xA2CC_5EED ^ channels);
         let mut mix = |x: u64| h = splitmix64(h ^ x);
-        for &p in &self.populations {
+        for &p in &self.populations[..k] {
             mix(p as u64);
         }
         let sel = |s: &DimSel| match s {
@@ -265,10 +310,10 @@ impl ReplayArrivals {
             DimSel::Half(k) => (1u64 << 61) | k,
             DimSel::One(k) => *k,
         };
-        for (c, &off) in self.offsets.iter().enumerate().skip(1) {
+        for (c, &off) in self.offsets[..=k].iter().enumerate().skip(1) {
             mix(c as u64 ^ (off as u64) << 32);
         }
-        for ev in &self.events {
+        for ev in &self.events[..self.offsets[k] as usize] {
             mix(ev.time_h.to_bits());
             let mode = FaultMode::ALL
                 .iter()
@@ -289,6 +334,22 @@ impl ReplayArrivals {
     /// the scheduler knobs — replay checkpoints cross schedulers too.
     pub fn run_fingerprint(&self, spec: &FleetSpec) -> u64 {
         splitmix64(spec.fingerprint() ^ self.fingerprint())
+    }
+
+    /// The run fingerprint of the first `channels` channels under the
+    /// prefix of `spec` covering exactly those channels: what
+    /// [`Self::run_fingerprint`] would return for the truncated pair.
+    /// Checkpoints of an incrementally extended replay are stamped with
+    /// this, so they remain recognisable (and refusable) as the arrival
+    /// set grows underneath them.
+    ///
+    /// # Panics
+    ///
+    /// When `channels` exceeds [`Self::channels`].
+    pub fn run_fingerprint_prefix(&self, spec: &FleetSpec, channels: u64) -> u64 {
+        let mut prefix = spec.clone();
+        prefix.channels = channels;
+        splitmix64(prefix.fingerprint() ^ self.fingerprint_prefix(channels))
     }
 }
 
@@ -373,6 +434,54 @@ mod tests {
         );
         let ok = ReplayArrivals::new(vec![0, 0], vec![vec![], vec![]]).unwrap();
         assert_eq!(ok.validate_for(&spec), Ok(()));
+    }
+
+    #[test]
+    fn extend_appends_slices_and_preserves_prefix_fingerprints() {
+        let mut grown = ReplayArrivals::new(vec![0, 1], vec![vec![ev(1.0)], vec![]]).unwrap();
+        let before = grown.clone();
+        grown
+            .extend(vec![0, 1], vec![vec![ev(2.0), ev(3.0)], vec![ev(0.5)]])
+            .expect("extend");
+        // The grown set is indistinguishable from building it in one shot.
+        let oneshot = ReplayArrivals::new(
+            vec![0, 1, 0, 1],
+            vec![vec![ev(1.0)], vec![], vec![ev(2.0), ev(3.0)], vec![ev(0.5)]],
+        )
+        .unwrap();
+        assert_eq!(grown, oneshot);
+        assert_eq!(grown.channels(), 4);
+        assert_eq!(grown.total_events(), 4);
+        assert_eq!(grown.range_of(2), (1, 3));
+        assert_eq!(grown.range_of(3), (3, 4));
+        // Prefix fingerprints over the old channels survive the append...
+        assert_eq!(grown.fingerprint_prefix(2), before.fingerprint());
+        assert_eq!(grown.fingerprint_prefix(0), before.fingerprint_prefix(0));
+        // ...the full fingerprint matches the one-shot build...
+        assert_eq!(grown.fingerprint(), oneshot.fingerprint());
+        assert_eq!(grown.fingerprint_prefix(4), grown.fingerprint());
+        // ...and the prefix run fingerprint equals the truncated pair's.
+        let spec4 = FleetSpec::baseline(4).populations(vec![
+            crate::spec::DimmPopulation::paper("a"),
+            crate::spec::DimmPopulation::paper("b"),
+        ]);
+        let mut spec2 = spec4.clone();
+        spec2.channels = 2;
+        assert_eq!(
+            grown.run_fingerprint_prefix(&spec4, 2),
+            before.run_fingerprint(&spec2)
+        );
+        assert_eq!(
+            grown.run_fingerprint_prefix(&spec4, 4),
+            grown.run_fingerprint(&spec4)
+        );
+        // Malformed segments are refused without mutating the set.
+        let snapshot = grown.clone();
+        assert_eq!(
+            grown.extend(vec![0], vec![vec![ev(5.0), ev(4.0)]]),
+            Err(ReplayError::UnsortedArrivals { channel: 0 })
+        );
+        assert_eq!(grown, snapshot);
     }
 
     #[test]

@@ -67,10 +67,12 @@
 pub mod fit;
 pub mod format;
 pub mod generate;
+pub mod segment;
 
 pub use fit::{fit_spec, ClassFit, FitResult};
 pub use format::{FaultLog, LogClass, LogDimm, LogError, LOG_HEADER};
 pub use generate::generate_log;
+pub use segment::SegmentError;
 
 // Re-exported so downstream code can name the replay types without a
 // direct arcc-fleet dependency.

@@ -1,0 +1,68 @@
+//! Property: forking a branch and running the divergent suffix is
+//! **byte-identical** to running the counterfactual policy from zero —
+//! across random fleets, segmentation patterns, policies, and seeds.
+//! This is the contract that makes what-if answers trustworthy: the
+//! incremental path may skip work, but never changes an answer.
+
+use arcc_fleet::{run_replay, DimmPopulation, FleetSpec, OperatorPolicy};
+use arcc_replay::generate_log;
+use arcc_serve::TwinEngine;
+use proptest::prelude::*;
+
+fn policy() -> impl Strategy<Value = OperatorPolicy> {
+    prop_oneof![
+        Just(OperatorPolicy::None),
+        Just(OperatorPolicy::ReplaceOnDue),
+        (1u32..90).prop_map(|spares_per_10k| OperatorPolicy::SparePool { spares_per_10k }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn forked_counterfactual_equals_from_zero_run(
+        channels in 40u64..220,
+        segment_channels in 10usize..70,
+        shard in prop_oneof![Just(32u32), Just(64), Just(128)],
+        rate in 15.0f64..80.0,
+        gen_seed in any::<u64>(),
+        twin_seed in any::<u64>(),
+        policy_b in policy(),
+    ) {
+        // An observed fleet with enough activity to exercise policies.
+        let spec = FleetSpec::baseline(channels)
+            .populations(vec![DimmPopulation::paper("p").rate_multiplier(rate)])
+            .shard_channels(shard)
+            .seed(gen_seed);
+        let log = generate_log(&spec);
+
+        // Ingest it segment by segment (the incremental path)...
+        let mut engine = TwinEngine::new(2, twin_seed).shard_channels(shard);
+        for seg in log.split_channels(segment_channels) {
+            engine.ingest(&seg.to_text()).expect("ingest");
+        }
+        // ...then fork the counterfactual and answer the what-if.
+        let (_, forked, _) = engine.whatif(policy_b).expect("whatif");
+
+        // From zero: one replay of the full history under policy_b.
+        let from_zero = run_replay(
+            2,
+            &log.replay_spec(twin_seed).policy(policy_b).shard_channels(shard),
+            &log.arrivals().expect("arrivals"),
+        )
+        .expect("replay");
+
+        prop_assert!(
+            forked.bitwise_eq(&from_zero),
+            "fork+extend diverged from from-zero run under {policy_b:?}\n\
+             forked: {forked:?}\nfrom-zero: {from_zero:?}"
+        );
+
+        // And a second ingestion epoch after the fork keeps the branch
+        // extendable: append nothing new, re-query, same answer.
+        let (_, again, forked_again) = engine.whatif(policy_b).expect("whatif again");
+        prop_assert!(!forked_again, "second what-if must reuse the branch");
+        prop_assert!(again.bitwise_eq(&from_zero));
+    }
+}

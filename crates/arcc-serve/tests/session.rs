@@ -1,0 +1,103 @@
+//! The committed golden session: `tests/golden/session.in` piped
+//! through the service must reproduce `tests/golden/session.out` byte
+//! for byte. CI runs the same script through the release `arcc-serve`
+//! binary (see `.github/workflows/ci.yml`), so the transcript pins the
+//! protocol across both transports.
+//!
+//! Regenerate after an intentional protocol change with:
+//!
+//! ```text
+//! cargo test -p arcc-serve --test session -- --ignored regen_golden_session
+//! ```
+
+use std::path::PathBuf;
+
+use arcc_fleet::{DimmPopulation, FleetSpec};
+use arcc_replay::generate_log;
+use arcc_serve::{Service, TwinEngine};
+
+/// The engine parameters the golden session runs under — mirrored by
+/// the CI smoke step's `--seed/--threads/--shard-channels` flags.
+const SEED: u64 = 7;
+const THREADS: usize = 2;
+const SHARD: u32 = 32;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The session script: two ingestion epochs, branch forking, memoised
+/// what-ifs, a registry scenario, and the closing status report.
+fn session_script() -> String {
+    let spec = FleetSpec::baseline(80)
+        .populations(vec![
+            DimmPopulation::paper("hot").rate_multiplier(55.0),
+            DimmPopulation::paper("cold").rate_multiplier(12.0),
+        ])
+        .shard_channels(SHARD)
+        .seed(0xC0FFEE);
+    let segments = generate_log(&spec).split_channels(48);
+    assert_eq!(segments.len(), 2);
+
+    let mut script = String::new();
+    script.push_str(
+        "# arcc-serve golden session — regenerate with:\n\
+         #   cargo test -p arcc-serve --test session -- --ignored regen_golden_session\n",
+    );
+    for (i, seg) in segments.iter().enumerate() {
+        let text = seg.to_text();
+        script.push_str(&format!("ingest lines={}\n", text.lines().count()));
+        script.push_str(&text);
+        if i == 0 {
+            script.push_str("query-stats\n");
+            script.push_str("fork name=pool policy=spare-pool:50\n");
+        }
+    }
+    script.push_str("query-stats branch=pool\n");
+    script.push_str("whatif policy=replace-on-due\n");
+    script.push_str("whatif policy=replace-on-due\n");
+    script.push_str("run-scenario name=table7_4\n");
+    script.push_str("status\n");
+    script.push_str("quit\n");
+    script
+}
+
+fn run_session(script: &str) -> String {
+    let mut service = Service::new(TwinEngine::new(THREADS, SEED).shard_channels(SHARD));
+    let mut output = Vec::new();
+    service
+        .serve(script.as_bytes(), &mut output)
+        .expect("in-memory transport");
+    String::from_utf8(output).expect("responses are utf8")
+}
+
+#[test]
+fn golden_session_transcript_is_pinned() {
+    let dir = golden_dir();
+    let script = std::fs::read_to_string(dir.join("session.in")).expect(
+        "tests/golden/session.in missing — regenerate with \
+         cargo test -p arcc-serve --test session -- --ignored regen_golden_session",
+    );
+    let expected = std::fs::read_to_string(dir.join("session.out")).expect("session.out");
+
+    // The committed script is the one this source would generate (so the
+    // transcript can't silently drift from the generator)...
+    assert_eq!(script, session_script(), "session.in drifted — regenerate");
+    // ...and replaying it reproduces the committed responses exactly.
+    assert_eq!(
+        run_session(&script),
+        expected,
+        "session.out drifted — regenerate"
+    );
+}
+
+#[test]
+#[ignore = "writes tests/golden/*; run explicitly after protocol changes"]
+fn regen_golden_session() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("golden dir");
+    let script = session_script();
+    let transcript = run_session(&script);
+    std::fs::write(dir.join("session.in"), &script).expect("write session.in");
+    std::fs::write(dir.join("session.out"), &transcript).expect("write session.out");
+}

@@ -25,6 +25,7 @@
 //! | [`fleet`] | sharded event-driven fleet lifetime engine with streaming aggregation |
 //! | [`replay`] | trace-driven ingestion: fault-log format, replay arrivals, log→spec fitter |
 //! | [`exp`] | unified experiment API: scenario registry, parallel sweeps, structured reports |
+//! | [`serve`] | always-on fleet digital twin: incremental ingestion, checkpoint forking, memoised what-ifs |
 //!
 //! # Quickstart: survive a chip kill, then get stronger
 //!
@@ -67,4 +68,5 @@ pub use arcc_gf as gf;
 pub use arcc_mem as mem;
 pub use arcc_reliability as reliability;
 pub use arcc_replay as replay;
+pub use arcc_serve as serve;
 pub use arcc_trace as trace;
