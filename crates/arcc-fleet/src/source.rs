@@ -70,6 +70,12 @@ pub enum ReplayError {
         /// Populations in the spec.
         populations: usize,
     },
+    /// The arrival set would outgrow the CSR index range (`u32::MAX`
+    /// events), which the compact offsets cannot address.
+    TooManyEvents {
+        /// Events the set would hold.
+        events: u64,
+    },
     /// A checkpoint being resumed was produced under a different
     /// (spec, arrivals) pair.
     CheckpointMismatch {
@@ -110,6 +116,10 @@ impl fmt::Display for ReplayError {
                 "channel {channel}: population index {population} out of range \
                  (spec has {populations})"
             ),
+            ReplayError::TooManyEvents { events } => write!(
+                f,
+                "arrival set would hold {events} events, over the u32::MAX CSR cap"
+            ),
             ReplayError::CheckpointMismatch { expected, actual } => write!(
                 f,
                 "checkpoint fingerprint {expected:#x} does not match the replay run {actual:#x}"
@@ -146,7 +156,8 @@ impl ReplayArrivals {
     /// [`ReplayError::LengthMismatch`] when the two vectors disagree,
     /// [`ReplayError::UnsortedArrivals`] / [`ReplayError::BadTime`] when a
     /// channel's stream is out of order or carries a non-finite or
-    /// negative timestamp.
+    /// negative timestamp, [`ReplayError::TooManyEvents`] past the
+    /// `u32::MAX`-event CSR cap.
     pub fn new(
         populations: Vec<u32>,
         per_channel: Vec<Vec<FaultEvent>>,
@@ -158,10 +169,11 @@ impl ReplayArrivals {
             });
         }
         let total: usize = per_channel.iter().map(Vec::len).sum();
-        assert!(
-            u32::try_from(total).is_ok(),
-            "replay arrival sets are capped at u32::MAX events"
-        );
+        if u32::try_from(total).is_err() {
+            return Err(ReplayError::TooManyEvents {
+                events: total as u64,
+            });
+        }
         let mut offsets = Vec::with_capacity(per_channel.len() + 1);
         let mut events = Vec::with_capacity(total);
         offsets.push(0u32);
@@ -199,7 +211,10 @@ impl ReplayArrivals {
     ///
     /// # Errors
     ///
-    /// As for [`Self::new`], applied to the appended slices alone.
+    /// As for [`Self::new`], applied to the appended slices alone —
+    /// except [`ReplayError::TooManyEvents`], which caps the *combined*
+    /// set. Every error leaves the set unchanged, so a long-lived
+    /// service can refuse a segment and keep serving.
     pub fn extend(
         &mut self,
         populations: Vec<u32>,
@@ -207,10 +222,10 @@ impl ReplayArrivals {
     ) -> Result<(), ReplayError> {
         let segment = Self::new(populations, per_channel)?;
         let base = self.events.len();
-        assert!(
-            u32::try_from(base + segment.events.len()).is_ok(),
-            "replay arrival sets are capped at u32::MAX events"
-        );
+        let combined = base as u64 + segment.events.len() as u64;
+        if u32::try_from(combined).is_err() {
+            return Err(ReplayError::TooManyEvents { events: combined });
+        }
         self.populations.extend(segment.populations);
         self.offsets
             .extend(segment.offsets.iter().skip(1).map(|&o| o + base as u32));

@@ -115,7 +115,9 @@ impl Service {
             }
             // `ingest` is the only framed command: read its payload
             // before dispatch so a bad request cannot desynchronise the
-            // stream part-way through a document.
+            // stream part-way through a document. A rejected-but-parseable
+            // count still drains the payload the client committed to
+            // sending, so the next line read is the next request.
             let response = if first_token(request) == "ingest" {
                 match ingest_line_count(request) {
                     Ok(count) => match read_payload(&mut input, count)? {
@@ -136,7 +138,15 @@ impl Service {
                             break;
                         }
                     },
-                    Err(e) => render_error(&e),
+                    Err((e, drain)) => {
+                        if !drain_lines(&mut input, drain)? {
+                            // Input ended inside the discarded payload.
+                            writeln!(output, "{}", render_error(&e))?;
+                            output.flush()?;
+                            break;
+                        }
+                        render_error(&e)
+                    }
                 }
             } else {
                 self.handle(request, None)
@@ -358,22 +368,45 @@ fn first_token(request: &str) -> &str {
     request.split_whitespace().next().unwrap_or("")
 }
 
-/// Parses the `lines=<n>` framing of an `ingest` request.
-fn ingest_line_count(request: &str) -> Result<u64, ServeError> {
+/// Parses the `lines=<n>` framing of an `ingest` request. A rejection
+/// carries the number of payload lines the client declared (and will
+/// still send) so the serve loop can drain them — zero when the count
+/// is unparseable and no payload can be attributed to the request.
+fn ingest_line_count(request: &str) -> Result<u64, (ServeError, u64)> {
     let mut tokens = request.split_whitespace();
     let _cmd = tokens.next();
-    let args = parse_args(tokens)?;
-    expect_keys("ingest", &args, &["lines"])?;
-    let lines = require("ingest", &args, "lines")?;
-    let count: u64 = lines.parse().map_err(|_| ServeError::Protocol {
-        detail: format!("ingest lines={lines:?} is not a line count"),
+    let args = parse_args(tokens).map_err(|e| (e, 0))?;
+    expect_keys("ingest", &args, &["lines"]).map_err(|e| (e, 0))?;
+    let lines = require("ingest", &args, "lines").map_err(|e| (e, 0))?;
+    let count: u64 = lines.parse().map_err(|_| {
+        (
+            ServeError::Protocol {
+                detail: format!("ingest lines={lines:?} is not a line count"),
+            },
+            0,
+        )
     })?;
     if count == 0 || count > MAX_INGEST_LINES {
-        return Err(ServeError::Protocol {
-            detail: format!("ingest lines={count} out of range 1..={MAX_INGEST_LINES}"),
-        });
+        return Err((
+            ServeError::Protocol {
+                detail: format!("ingest lines={count} out of range 1..={MAX_INGEST_LINES}"),
+            },
+            count,
+        ));
     }
     Ok(count)
+}
+
+/// Reads and discards `count` lines; `false` when input ends early.
+fn drain_lines<R: BufRead>(input: &mut R, count: u64) -> std::io::Result<bool> {
+    let mut line = String::new();
+    for _ in 0..count {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 /// Reads exactly `count` payload lines; `None` when input ends early.
@@ -597,7 +630,7 @@ mod tests {
             let response = if req.starts_with("ingest") {
                 match ingest_line_count(req) {
                     Ok(_) => panic!("{req:?} should not frame"),
-                    Err(e) => render_error(&e),
+                    Err((e, _)) => render_error(&e),
                 }
             } else {
                 service.handle(req, None)
@@ -641,6 +674,48 @@ mod tests {
         assert!(lines[0].starts_with("{\"ok\":true,\"cmd\":\"ingest\""));
         assert!(lines[1].starts_with("{\"ok\":true,\"cmd\":\"status\""));
         assert_eq!(lines[2], "{\"ok\":true,\"cmd\":\"quit\"}");
+    }
+
+    #[test]
+    fn rejected_ingest_count_drains_its_payload() {
+        // A parseable-but-rejected count: the client declared the payload
+        // and sends it anyway, so the loop must discard exactly that many
+        // lines or each payload line would be parsed as a request.
+        let declared = MAX_INGEST_LINES + 1;
+        let mut script = format!("ingest lines={declared}\n");
+        script.push_str(&"x\n".repeat(declared as usize));
+        script.push_str("status\nquit\n");
+        let mut output = Vec::new();
+        let mut service = Service::new(TwinEngine::new(1, 7));
+        service
+            .serve(script.as_bytes(), &mut output)
+            .expect("in-memory transport");
+        let out = String::from_utf8(output).expect("utf8");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert!(
+            lines[0].starts_with("{\"ok\":false,\"error\":{\"kind\":\"Protocol\"")
+                && lines[0].contains("out of range"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].starts_with("{\"ok\":true,\"cmd\":\"status\""),
+            "payload lines must not be parsed as requests: {}",
+            lines[1]
+        );
+        assert_eq!(lines[2], "{\"ok\":true,\"cmd\":\"quit\"}");
+
+        // Input ending inside the discarded payload still gets the error
+        // answered before the stream is treated as closed.
+        let mut output = Vec::new();
+        let mut service = Service::new(TwinEngine::new(1, 7));
+        service
+            .serve(format!("ingest lines={declared}\nx\n").as_bytes(), &mut output)
+            .expect("in-memory transport");
+        let out = String::from_utf8(output).expect("utf8");
+        assert_eq!(out.lines().count(), 1, "{out}");
+        assert!(out.contains("out of range"), "{out}");
     }
 
     #[test]

@@ -247,6 +247,12 @@ pub struct TwinEngine {
     seed: u64,
     shard: u32,
     state_dir: Option<PathBuf>,
+    /// Segment files already on disk; the next ingest persists
+    /// `segment-<this>.log`. Restored by [`Self::open`] from the files it
+    /// replays, so a reopened engine appends after them instead of
+    /// renumbering from zero (the in-session `Counters::ingests` resets
+    /// across processes and must not drive durable file names).
+    segments_persisted: u64,
     log: Option<FaultLog>,
     arrivals: ReplayArrivals,
     branches: BTreeMap<String, Branch>,
@@ -265,6 +271,7 @@ impl TwinEngine {
             seed,
             shard: DEFAULT_SHARD_CHANNELS,
             state_dir: None,
+            segments_persisted: 0,
             log: None,
             arrivals: empty_arrivals(),
             branches: BTreeMap::new(),
@@ -325,6 +332,7 @@ impl TwinEngine {
                 }
             };
             engine.absorb_segment(&text)?;
+            engine.segments_persisted += 1;
         }
 
         // Reload the branch table (baseline is implicit on ingest, so a
@@ -426,6 +434,14 @@ impl TwinEngine {
     /// [`ServeError::Segment`] for parse/contract violations (the engine
     /// is unchanged), [`ServeError::CheckpointMismatch`] when a branch
     /// checkpoint does not belong to the accumulated history.
+    ///
+    /// Only the `Segment` contract leaves the engine untouched: an error
+    /// *after* the segment was absorbed (branch extension or a durable
+    /// write) leaves the in-memory log ahead of the branches and/or the
+    /// disk. Resynchronise by discarding an ephemeral engine, or by
+    /// reopening a durable one — [`Self::open`] replays exactly the
+    /// persisted segments and re-extends every branch from its last good
+    /// checkpoint.
     pub fn ingest(&mut self, segment_text: &str) -> Result<IngestSummary, ServeError> {
         let before_channels = self.channels();
         let before_events = self.events();
@@ -667,8 +683,9 @@ impl TwinEngine {
         let Some(dir) = self.state_dir.clone() else {
             return Ok(());
         };
-        let index = self.counters.ingests.saturating_sub(1);
-        write_atomic_text(&dir.join(segment_file(index)), text)
+        write_atomic_text(&dir.join(segment_file(self.segments_persisted)), text)?;
+        self.segments_persisted += 1;
+        Ok(())
     }
 
     /// Rewrites meta, branch table, and branch checkpoints.

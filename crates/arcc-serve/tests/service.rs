@@ -139,6 +139,47 @@ fn state_dir(name: &str) -> PathBuf {
 }
 
 #[test]
+fn reopened_state_appends_segments_without_renumbering() {
+    let (_, segments) = sample();
+    let dir = state_dir("append");
+
+    {
+        let mut engine = TwinEngine::open(2, SEED, SHARD, &dir).expect("open fresh");
+        engine.ingest(&segments[0]).expect("ingest");
+    }
+    let seg0 = std::fs::read(dir.join("segment-00000.log")).expect("segment 0");
+
+    // The first ingest after a reopen must number its segment file after
+    // the replayed ones — reusing segment-00000.log would silently
+    // corrupt the durable history.
+    {
+        let mut engine = TwinEngine::open(2, SEED, SHARD, &dir).expect("reopen");
+        engine.ingest(&segments[1]).expect("ingest");
+    }
+    assert_eq!(
+        std::fs::read(dir.join("segment-00000.log")).expect("segment 0"),
+        seg0,
+        "reopen + ingest must leave already-persisted segments untouched"
+    );
+    assert!(
+        dir.join("segment-00001.log").exists(),
+        "the post-reopen ingest must append the next segment file"
+    );
+
+    // A second reopen replays the uncorrupted two-segment history and
+    // agrees with an ephemeral engine fed the same segments.
+    let mut engine = TwinEngine::open(2, SEED, SHARD, &dir).expect("second reopen");
+    assert_eq!(engine.channels(), 170);
+    let reopened = engine.stats(BASELINE_BRANCH).expect("stats");
+    let mut reference = TwinEngine::new(2, SEED).shard_channels(SHARD);
+    ingest_all(&mut reference, &segments[..2]);
+    let expected = reference.stats(BASELINE_BRANCH).expect("stats");
+    assert!(reopened.bitwise_eq(&expected));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn durable_state_reopens_extends_and_refuses_tampering() {
     let (_, segments) = sample();
     let dir = state_dir("durable");
