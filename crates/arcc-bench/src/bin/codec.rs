@@ -1,0 +1,66 @@
+//! Codec-zoo smoke/throughput driver, doubling as the CI
+//! bench-regression gate for the line codecs.
+//!
+//! Runs every codec in `arcc_gf::codec::codec_registry` through
+//! encode + clean-decode roundtrips and prints lines/second alongside
+//! each codec's analytic descriptors. When `ARCC_BENCH_BASELINE` names a
+//! committed `BENCH_codec.json`, each codec's measured rate is checked
+//! against its recorded rung ([`arcc_bench::BenchGate`], rung ids from
+//! [`arcc_bench::CODEC_RUNGS`]) and the process exits non-zero if any
+//! codec drops more than 30% below the baseline — the codec stack is on
+//! the memory controller's critical path, so CI fails when it regresses.
+
+use arcc_bench::{codec_rung_id, measure_codec, BenchGate};
+use arcc_gf::codec::codec_registry;
+
+fn lines() -> u64 {
+    std::env::var("ARCC_CODEC_LINES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+fn main() {
+    let lines = lines();
+    let mut gate = BenchGate::from_env();
+
+    println!();
+    println!("==================================================================");
+    println!("codec: scheme-zoo line codec throughput ({lines} roundtrips each)");
+    println!("==================================================================");
+    println!(
+        "{:>16}  {:>8}  {:>6}  {:>8}  {:>10}  {:>14}",
+        "codec", "devices", "beats", "data", "seconds", "lines/sec"
+    );
+    for codec in codec_registry() {
+        let (secs, mut rate) = measure_codec(codec.as_ref(), lines);
+        println!(
+            "{:>16}  {:>8}  {:>6}  {:>8}  {:>10.3}  {:>14.0}",
+            codec.name(),
+            codec.devices(),
+            codec.beats(),
+            codec.data_bytes(),
+            secs,
+            rate
+        );
+        let id = codec_rung_id(codec.name()).expect("every registry codec has a rung id");
+        if let Some(base_rate) = gate.baseline_rate(id) {
+            let floor = BenchGate::floor_for(base_rate);
+            if rate < floor {
+                // One retry before failing: the baseline is best-of-3, so
+                // a single noisy measurement must not flake the gate.
+                let (_, retry) = measure_codec(codec.as_ref(), lines);
+                rate = rate.max(retry);
+            }
+            if rate < floor {
+                gate.fail_rung(id, rate, base_rate);
+            }
+        }
+    }
+    println!();
+    println!("rate = encode + clean-decode roundtrips/sec, best of 3 passes;");
+    println!("gate rung ids follow arcc_bench::CODEC_RUNGS.");
+    if !gate.finish() {
+        std::process::exit(1);
+    }
+}

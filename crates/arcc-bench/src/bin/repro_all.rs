@@ -2,7 +2,8 @@
 //! scenario registry (no subprocess chaining), writing a machine-readable
 //! JSON report per artefact under `target/repro/` (override with
 //! `ARCC_REPORT_DIR`). Exits non-zero naming the failing scenario if one
-//! panics.
+//! panics. Trailing arguments restrict the run to the named scenarios
+//! (e.g. `repro_all fleet_scheme_sweep`); an unknown name is an error.
 
 fn main() {
     std::process::exit(arcc_exp::repro_all_main());

@@ -186,6 +186,56 @@ pub fn bench_record_json(bench: &str, threads: usize, rungs: &[(u64, f64, f64)])
     )
 }
 
+/// Stable [`BenchGate`] rung ids for the codec throughput record
+/// (`BENCH_codec.json`). The gate keys rungs by an integer, so every
+/// registry codec owns a fixed id here — never renumber one once a
+/// committed baseline records it; append new codecs at the end.
+pub const CODEC_RUNGS: &[(u64, &str)] = &[
+    (1, "arcc-relaxed"),
+    (2, "arcc-upgraded"),
+    (3, "arcc-upgraded2"),
+    (4, "sccdcd"),
+    (5, "s8sc"),
+    (6, "qpc"),
+    (7, "multi-ecc"),
+    (8, "two-tier-secded"),
+];
+
+/// The gate rung id of a registry codec, if it has one.
+pub fn codec_rung_id(name: &str) -> Option<u64> {
+    CODEC_RUNGS
+        .iter()
+        .find(|(_, n)| *n == name)
+        .map(|(id, _)| *id)
+}
+
+/// Best-of-3 encode + clean-decode roundtrip throughput of one codec
+/// over `lines` lines, as `(seconds, lines/sec)` of the best pass —
+/// the shared measurement behind the `codec` bench record and the
+/// `codec` bin's CI regression gate.
+pub fn measure_codec(codec: &dyn arcc_gf::codec::Codec, lines: u64) -> (f64, f64) {
+    let data: Vec<u8> = (0..codec.data_bytes())
+        .map(|i| (i * 37 + 11) as u8)
+        .collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut clean = 0u64;
+        let start = std::time::Instant::now();
+        for _ in 0..lines {
+            if let Ok(mut line) = codec.encode(&data) {
+                if let Ok(outcome) = codec.decode(&mut line, &[]) {
+                    clean += u64::from(outcome.is_clean());
+                }
+            }
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+        // Checked outside the timed region: the payload is sized to the
+        // codec, and a clean line must decode without repair.
+        assert_eq!(clean, lines, "{}: clean roundtrips failed", codec.name());
+    }
+    (best, lines as f64 / best)
+}
+
 /// Prints a figure/table banner.
 pub fn banner(id: &str, caption: &str) {
     println!();

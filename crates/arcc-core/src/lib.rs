@@ -41,7 +41,10 @@ pub mod vecc;
 pub use image::{FunctionalMemory, InjectedFault, ReadEvent};
 pub use page::{PageTable, ProtectionMode};
 pub use par::{default_threads, parallel_map};
-pub use schemes::{ArccApplication, ArccScheme, SchemeDescriptor, SchemeKind};
+pub use schemes::{
+    find_scheme, scheme_keys, scheme_registry, ArccApplication, ArccScheme, SchemeDescriptor,
+    SchemeEntry, SchemeKind,
+};
 pub use scrub::{ScrubCost, ScrubOutcome, ScrubStrategy, Scrubber};
 pub use system::{cell_seed, splitmix64, MixResult, SimConfig, SimConfigBuilder, SystemSim};
 pub use timeline::{run_timeline, LifetimeReport, ScheduledFault, TimelineConfig, TimelineEvent};

@@ -6,19 +6,9 @@
 //! Chapter 5 can all be driven from one table.
 
 use arcc_gf::chipkill::LineCodec;
+use arcc_gf::codec::{Codec, MultiEcc, Qpc, RsChipkill, S8sc, TwoTierSecDed};
 
-/// Error-handling guarantees of a scheme, counted in bad *symbols* per
-/// codeword (a dead device contributes one bad symbol per codeword).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Guarantees {
-    /// Bad symbols guaranteed correctable.
-    pub correct: u32,
-    /// Bad symbols guaranteed detectable.
-    pub detect: u32,
-    /// Additional bad symbols correctable after earlier ones were detected
-    /// and spared/remapped (double chip sparing's second chip).
-    pub sequential_correct: u32,
-}
+pub use arcc_gf::codec::Guarantees;
 
 /// Static cost/capability descriptor of one chipkill organisation.
 #[derive(Debug, Clone, PartialEq)]
@@ -343,6 +333,199 @@ impl ArccApplication {
     }
 }
 
+/// One entry of the open scheme registry: a stable key, the descriptor
+/// of the organisation fault-free pages run in, the optional upgraded
+/// organisation (present exactly for adaptive schemes like ARCC), and —
+/// for schemes with a functional line codec in `arcc-gf` — constructors
+/// for the [`Codec`] implementations backing the descriptors.
+///
+/// The registry replaces the closed [`SchemeKind`] enum as the way new
+/// layers identify schemes: fleet populations, SDC capability models and
+/// scenario sweeps all key off [`SchemeEntry::key`]. `SchemeKind` remains
+/// for the paper's own tables, and its descriptors are reused verbatim by
+/// the paper entries here.
+pub struct SchemeEntry {
+    /// Stable registry key (`"arcc"`, `"s8sc"`, ...), used by fleet specs
+    /// and scenario names; never rename one once a checkpoint refers to it.
+    pub key: &'static str,
+    /// The organisation fault-free pages run in.
+    pub relaxed: SchemeDescriptor,
+    /// The organisation faulty pages escalate to; `None` for static
+    /// (non-adaptive) schemes.
+    pub upgraded: Option<SchemeDescriptor>,
+    /// Functional relaxed-mode codec, when one exists in `arcc-gf`.
+    pub codec: Option<fn() -> Box<dyn Codec>>,
+    /// Functional upgraded-mode codec, when one exists.
+    pub upgraded_codec: Option<fn() -> Box<dyn Codec>>,
+}
+
+impl SchemeEntry {
+    /// True for schemes that escalate faulty pages to a stronger mode —
+    /// exactly those whose power draw depends on the fault population.
+    pub fn adaptive(&self) -> bool {
+        self.upgraded.is_some()
+    }
+
+    /// Descriptor-level detection guarantee of the strongest mode.
+    pub fn strongest_detect(&self) -> u32 {
+        self.upgraded
+            .as_ref()
+            .map_or(self.relaxed.guarantees.detect, |u| u.guarantees.detect)
+    }
+}
+
+/// The open scheme registry, constructed fresh on every call (no shared
+/// state — the deterministic parallel sweeps construct it per worker).
+/// Paper schemes reuse their [`SchemeKind`] descriptors; the zoo entries
+/// (`s8sc`, `qpc`, `multi-ecc`, `two-tier-secded`) are backed by
+/// functional codecs from [`arcc_gf::codec`].
+pub fn scheme_registry() -> Vec<SchemeEntry> {
+    vec![
+        SchemeEntry {
+            key: "arcc",
+            relaxed: SchemeKind::RelaxedCk2.descriptor(),
+            upgraded: Some(SchemeKind::Sccdcd.descriptor()),
+            codec: Some(|| Box::new(RsChipkill::arcc_relaxed())),
+            upgraded_codec: Some(|| Box::new(RsChipkill::arcc_upgraded())),
+        },
+        SchemeEntry {
+            key: "sccdcd",
+            relaxed: SchemeKind::Sccdcd.descriptor(),
+            upgraded: None,
+            codec: Some(|| Box::new(RsChipkill::sccdcd())),
+            upgraded_codec: None,
+        },
+        SchemeEntry {
+            key: "relaxed-ck2",
+            relaxed: SchemeKind::RelaxedCk2.descriptor(),
+            upgraded: None,
+            codec: Some(|| Box::new(RsChipkill::arcc_relaxed())),
+            upgraded_codec: None,
+        },
+        SchemeEntry {
+            key: "double-chip-sparing",
+            relaxed: SchemeKind::DoubleChipSparing.descriptor(),
+            upgraded: None,
+            codec: None,
+            upgraded_codec: None,
+        },
+        SchemeEntry {
+            key: "secded",
+            relaxed: SchemeKind::Secded.descriptor(),
+            upgraded: None,
+            codec: None,
+            upgraded_codec: None,
+        },
+        SchemeEntry {
+            key: "vecc",
+            relaxed: SchemeKind::Vecc.descriptor(),
+            upgraded: None,
+            codec: None,
+            upgraded_codec: None,
+        },
+        SchemeEntry {
+            key: "lot-ecc-9",
+            relaxed: SchemeKind::LotEcc9.descriptor(),
+            upgraded: None,
+            codec: None,
+            upgraded_codec: None,
+        },
+        SchemeEntry {
+            key: "lot-ecc-18",
+            relaxed: SchemeKind::LotEcc18.descriptor(),
+            upgraded: None,
+            codec: None,
+            upgraded_codec: None,
+        },
+        SchemeEntry {
+            key: "s8sc",
+            relaxed: SchemeDescriptor {
+                name: "AMD-style chipkill S8SC",
+                rank_size: 18,
+                check_symbols: 2,
+                storage_overhead: 0.125,
+                reads_per_read: 1.0,
+                writes_per_write: 1.0,
+                guarantees: Guarantees {
+                    correct: 1,
+                    detect: 1,
+                    sequential_correct: 0,
+                },
+            },
+            upgraded: None,
+            codec: Some(|| Box::new(S8sc::new())),
+            upgraded_codec: None,
+        },
+        SchemeEntry {
+            key: "qpc",
+            relaxed: SchemeDescriptor {
+                name: "QPC quad-pin correction",
+                rank_size: 18,
+                check_symbols: 8, // one RS(72,64) codeword per line
+                storage_overhead: 0.125,
+                reads_per_read: 1.0,
+                writes_per_write: 1.0,
+                guarantees: Guarantees {
+                    correct: 1,
+                    detect: 1,
+                    sequential_correct: 0,
+                },
+            },
+            upgraded: None,
+            codec: Some(|| Box::new(Qpc::new())),
+            upgraded_codec: None,
+        },
+        SchemeEntry {
+            key: "multi-ecc",
+            relaxed: SchemeDescriptor {
+                name: "MultiECC checksum + parity",
+                rank_size: 9,
+                check_symbols: 1, // XOR parity device; checksums in-line
+                storage_overhead: 17.0 / 64.0,
+                reads_per_read: 1.0,
+                writes_per_write: 1.0, // checksums live in the same line
+                guarantees: Guarantees {
+                    correct: 0, // trial decode is probabilistic
+                    detect: 1,
+                    sequential_correct: 0,
+                },
+            },
+            upgraded: None,
+            codec: Some(|| Box::new(MultiEcc::new())),
+            upgraded_codec: None,
+        },
+        SchemeEntry {
+            key: "two-tier-secded",
+            relaxed: SchemeDescriptor {
+                name: "Two-tier on-die SECDED + rank RS",
+                rank_size: 18,
+                check_symbols: 2, // rank-level; on-die checks are per-device
+                storage_overhead: 26.0 / 64.0,
+                reads_per_read: 1.0,
+                writes_per_write: 1.0,
+                guarantees: Guarantees {
+                    correct: 1,
+                    detect: 1,
+                    sequential_correct: 1,
+                },
+            },
+            upgraded: None,
+            codec: Some(|| Box::new(TwoTierSecDed::new())),
+            upgraded_codec: None,
+        },
+    ]
+}
+
+/// Looks up a registry entry by key.
+pub fn find_scheme(key: &str) -> Option<SchemeEntry> {
+    scheme_registry().into_iter().find(|e| e.key == key)
+}
+
+/// All registry keys, in registry order.
+pub fn scheme_keys() -> Vec<&'static str> {
+    scheme_registry().iter().map(|e| e.key).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,5 +613,84 @@ mod tests {
 
         assert!(ArccApplication::of(SchemeKind::Secded).is_none());
         assert!(ArccApplication::of(SchemeKind::RelaxedCk2).is_none());
+    }
+
+    #[test]
+    fn registry_keys_are_unique_and_resolvable() {
+        let keys = scheme_keys();
+        for (i, k) in keys.iter().enumerate() {
+            assert!(!keys[i + 1..].contains(k), "duplicate key {k}");
+            assert!(find_scheme(k).is_some());
+        }
+        assert!(find_scheme("no-such-scheme").is_none());
+        assert!(keys.len() >= 12, "paper schemes + the zoo");
+    }
+
+    #[test]
+    fn registry_covers_paper_schemes_and_the_zoo() {
+        // Every SchemeKind descriptor appears under a registry key, and
+        // the zoo's codec-backed competitors are all present.
+        for kind in SchemeKind::ALL {
+            let name = kind.descriptor().name;
+            assert!(
+                scheme_registry().iter().any(|e| e.relaxed.name == name
+                    || e.upgraded.as_ref().is_some_and(|u| u.name == name)),
+                "{name} missing from the registry"
+            );
+        }
+        for key in ["s8sc", "qpc", "multi-ecc", "two-tier-secded"] {
+            let entry = find_scheme(key).unwrap();
+            assert!(entry.codec.is_some(), "{key} must be codec-backed");
+            assert!(!entry.adaptive(), "{key} is a static scheme");
+        }
+    }
+
+    #[test]
+    fn only_arcc_is_adaptive_and_its_modes_match_the_paper() {
+        let adaptive: Vec<_> = scheme_registry()
+            .into_iter()
+            .filter(|e| e.adaptive())
+            .collect();
+        assert_eq!(adaptive.len(), 1);
+        let arcc = &adaptive[0];
+        assert_eq!(arcc.key, "arcc");
+        assert_eq!(arcc.relaxed.rank_size, 18);
+        assert_eq!(arcc.upgraded.as_ref().unwrap().rank_size, 36);
+        assert_eq!(arcc.strongest_detect(), 2);
+        assert_eq!(find_scheme("s8sc").unwrap().strongest_detect(), 1);
+    }
+
+    #[test]
+    fn codec_backed_entries_agree_with_their_codecs() {
+        // The descriptor is the analytic summary of the codec: guarantees,
+        // rank size and storage overhead must agree wherever both exist.
+        for entry in scheme_registry() {
+            for (descriptor, ctor) in [
+                (Some(&entry.relaxed), entry.codec),
+                (entry.upgraded.as_ref(), entry.upgraded_codec),
+            ] {
+                let (Some(descriptor), Some(ctor)) = (descriptor, ctor) else {
+                    continue;
+                };
+                let codec = ctor();
+                assert_eq!(
+                    codec.guarantees(),
+                    descriptor.guarantees,
+                    "{}: guarantees drifted from the codec",
+                    entry.key
+                );
+                assert_eq!(
+                    codec.devices() as u32,
+                    descriptor.rank_size,
+                    "{}: rank size drifted",
+                    entry.key
+                );
+                assert!(
+                    (codec.storage_overhead() - descriptor.storage_overhead).abs() < 1e-12,
+                    "{}: storage overhead drifted",
+                    entry.key
+                );
+            }
+        }
     }
 }

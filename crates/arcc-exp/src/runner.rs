@@ -53,12 +53,35 @@ fn run_caught(s: &'static dyn Scenario, exp: &Experiment) -> Result<Report, ExpE
 /// (instead of the process dying inside it), so `repro_all` can exit
 /// non-zero with a useful message.
 pub fn run_all(exp: &Experiment, out_dir: &Path) -> Result<Vec<Report>, ExpError> {
+    run_selected(exp, out_dir, &[])
+}
+
+/// Like [`run_all`], but restricted to the scenarios named in `only`
+/// (registry order, not argument order). An empty `only` runs the whole
+/// registry; an unknown name is an [`ExpError::UnknownScenario`] before
+/// anything runs, so a typo can't silently pass as a no-op.
+pub fn run_selected(
+    exp: &Experiment,
+    out_dir: &Path,
+    only: &[String],
+) -> Result<Vec<Report>, ExpError> {
+    for name in only {
+        if !registry().iter().any(|s| s.name() == name) {
+            return Err(ExpError::UnknownScenario {
+                name: name.clone(),
+                available: registry().iter().map(|s| s.name()).collect(),
+            });
+        }
+    }
     std::fs::create_dir_all(out_dir).map_err(|error| ExpError::Io {
         path: out_dir.to_path_buf(),
         error,
     })?;
     let mut reports = Vec::new();
     for s in registry() {
+        if !only.is_empty() && !only.iter().any(|n| n == s.name()) {
+            continue;
+        }
         let report = run_caught(*s, exp)?;
         print!("{}", report.render());
         let path = out_dir.join(format!("{}.json", report.scenario));
@@ -80,10 +103,15 @@ pub fn default_report_dir() -> PathBuf {
 /// Entry point for the `repro_all` binary: runs the whole registry
 /// in-process, returns the process exit code. On failure the failing
 /// scenario's name is printed to stderr.
+///
+/// Trailing CLI arguments select a subset by scenario name (CI uses
+/// this to smoke-run `fleet_scheme_sweep` on its own); no arguments
+/// means the full registry.
 pub fn repro_all_main() -> i32 {
+    let only: Vec<String> = std::env::args().skip(1).collect();
     let exp = Experiment::from_env();
     let dir = default_report_dir();
-    match run_all(&exp, &dir) {
+    match run_selected(&exp, &dir, &only) {
         Ok(reports) => {
             println!();
             println!(
@@ -115,6 +143,35 @@ mod tests {
         fn run(&self, _exp: &Experiment) -> Report {
             panic!("boom: {}", 42);
         }
+    }
+
+    #[test]
+    fn run_selected_rejects_unknown_names_before_running_anything() {
+        let err = run_selected(
+            &Experiment::quick(),
+            Path::new("target/never-created"),
+            &["no_such_scenario".to_string()],
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("no_such_scenario"), "{msg}");
+        assert!(msg.contains("fleet_scheme_sweep"), "{msg}");
+        assert!(!Path::new("target/never-created").exists());
+    }
+
+    #[test]
+    fn run_selected_runs_only_the_named_scenarios() {
+        let dir = std::env::temp_dir().join(format!("arcc-run-selected-{}", std::process::id()));
+        let reports = run_selected(
+            &Experiment::quick().sequential(),
+            &dir,
+            &["scheme_zoo".to_string()],
+        )
+        .expect("scheme_zoo runs");
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].scenario, "scheme_zoo");
+        assert!(dir.join("scheme_zoo.json").exists());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

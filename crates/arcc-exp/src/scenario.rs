@@ -6,11 +6,13 @@
 //! `table7_1`, `table7_4`, `fig3_1`, `motivation`, `fig6_1`,
 //! `fig7_1`–`fig7_6`, `escape_rates`) plus the fleet-scale studies over
 //! the `arcc-fleet` event engine (`fleet_baseline`,
-//! `fleet_mixed_population`, `fleet_repair_policies`) and the
+//! `fleet_mixed_population`, `fleet_repair_policies`), the
 //! trace-driven replay studies over `arcc-replay`
-//! (`fleet_replay_roundtrip`, `fleet_fit_vs_replay`); the figure/table
-//! binaries under `arcc-bench` are thin shims over [`crate::run`], and
-//! `repro_all` loops the whole registry in-process.
+//! (`fleet_replay_roundtrip`, `fleet_fit_vs_replay`), and the ECC
+//! scheme-zoo studies (`scheme_zoo`, `codec_escape_rates`,
+//! `fleet_scheme_sweep`); the figure/table binaries under `arcc-bench`
+//! are thin shims over [`crate::run`], and `repro_all` loops the whole
+//! registry in-process.
 
 use std::fmt;
 
@@ -49,6 +51,9 @@ pub fn registry() -> &'static [&'static dyn Scenario] {
         &FleetRepairPolicies,
         &FleetReplayRoundtrip,
         &FleetFitVsReplay,
+        &SchemeZoo,
+        &CodecEscapeRates,
+        &FleetSchemeSweep,
     ];
     REGISTRY
 }
@@ -135,9 +140,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_eighteen_unique_scenarios() {
+    fn registry_has_twenty_one_unique_scenarios() {
         let ns = names();
-        assert_eq!(ns.len(), 18);
+        assert_eq!(ns.len(), 21);
         let mut sorted = ns.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -161,6 +166,9 @@ mod tests {
             "fleet_repair_policies",
             "fleet_replay_roundtrip",
             "fleet_fit_vs_replay",
+            "scheme_zoo",
+            "codec_escape_rates",
+            "fleet_scheme_sweep",
         ] {
             assert!(find(expected).is_some(), "{expected} missing");
         }

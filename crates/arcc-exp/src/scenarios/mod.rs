@@ -9,6 +9,7 @@ mod power_perf;
 mod reliability;
 mod replay;
 mod tables;
+mod zoo;
 
 pub use fleet::{FleetBaseline, FleetMixedPopulation, FleetRepairPolicies};
 pub use lifetime::{Fig3_1, Fig7_4, Fig7_5, Fig7_6};
@@ -16,6 +17,7 @@ pub use power_perf::{Fig7_1, Fig7_2, Fig7_3, Motivation};
 pub use reliability::{EscapeRates, Fig6_1};
 pub use replay::{FleetFitVsReplay, FleetReplayRoundtrip};
 pub use tables::{FigLayouts, Table7_1, Table7_4};
+pub use zoo::{CodecEscapeRates, FleetSchemeSweep, SchemeZoo};
 
 use arcc_faults::FaultMode;
 

@@ -1,0 +1,331 @@
+//! The ECC scheme zoo: the competitor-scheme scenarios added with the
+//! `Codec`-trait refactor.
+//!
+//! Three artefacts:
+//!
+//! * `scheme_zoo` — the registry comparison table (Table 7.1 extended to
+//!   every registered scheme, with functional-codec cross-checks);
+//! * `codec_escape_rates` — line-level Monte Carlo over every functional
+//!   codec in `arcc_gf::codec::codec_registry`, word- and device-grain
+//!   injection, pinned against each codec's analytic guarantees;
+//! * `fleet_scheme_sweep` — scheme × population-profile × fault-mix grid
+//!   through the `arcc-fleet` event engine, reporting the escape-rate
+//!   and power-overhead axes side by side.
+
+use arcc_core::{cell_seed, find_scheme, scheme_registry};
+use arcc_fleet::{run_fleet, DimmPopulation, FleetSpec};
+use arcc_gf::analysis::{measure_line_escape_rate, LineInjection};
+use arcc_gf::codec::codec_registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::experiment::Experiment;
+use crate::report::{Report, Table, Value};
+use crate::scenario::Scenario;
+use crate::sweep::parallel_map;
+
+/// `scheme_zoo`: every registered scheme's cost/guarantee descriptors in
+/// one table, relaxed and (where present) upgraded modes.
+pub struct SchemeZoo;
+
+impl Scenario for SchemeZoo {
+    fn name(&self) -> &'static str {
+        "scheme_zoo"
+    }
+
+    fn title(&self) -> &'static str {
+        "ECC scheme zoo: storage, access cost, and guarantees of every registered scheme"
+    }
+
+    fn run(&self, _exp: &Experiment) -> Report {
+        let mut report = Report::new(self.name(), self.title());
+        let mut t = Table::new(
+            "schemes",
+            &[
+                "scheme",
+                "mode",
+                "rank_size",
+                "check_symbols",
+                "storage_overhead",
+                "relative_read_cost",
+                "relative_write_cost",
+                "correct",
+                "detect",
+                "sequential_correct",
+                "adaptive",
+                "functional_codec",
+            ],
+        );
+        let registry = scheme_registry();
+        for entry in &registry {
+            let modes: Vec<(&str, &arcc_core::SchemeDescriptor, bool)> = match &entry.upgraded {
+                Some(up) => vec![
+                    ("relaxed", &entry.relaxed, entry.codec.is_some()),
+                    ("upgraded", up, entry.upgraded_codec.is_some()),
+                ],
+                None => vec![("static", &entry.relaxed, entry.codec.is_some())],
+            };
+            for (mode, d, has_codec) in modes {
+                t.push_row(vec![
+                    Value::from(entry.key),
+                    Value::from(mode),
+                    Value::from(d.rank_size),
+                    Value::from(d.check_symbols),
+                    Value::from(d.storage_overhead),
+                    Value::from(d.relative_read_cost()),
+                    Value::from(d.relative_write_cost()),
+                    Value::from(d.guarantees.correct),
+                    Value::from(d.guarantees.detect),
+                    Value::from(d.guarantees.sequential_correct),
+                    Value::from(entry.adaptive()),
+                    Value::from(has_codec),
+                ]);
+            }
+        }
+        report.push_meta("schemes", registry.len() as u64);
+        report.push_meta("functional_codecs", codec_registry().len() as u64);
+        report.push_table(t);
+        report.push_note("Costs are relative to one 36-device access; guarantees are per-codeword");
+        report.push_note("lower bounds (registry entries with a functional codec are pinned to it");
+        report.push_note("by arcc-core's codec_backed_entries_agree_with_their_codecs test).");
+        report
+    }
+}
+
+/// `codec_escape_rates`: measured correction/detection/escape splits for
+/// every functional codec under word- and device-grain corruption.
+pub struct CodecEscapeRates;
+
+impl Scenario for CodecEscapeRates {
+    fn name(&self) -> &'static str {
+        "codec_escape_rates"
+    }
+
+    fn title(&self) -> &'static str {
+        "Line-level Monte Carlo escape rates of every functional codec"
+    }
+
+    fn run(&self, exp: &Experiment) -> Report {
+        let mut report = Report::new(self.name(), self.title());
+        let trials = exp.escape_trial_count().min(20_000);
+        let base_seed = exp.mc_seed_value() ^ 0x2C0DEC;
+        // (codec index, label, injection) grid, flattened so the slowest
+        // codec does not serialise the others under parallel_map.
+        let codec_names: Vec<String> = codec_registry()
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
+        let mut cases: Vec<(usize, &'static str, LineInjection)> = Vec::new();
+        for i in 0..codec_names.len() {
+            cases.push((i, "word", LineInjection::Words { count: 1 }));
+            cases.push((i, "2 words", LineInjection::Words { count: 2 }));
+            cases.push((i, "device", LineInjection::Devices { count: 1 }));
+        }
+        let measured = parallel_map(exp.worker_count(), &cases, |j, &(i, _, injection)| {
+            // Fresh registry per worker: codecs are stateless but boxed.
+            let codecs = codec_registry();
+            let mut rng = StdRng::seed_from_u64(cell_seed(base_seed, j as u64));
+            measure_line_escape_rate(codecs[i].as_ref(), injection, trials, &mut rng)
+        });
+        let mut t = Table::new(
+            "codec_escape_rates",
+            &[
+                "codec",
+                "injection",
+                "guarantee_correct",
+                "guarantee_detect",
+                "trials",
+                "correction_probability",
+                "escape_probability",
+                "escape_sigma",
+            ],
+        );
+        let codecs = codec_registry();
+        for ((i, label, _), m) in cases.iter().zip(&measured) {
+            let g = codecs[*i].guarantees();
+            t.push_row(vec![
+                Value::from(codec_names[*i].as_str()),
+                Value::from(*label),
+                Value::from(g.correct),
+                Value::from(g.detect),
+                Value::from(m.trials),
+                Value::from(m.correction_probability()),
+                Value::from(m.escape_probability()),
+                Value::from(m.escape_sigma()),
+            ]);
+        }
+        report.push_meta("trials_per_cell", trials);
+        report.push_meta("codecs", codec_names.len() as u64);
+        report.push_table(t);
+        report.push_note("Single-word and single-device rows sit inside every codec's guarantee");
+        report.push_note("(escape exactly 0, pinned by arcc-gf's analysis tests); the 2-word rows");
+        report.push_note("show where overload behaviour diverges: QPC still corrects, S8SC's");
+        report.push_note("policy declines multi-chip patterns, MultiECC trial-decodes, and the");
+        report.push_note("two-tier code's on-die aliasing hazard stays under a few percent.");
+        report
+    }
+}
+
+/// The scheme keys `fleet_scheme_sweep` exercises — every registry entry
+/// with a distinct fleet-visible capability.
+pub(crate) const SWEEP_SCHEMES: [&str; 5] =
+    ["arcc", "sccdcd", "s8sc", "multi-ecc", "two-tier-secded"];
+
+/// The population profiles of the sweep: the paper's baseline aisle and
+/// a hot aisle scrubbed twice as often at 4x field rates.
+pub(crate) const SWEEP_PROFILES: [(&str, f64, f64); 2] =
+    [("paper_1x", 1.0, 4.0), ("hot_4x", 4.0, 2.0)];
+
+/// The fault-mix axis: the SC'12 mix as-is, and the same mix with the
+/// large multi-row modes (bank/device/lane) scaled 4x.
+pub(crate) const SWEEP_LARGE_MULTIPLIERS: [f64; 2] = [1.0, 4.0];
+
+/// Every spec of the `fleet_scheme_sweep` grid, with its axis labels.
+pub(crate) fn scheme_sweep_specs(exp: &Experiment) -> Vec<(String, FleetSpec)> {
+    let channels = (exp.mc_channel_count() as u64).max(200);
+    let mut grid = Vec::new();
+    for scheme in SWEEP_SCHEMES {
+        for (profile, rate_mult, scrub_h) in SWEEP_PROFILES {
+            for large in SWEEP_LARGE_MULTIPLIERS {
+                let pop = DimmPopulation::paper(profile)
+                    .rate_multiplier(rate_mult)
+                    .scrub_interval_h(scrub_h)
+                    .scheme(scheme)
+                    .large_fault_multiplier(large);
+                let spec = FleetSpec::baseline(channels)
+                    .years(7.0)
+                    .seed(exp.mc_seed_value() ^ 0x5EEF)
+                    .populations(vec![pop]);
+                grid.push((format!("{scheme}/{profile}/large{large}x"), spec));
+            }
+        }
+    }
+    grid
+}
+
+/// `fleet_scheme_sweep`: scheme × population × fault-mix grid through
+/// the event engine — the zoo's fleet-scale comparison.
+pub struct FleetSchemeSweep;
+
+impl Scenario for FleetSchemeSweep {
+    fn name(&self) -> &'static str {
+        "fleet_scheme_sweep"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fleet sweep: SDC escape rate and power overhead across the scheme zoo"
+    }
+
+    fn run(&self, exp: &Experiment) -> Report {
+        let mut report = Report::new(self.name(), self.title());
+        let grid = scheme_sweep_specs(exp);
+        let runs = parallel_map(exp.worker_count(), &grid, |_, (_, spec)| {
+            // The grid is the parallel axis; each cell's shards run
+            // sequentially, so cell results never depend on thread count.
+            run_fleet(1, spec)
+        });
+        let mut t = Table::new(
+            "scheme_sweep",
+            &[
+                "scheme",
+                "population",
+                "large_fault_multiplier",
+                "channels",
+                "faults",
+                "due_events",
+                "sdc_channels",
+                "sdc_per_1000_machine_years",
+                "avg_upgraded_fraction",
+                "avg_read_power_overhead",
+            ],
+        );
+        for ((_, spec), stats) in grid.iter().zip(&runs) {
+            let pop = &spec.populations[0];
+            let entry = find_scheme(&pop.scheme);
+            assert!(entry.is_some(), "sweep uses registered schemes");
+            let Some(entry) = entry else { continue };
+            let relaxed_cost = entry.relaxed.relative_read_cost();
+            // Adaptive schemes pay the upgraded-mode cost only on the
+            // upgraded page mass; static schemes pay their flat cost.
+            let avg_cost = match &entry.upgraded {
+                Some(up) => {
+                    relaxed_cost
+                        + stats.avg_upgraded_fraction() * (up.relative_read_cost() - relaxed_cost)
+                }
+                None => relaxed_cost,
+            };
+            t.push_row(vec![
+                Value::from(pop.scheme.as_str()),
+                Value::from(pop.name.as_str()),
+                Value::from(pop.large_fault_multiplier),
+                Value::from(stats.channels),
+                Value::from(stats.faults),
+                Value::from(stats.due_events),
+                Value::from(stats.sdc_channels),
+                Value::from(stats.sdc_per_1000_machine_years()),
+                Value::from(stats.avg_upgraded_fraction()),
+                Value::from(avg_cost),
+            ]);
+        }
+        report.push_meta("grid_cells", grid.len() as u64);
+        report.push_meta("channels_per_cell", grid[0].1.channels);
+        report.push_table(t);
+        report.push_note("Escape axis: same seed per cell row-block, so scheme columns are");
+        report.push_note("paired samples — detection strength orders SDC counts (multi-ecc >=");
+        report.push_note("s8sc >= arcc >= sccdcd). Power axis: static codes pay a flat read");
+        report.push_note("cost; ARCC pays the relaxed half-rank cost plus the upgraded-mass");
+        report.push_note("premium, which the large-fault axis inflates.");
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_grid_is_the_advertised_shape() {
+        let exp = Experiment::quick();
+        let grid = scheme_sweep_specs(&exp);
+        assert_eq!(
+            grid.len(),
+            SWEEP_SCHEMES.len() * SWEEP_PROFILES.len() * SWEEP_LARGE_MULTIPLIERS.len()
+        );
+        assert_eq!(grid.len(), 20);
+        // Labels are unique and every spec carries the scheme it claims.
+        let mut labels: Vec<&str> = grid.iter().map(|(l, _)| l.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), grid.len());
+        for (label, spec) in &grid {
+            assert!(label.starts_with(spec.populations[0].scheme.as_str()));
+        }
+    }
+
+    #[test]
+    fn scheme_sweep_report_is_thread_count_invariant() {
+        // The ISSUE's determinism pin: the sweep's JSON must be
+        // byte-identical whether the grid runs on one worker or several.
+        let exp = Experiment::quick().mc_channels(300).escape_trials(500);
+        let sequential = FleetSchemeSweep.run(&exp.clone().sequential()).to_json();
+        let parallel = FleetSchemeSweep.run(&exp.threads(3)).to_json();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn codec_escape_report_is_thread_count_invariant() {
+        let exp = Experiment::quick().escape_trials(300);
+        let sequential = CodecEscapeRates.run(&exp.clone().sequential()).to_json();
+        let parallel = CodecEscapeRates.run(&exp.threads(3)).to_json();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn zoo_table_covers_every_registry_entry() {
+        let report = SchemeZoo.run(&Experiment::quick());
+        let json = report.to_json();
+        for entry in scheme_registry() {
+            assert!(json.contains(entry.key), "{} missing from table", entry.key);
+        }
+    }
+}

@@ -122,6 +122,21 @@ impl FitRates {
         }
     }
 
+    /// Scales only the large multi-row modes (single-bank, multi-bank,
+    /// multi-rank) by `factor`, leaving the small modes untouched — the
+    /// fault-mix axis of the scheme-sweep scenarios. Large faults are
+    /// what stresses sequential-correct and multi-detect guarantees, so
+    /// sweeping this factor separates schemes the uniform `scaled` knob
+    /// cannot.
+    pub fn scaled_large(&self, factor: f64) -> Self {
+        Self {
+            single_bank: self.single_bank * factor,
+            multi_bank: self.multi_bank * factor,
+            multi_rank: self.multi_rank * factor,
+            ..*self
+        }
+    }
+
     /// Rate for one mode, in FIT.
     pub fn fit(&self, mode: FaultMode) -> f64 {
         match mode {
@@ -155,6 +170,28 @@ mod tests {
         // The study reports ~58.8 FIT/device total for DDR2.
         let total = FitRates::sridharan_sc12().total_fit();
         assert!((total - 58.8).abs() < 0.01, "total {total}");
+    }
+
+    #[test]
+    fn scaled_large_touches_only_multi_row_modes() {
+        let base = FitRates::sridharan_sc12();
+        let heavy = base.scaled_large(3.0);
+        for mode in [
+            FaultMode::SingleBit,
+            FaultMode::SingleWord,
+            FaultMode::SingleColumn,
+            FaultMode::SingleRow,
+        ] {
+            assert_eq!(heavy.fit(mode), base.fit(mode), "{mode:?} must not move");
+        }
+        for mode in [
+            FaultMode::SingleBank,
+            FaultMode::MultiBank,
+            FaultMode::MultiRank,
+        ] {
+            assert_eq!(heavy.fit(mode), base.fit(mode) * 3.0, "{mode:?}");
+        }
+        assert_eq!(base.scaled_large(1.0), base);
     }
 
     #[test]

@@ -55,7 +55,7 @@ use arcc_faults::montecarlo::FaultSampler;
 use arcc_faults::{
     exp_interarrival, exp_interarrival_from_u, FaultEvent, FaultMode, HOURS_PER_YEAR,
 };
-use arcc_reliability::{active_at, arcc_arrival_is_sdc, detection_time};
+use arcc_reliability::{active_at, arrival_is_sdc, detection_time, SchemeCapability};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -128,6 +128,9 @@ pub struct ShardEngine<'a> {
     policy: OperatorPolicy,
     samplers: Vec<FaultSampler>,
     scrub_h: Vec<f64>,
+    /// Per-population SDC-classification capability, derived from each
+    /// population's scheme-registry entry.
+    caps: Vec<SchemeCapability>,
     /// Per-population superposed channel fault rate (faults/hour).
     rates: Vec<f64>,
     shard_channels: u32,
@@ -176,6 +179,7 @@ impl<'a> ShardEngine<'a> {
             .iter()
             .map(|p| p.scrub_interval_h)
             .collect();
+        let caps: Vec<SchemeCapability> = spec.populations.iter().map(|p| p.capability()).collect();
         let horizon_h = spec.horizon_hours();
         let rates: Vec<f64> = samplers.iter().map(|s| s.channel_rate_per_hour()).collect();
         // First-arrival skip thresholds: gap >= H iff u >= 1 - exp(-r*H).
@@ -216,6 +220,7 @@ impl<'a> ShardEngine<'a> {
             policy: spec.policy,
             samplers,
             scrub_h,
+            caps,
             rates,
             shard_channels,
             states: Vec::new(),
@@ -394,7 +399,7 @@ impl<'a> ShardEngine<'a> {
                 .filter(|a| a.codeword_overlap(&fault, false))
                 .collect();
             if !overlapping.is_empty() {
-                if arcc_arrival_is_sdc(&overlapping, &fault, scrub) {
+                if arrival_is_sdc(&self.caps[pop], &overlapping, &fault, scrub) {
                     state.sdc = true;
                     self.stats.sdc_channels += 1;
                     self.stats.populations[pop].sdc_channels += 1;
@@ -450,7 +455,9 @@ impl<'a> ShardEngine<'a> {
                     // itself is compacted by the retain() above once its
                     // active window lapses.
                     self.stats.transient_cleared += 1;
-                } else {
+                } else if self.caps[pop].adaptive {
+                    // Only adaptive schemes escalate detected pages;
+                    // static codes carry no upgrade mass.
                     let frac = self.samplers[pop]
                         .geometry()
                         .affected_page_fraction(fault_mode);
@@ -502,6 +509,10 @@ impl<'a> ShardEngine<'a> {
         }
         // Permanent fault: upgrade every page it touches (union via the
         // spared-product form, so overlapping faults never double-count).
+        // Static schemes never escalate, so they carry no upgrade mass.
+        if !self.caps[pop].adaptive {
+            return;
+        }
         let frac = self.samplers[pop]
             .geometry()
             .affected_page_fraction(state.faults[idx].event.mode);
@@ -801,6 +812,40 @@ mod tests {
             by_year[6] > stats.epoch_upgraded_hours[6] / full_year,
             "retired channels must shrink the year-7 denominator"
         );
+    }
+
+    #[test]
+    fn static_schemes_carry_no_upgrade_mass_and_order_by_detection() {
+        let for_scheme = |key: &str| {
+            let spec = FleetSpec::baseline(2000)
+                .populations(vec![DimmPopulation::paper("p")
+                    .rate_multiplier(30.0)
+                    .scheme(key)])
+                .shard_channels(2000);
+            ShardEngine::new(&spec, 0).run()
+        };
+        let arcc = for_scheme("arcc");
+        let sccdcd = for_scheme("sccdcd");
+        let s8sc = for_scheme("s8sc");
+        let multi_ecc = for_scheme("multi-ecc");
+        // Only the adaptive scheme escalates pages.
+        assert!(arcc.avg_upgraded_fraction() > 0.0);
+        assert_eq!(sccdcd.avg_upgraded_fraction(), 0.0);
+        assert_eq!(s8sc.avg_upgraded_fraction(), 0.0);
+        // Same seed, same arrivals: classification strength orders SDCs.
+        // MultiECC has no detection guarantee, so any overlap escapes;
+        // static half-width detect-1 (S8SC) is weaker than ARCC's
+        // scrub-gated escalation, which is weaker than always-on DED.
+        assert!(multi_ecc.sdc_channels >= s8sc.sdc_channels);
+        assert!(s8sc.sdc_channels >= arcc.sdc_channels);
+        assert!(arcc.sdc_channels >= sccdcd.sdc_channels);
+        assert!(
+            multi_ecc.sdc_channels > sccdcd.sdc_channels,
+            "30x rates over 2000 channels must separate the extremes"
+        );
+        // The arrival streams themselves are scheme-independent.
+        assert_eq!(arcc.faults, sccdcd.faults);
+        assert_eq!(arcc.faults, multi_ecc.faults);
     }
 
     #[test]

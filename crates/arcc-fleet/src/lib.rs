@@ -85,5 +85,8 @@ pub use runner::{
     run_replay, run_replay_checkpointed, run_replay_until, run_shard, run_shard_replay,
 };
 pub use source::{ReplayArrivals, ReplayError};
-pub use spec::{DimmPopulation, FleetSpec, OperatorPolicy, SchedulerKind, DEFAULT_SHARD_CHANNELS};
+pub use spec::{
+    DimmPopulation, FleetSpec, OperatorPolicy, SchedulerKind, DEFAULT_SCHEME,
+    DEFAULT_SHARD_CHANNELS,
+};
 pub use stats::{FleetStats, PopulationStats, MODE_COUNT};

@@ -1,14 +1,20 @@
 //! Fleet descriptions: mixed DIMM populations, operator policies, and the
 //! knobs of one fleet simulation.
 
-use arcc_core::splitmix64;
+use arcc_core::{find_scheme, splitmix64};
 use arcc_faults::{FaultGeometry, FitRates};
+use arcc_reliability::SchemeCapability;
 
 /// Default channels per shard: small enough that per-shard state (a few
 /// hundred bytes per in-flight channel) stays cache-friendly and peak
 /// memory is `O(threads * shard)` rather than `O(fleet)`, large enough to
 /// amortise thread dispatch.
 pub const DEFAULT_SHARD_CHANNELS: u32 = 4096;
+
+/// Scheme key every population starts with: the paper's adaptive ARCC.
+/// Populations carrying this default fingerprint exactly as they did
+/// before the scheme field existed, so pre-zoo checkpoints still resume.
+pub const DEFAULT_SCHEME: &str = "arcc";
 
 /// One homogeneous slice of the fleet: a DIMM model (geometry + FIT-rate
 /// multiplier) deployed on machines of a given core count, scrubbed at a
@@ -30,6 +36,14 @@ pub struct DimmPopulation {
     /// Cores per machine attached to this channel population (reporting
     /// dimension for capacity-weighted fleet views).
     pub cores: u32,
+    /// ECC scheme key ([`arcc_core::scheme_registry`]) protecting this
+    /// population's channels; drives the SDC/DUE classification
+    /// capability and whether detected faults upgrade pages.
+    pub scheme: String,
+    /// Extra multiplier on the large multi-row fault modes only
+    /// (single-bank, multi-bank, multi-rank) — the fault-mix axis of the
+    /// scheme-sweep scenarios. `1.0` leaves the SC'12 mix untouched.
+    pub large_fault_multiplier: f64,
 }
 
 impl DimmPopulation {
@@ -43,6 +57,58 @@ impl DimmPopulation {
             rate_multiplier: 1.0,
             scrub_interval_h: 4.0,
             cores: 4,
+            scheme: DEFAULT_SCHEME.to_string(),
+            large_fault_multiplier: 1.0,
+        }
+    }
+
+    /// Sets the ECC scheme protecting this population. The key must be
+    /// registered in [`arcc_core::scheme_registry`].
+    pub fn scheme(mut self, key: &str) -> Self {
+        assert!(
+            find_scheme(key).is_some(),
+            "unknown scheme key {key:?}; see arcc_core::scheme_keys()"
+        );
+        self.scheme = key.to_string();
+        self
+    }
+
+    /// Sets the extra multiplier applied to the large multi-row fault
+    /// modes (see [`FitRates::scaled_large`]).
+    pub fn large_fault_multiplier(mut self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "fault multiplier must be non-negative");
+        self.large_fault_multiplier = factor;
+        self
+    }
+
+    /// The SDC-classification capability of this population's scheme,
+    /// derived from its registry entry: detection strengths of the
+    /// relaxed and strongest modes, whether relaxed codewords span half
+    /// the channel, and whether the scheme adapts (upgrades pages on
+    /// detection).
+    pub fn capability(&self) -> SchemeCapability {
+        let entry = find_scheme(&self.scheme);
+        assert!(
+            entry.is_some(),
+            "population {:?} references unregistered scheme {:?}",
+            self.name,
+            self.scheme
+        );
+        let Some(entry) = entry else {
+            return SchemeCapability::arcc();
+        };
+        if entry.adaptive() {
+            SchemeCapability {
+                relaxed_detect: entry.relaxed.guarantees.detect,
+                upgraded_detect: entry.strongest_detect(),
+                relaxed_half_width: entry.relaxed.rank_size <= 18,
+                adaptive: true,
+            }
+        } else {
+            SchemeCapability::static_code(
+                entry.relaxed.guarantees.detect,
+                entry.relaxed.rank_size <= 18,
+            )
         }
     }
 
@@ -74,7 +140,9 @@ impl DimmPopulation {
 
     /// The FIT rates in force for this population.
     pub fn rates(&self) -> FitRates {
-        FitRates::sridharan_sc12().scaled(self.rate_multiplier)
+        FitRates::sridharan_sc12()
+            .scaled(self.rate_multiplier)
+            .scaled_large(self.large_fault_multiplier)
     }
 }
 
@@ -358,6 +426,19 @@ impl FleetSpec {
             mix(p.cores as u64);
             mix(p.geometry.total_devices() as u64);
             mix(p.geometry.pages);
+            // Scheme-zoo fields mix only at non-default values, so every
+            // pre-zoo spec keeps its historical fingerprint and old
+            // checkpoints still resume (pinned by the compat tests).
+            if p.scheme != DEFAULT_SCHEME {
+                mix(0x5C4E);
+                for b in p.scheme.bytes() {
+                    mix(b as u64);
+                }
+            }
+            if p.large_fault_multiplier != 1.0 {
+                mix(0x1A46);
+                mix(p.large_fault_multiplier.to_bits());
+            }
         }
         h
     }
@@ -453,6 +534,55 @@ mod tests {
         ]);
         assert_eq!(spec.bucket_width_hours(), 2.0);
         assert_eq!(spec.clone().bucket_width_h(7.5).bucket_width_hours(), 7.5);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_the_scheme_zoo_refactor() {
+        // Pinned pre-zoo value: default-scheme populations must hash
+        // exactly as they did before the scheme field existed, or every
+        // old checkpoint in the wild refuses to resume.
+        assert_eq!(FleetSpec::baseline(1000).fingerprint(), 0x233bdbdd3aedf881);
+        // Non-default zoo knobs must drift the fingerprint.
+        let base = FleetSpec::baseline(1000);
+        let fp = base.fingerprint();
+        let reschemed = base
+            .clone()
+            .populations(vec![DimmPopulation::paper("paper_1x").scheme("sccdcd")]);
+        assert_ne!(fp, reschemed.fingerprint());
+        let heavy = base.clone().populations(vec![
+            DimmPopulation::paper("paper_1x").large_fault_multiplier(4.0)
+        ]);
+        assert_ne!(fp, heavy.fingerprint());
+        assert_ne!(reschemed.fingerprint(), heavy.fingerprint());
+    }
+
+    #[test]
+    fn capability_derivation_matches_the_registry() {
+        let arcc = DimmPopulation::paper("p");
+        assert_eq!(arcc.capability(), SchemeCapability::arcc());
+        let sccdcd = DimmPopulation::paper("p").scheme("sccdcd");
+        assert_eq!(sccdcd.capability(), SchemeCapability::static_code(2, false));
+        let s8sc = DimmPopulation::paper("p").scheme("s8sc");
+        assert_eq!(s8sc.capability(), SchemeCapability::static_code(1, true));
+        let multi_ecc = DimmPopulation::paper("p").scheme("multi-ecc");
+        assert!(!multi_ecc.capability().adaptive);
+    }
+
+    #[test]
+    fn large_fault_multiplier_scales_rates() {
+        let base = DimmPopulation::paper("p");
+        let heavy = DimmPopulation::paper("p").large_fault_multiplier(3.0);
+        let b = base.rates();
+        let h = heavy.rates();
+        assert_eq!(h.single_bit, b.single_bit);
+        assert_eq!(h.single_bank, b.single_bank * 3.0);
+        assert_eq!(h.multi_rank, b.multi_rank * 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheme key")]
+    fn unknown_scheme_key_is_rejected() {
+        let _ = DimmPopulation::paper("p").scheme("no-such-code");
     }
 
     #[test]

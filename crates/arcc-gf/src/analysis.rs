@@ -14,6 +14,7 @@
 
 use rand::Rng;
 
+use crate::codec::Codec;
 use crate::field::GaloisField;
 use crate::rs::ReedSolomon;
 
@@ -86,9 +87,162 @@ pub fn measure_miscorrection_rate<F: GaloisField, R: Rng + ?Sized>(
     out
 }
 
+/// How `measure_line_escape_rate` corrupts each trial line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineInjection {
+    /// `count` random single-symbol errors at distinct (device, beat)
+    /// positions — scattered transient upsets, the regime where decode
+    /// policies diverge most.
+    Words {
+        /// Symbol errors per trial.
+        count: usize,
+    },
+    /// `count` whole devices returning random wrong data — the chipkill
+    /// fault the schemes are designed around.
+    Devices {
+        /// Corrupted devices per trial.
+        count: usize,
+    },
+}
+
+/// Result of a codec-level escape-rate measurement: every trial ends
+/// corrected (right data), detected (DUE — the safe failure), or
+/// miscorrected (wrong data accepted — an SDC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineEscapeRate {
+    /// Trials run.
+    pub trials: u64,
+    /// Lines decoded back to the original data.
+    pub corrected: u64,
+    /// Lines flagged detected-uncorrectable (raw code or decode policy).
+    pub detected: u64,
+    /// Lines silently accepted with wrong data.
+    pub miscorrected: u64,
+}
+
+impl LineEscapeRate {
+    /// Fraction of trials that escaped as silent data corruption.
+    pub fn escape_probability(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.miscorrected as f64 / self.trials as f64
+        }
+    }
+
+    /// Fraction of trials decoded back to the right data.
+    pub fn correction_probability(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.corrected as f64 / self.trials as f64
+        }
+    }
+
+    /// One binomial standard deviation of the escape estimate.
+    pub fn escape_sigma(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        let p = self.escape_probability();
+        (p * (1.0 - p) / self.trials as f64).sqrt()
+    }
+}
+
+/// Runs `trials` inject-and-decode rounds against a [`Codec`] and
+/// classifies each as corrected / detected / miscorrected. This is the
+/// measured counterpart of the codec's analytic
+/// [`Guarantees`](crate::codec::Guarantees): patterns inside the
+/// guarantee must always land in `corrected`, and the interesting number
+/// beyond it is the escape probability.
+///
+/// # Panics
+///
+/// Panics when the injection is empty or wider than the codec's line.
+pub fn measure_line_escape_rate<R: Rng + ?Sized>(
+    codec: &dyn Codec,
+    injection: LineInjection,
+    trials: u64,
+    rng: &mut R,
+) -> LineEscapeRate {
+    match injection {
+        LineInjection::Words { count } => {
+            assert!(
+                count > 0 && count <= codec.devices() * codec.beats(),
+                "word error count out of range"
+            );
+        }
+        LineInjection::Devices { count } => {
+            assert!(
+                count > 0 && count <= codec.devices(),
+                "device count out of range"
+            );
+        }
+    }
+    let mut out = LineEscapeRate {
+        trials,
+        corrected: 0,
+        detected: 0,
+        miscorrected: 0,
+    };
+    for _ in 0..trials {
+        let data: Vec<u8> = (0..codec.data_bytes())
+            .map(|_| rng.gen_range(0..=255u8))
+            .collect();
+        let encoded = codec.encode(&data);
+        assert!(encoded.is_ok(), "length is data_bytes");
+        let Ok(mut line) = encoded else { continue };
+        match injection {
+            LineInjection::Words { count } => {
+                let mut positions: Vec<(usize, usize)> = Vec::with_capacity(count);
+                while positions.len() < count {
+                    let p = (
+                        rng.gen_range(0..codec.devices()),
+                        rng.gen_range(0..codec.beats()),
+                    );
+                    if !positions.contains(&p) {
+                        positions.push(p);
+                    }
+                }
+                for (d, b) in positions {
+                    line.corrupt_symbol(d, b, rng.gen_range(1..=255));
+                }
+            }
+            LineInjection::Devices { count } => {
+                let mut devices: Vec<usize> = Vec::with_capacity(count);
+                while devices.len() < count {
+                    let d = rng.gen_range(0..codec.devices());
+                    if !devices.contains(&d) {
+                        devices.push(d);
+                    }
+                }
+                for d in devices {
+                    // Random wrong data with at least one beat changed.
+                    line.corrupt_symbol(d, 0, rng.gen_range(1..=255));
+                    for b in 1..codec.beats() {
+                        line.corrupt_symbol(d, b, rng.gen_range(0..=255u8));
+                    }
+                }
+            }
+        }
+        match codec.decode(&mut line, &[]) {
+            Err(_) => out.detected += 1,
+            Ok(_) => {
+                if codec.extract_data(&line) == data {
+                    out.corrected += 1;
+                } else {
+                    out.miscorrected += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::{codec_registry, find_codec};
     use crate::field::Gf256;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -152,5 +306,186 @@ mod tests {
         let rs = ReedSolomon::<Gf256>::new(18, 16).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let _ = measure_miscorrection_rate(&rs, 0, 1, 10, &mut rng);
+    }
+
+    #[test]
+    fn every_codec_honours_its_correction_guarantee_under_monte_carlo() {
+        // Satellite cross-check: random device corruption inside the
+        // analytic guarantee must land in `corrected` on every trial — no
+        // binomial tolerance applies to a guarantee.
+        for codec in codec_registry() {
+            let correct = codec.guarantees().correct as usize;
+            if correct == 0 {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(11);
+            let m = measure_line_escape_rate(
+                codec.as_ref(),
+                LineInjection::Devices { count: correct },
+                400,
+                &mut rng,
+            );
+            assert_eq!(m.corrected, m.trials, "{}: {m:?}", codec.name());
+        }
+    }
+
+    #[test]
+    fn every_codec_never_escapes_within_detection_guarantee() {
+        // Corruption of up to `detect` whole devices may DUE or even be
+        // corrected beyond the guarantee, but must never escape silently.
+        for codec in codec_registry() {
+            let detect = codec.guarantees().detect as usize;
+            let mut rng = StdRng::seed_from_u64(13);
+            let m = measure_line_escape_rate(
+                codec.as_ref(),
+                LineInjection::Devices {
+                    count: detect.max(1),
+                },
+                400,
+                &mut rng,
+            );
+            assert_eq!(m.miscorrected, 0, "{}: {m:?}", codec.name());
+        }
+    }
+
+    #[test]
+    fn relaxed_word_overload_escape_matches_codeword_analysis() {
+        // Two scattered word errors against the relaxed codec: when both
+        // land in one beat the per-codeword ~7% escape applies, across
+        // beats the decode accepts them — the measured line-level escape
+        // must sit within 4 binomial sigma of the analytic estimate
+        // p(same beat) * p(cw escape) = (17/71) * n(q-1)/q^2 ~ 1.7%.
+        let codec = find_codec("arcc-relaxed").unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let m = measure_line_escape_rate(
+            codec.as_ref(),
+            LineInjection::Words { count: 2 },
+            20_000,
+            &mut rng,
+        );
+        let analytic = (17.0 / 71.0) * 18.0 * 255.0 / 65536.0;
+        let sigma = m.escape_sigma().max(1e-4);
+        assert!(
+            (m.escape_probability() - analytic).abs() < 4.0 * sigma,
+            "measured {} vs analytic {analytic} (sigma {sigma})",
+            m.escape_probability()
+        );
+    }
+
+    #[test]
+    fn s8sc_policy_cuts_the_scattered_word_acceptance() {
+        // Same organisation, same code — but S8SC polices cross-chip
+        // corrections, so its corrected-fraction under scattered double
+        // word errors drops well below the relaxed codec's.
+        let relaxed = find_codec("arcc-relaxed").unwrap();
+        let s8sc = find_codec("s8sc").unwrap();
+        let mut rng = StdRng::seed_from_u64(19);
+        let mr = measure_line_escape_rate(
+            relaxed.as_ref(),
+            LineInjection::Words { count: 2 },
+            5_000,
+            &mut rng,
+        );
+        let ms = measure_line_escape_rate(
+            s8sc.as_ref(),
+            LineInjection::Words { count: 2 },
+            5_000,
+            &mut rng,
+        );
+        assert!(
+            ms.correction_probability() < mr.correction_probability() * 0.5,
+            "s8sc {} vs relaxed {}",
+            ms.correction_probability(),
+            mr.correction_probability()
+        );
+        assert!(ms.escape_probability() <= mr.escape_probability() + 4.0 * mr.escape_sigma());
+    }
+
+    #[test]
+    fn qpc_corrects_scattered_double_words_sccdcd_detects_them() {
+        // The zoo's head-to-head at 2 scattered word errors: QPC's t=4
+        // single codeword corrects them all; SCCDCD detects them all
+        // (its guarantee); neither escapes.
+        let qpc = find_codec("qpc").unwrap();
+        let sccdcd = find_codec("sccdcd").unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mq = measure_line_escape_rate(
+            qpc.as_ref(),
+            LineInjection::Words { count: 2 },
+            2_000,
+            &mut rng,
+        );
+        assert_eq!(mq.corrected, mq.trials, "{mq:?}");
+        let mc = measure_line_escape_rate(
+            sccdcd.as_ref(),
+            LineInjection::Words { count: 2 },
+            2_000,
+            &mut rng,
+        );
+        assert_eq!(mc.miscorrected, 0, "{mc:?}");
+        // Pairs splitting across SCCDCD's 2 beats are corrected (one per
+        // codeword); same-beat pairs hit the t=1 policy and DUE. The
+        // corrected fraction must match that split within 4 sigma:
+        // P(different beats) = 36^2 / C(72,2) = 0.507.
+        let analytic = (36.0 * 36.0) / 2556.0;
+        let sigma = (analytic * (1.0 - analytic) / mc.trials as f64).sqrt();
+        assert!(
+            (mc.correction_probability() - analytic).abs() < 4.0 * sigma,
+            "measured {} vs analytic {analytic}",
+            mc.correction_probability()
+        );
+    }
+
+    #[test]
+    fn two_tier_absorbs_every_single_word_upset() {
+        // One symbol error is confined to one device: tier 1 either fixes
+        // it (single-bit), or DEDs the device into a tier-2 erasure — all
+        // trials corrected, none detected-only, none escaped.
+        let tt = find_codec("two-tier-secded").unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        let m = measure_line_escape_rate(
+            tt.as_ref(),
+            LineInjection::Words { count: 1 },
+            2_000,
+            &mut rng,
+        );
+        assert_eq!(m.corrected, m.trials, "{m:?}");
+    }
+
+    #[test]
+    fn two_tier_scattered_pair_aliasing_hazard_is_bounded() {
+        // Scattered pairs expose the two-tier hazard the HARP line of
+        // work warns about: a multi-bit byte error can alias tier 1's
+        // single-bit syndrome, feeding tier 2 a mislocated error and —
+        // when the second error shares the beat — the rank code's own
+        // ~7% overload escape. The measured escape must stay a few
+        // percent, and most pairs must still come back corrected.
+        let tt = find_codec("two-tier-secded").unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        let m = measure_line_escape_rate(
+            tt.as_ref(),
+            LineInjection::Words { count: 2 },
+            5_000,
+            &mut rng,
+        );
+        assert!(m.escape_probability() < 0.05, "{m:?}");
+        assert!(m.correction_probability() > 0.45, "{m:?}");
+    }
+
+    #[test]
+    fn multi_ecc_trial_decode_measured_correction_rate() {
+        // MultiECC guarantees only detection (correct = 0); the measured
+        // story is that its trial decode still recovers almost every
+        // single-device corruption, failing only on checksum collisions.
+        let me = find_codec("multi-ecc").unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let m = measure_line_escape_rate(
+            me.as_ref(),
+            LineInjection::Devices { count: 1 },
+            5_000,
+            &mut rng,
+        );
+        assert_eq!(m.miscorrected, 0, "{m:?}");
+        assert!(m.correction_probability() > 0.9, "{m:?}");
     }
 }

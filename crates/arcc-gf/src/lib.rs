@@ -41,6 +41,8 @@ mod rs;
 
 pub mod analysis;
 pub mod chipkill;
+pub mod codec;
+pub mod secded;
 
 pub use field::{GaloisField, Gf16, Gf256};
 pub use poly::Poly;

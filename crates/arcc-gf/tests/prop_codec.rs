@@ -7,6 +7,7 @@
 //! one with wrong corrections.
 
 use arcc_gf::chipkill::LineCodec;
+use arcc_gf::codec::codec_registry;
 use arcc_gf::{DecodeError, GaloisField, Gf16, Gf256, ReedSolomon};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -204,6 +205,61 @@ proptest! {
         enc.kill_device(victim, stuck);
         codec.decode_line(&mut enc, &[], 1).unwrap();
         prop_assert_eq!(codec.extract_data(&enc), data);
+    }
+
+    #[test]
+    fn registry_codecs_correct_any_pattern_within_guarantee(
+        codec_raw in any::<usize>(),
+        victim_raws in vec(any::<usize>(), 2),
+        xors in vec(1u8..=255, 2),
+        kill in any::<bool>(),
+        stuck in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        // The scheme-zoo contract: for EVERY registered codec, corrupting
+        // up to `guarantees().correct` whole devices — stuck-at or
+        // arbitrary XOR garbage — must decode back to the original data.
+        let registry = codec_registry();
+        let codec = &registry[codec_raw % registry.len()];
+        let correct = codec.guarantees().correct as usize;
+        prop_assume!(correct >= 1);
+        let data: Vec<u8> = (0..codec.data_bytes()).map(|i| (seed >> (i % 59)) as u8).collect();
+        let mut line = codec.encode(&data).unwrap();
+        let mut victims = Vec::new();
+        for (raw, &xor) in victim_raws.iter().zip(&xors) {
+            if victims.len() == correct { break; }
+            let v = raw % codec.devices();
+            if victims.contains(&v) { continue; }
+            victims.push(v);
+            if kill {
+                line.kill_device(v, stuck);
+            } else {
+                line.corrupt_device(v, xor);
+            }
+        }
+        let out = codec.decode(&mut line, &[]).unwrap();
+        prop_assert!(out.corrected_devices.iter().all(|d| victims.contains(d)));
+        prop_assert_eq!(codec.extract_data(&line), data);
+    }
+
+    #[test]
+    fn registry_codecs_never_escape_on_single_device_garbage(
+        codec_raw in any::<usize>(),
+        victim_raw in any::<usize>(),
+        xor in 1u8..=255,
+        seed in any::<u64>(),
+    ) {
+        // Even detect-only codecs (correct = 0) must never silently accept
+        // wrong data from one corrupted device.
+        let registry = codec_registry();
+        let codec = &registry[codec_raw % registry.len()];
+        let data: Vec<u8> = (0..codec.data_bytes()).map(|i| (seed >> (i % 61)) as u8).collect();
+        let mut line = codec.encode(&data).unwrap();
+        line.corrupt_device(victim_raw % codec.devices(), xor);
+        match codec.decode(&mut line, &[]) {
+            Err(_) => {}
+            Ok(_) => prop_assert_eq!(codec.extract_data(&line), data),
+        }
     }
 
     #[test]

@@ -111,10 +111,153 @@ pub fn active_at(f: &FaultEvent, t: f64, scrub_h: f64) -> bool {
 /// source of truth shared by [`run_sdc_monte_carlo`] and the
 /// `arcc-fleet` event engine, so their golden agreement is structural.
 pub fn arcc_arrival_is_sdc(overlapping: &[&FaultEvent], b: &FaultEvent, scrub_h: f64) -> bool {
-    let undetected_overlap = overlapping
-        .iter()
-        .any(|a| b.time_h < detection_time(a.time_h, scrub_h) && a.codeword_overlap(b, true));
-    undetected_overlap || triple_overlap(overlapping, b)
+    arrival_is_sdc(&SchemeCapability::arcc(), overlapping, b, scrub_h)
+}
+
+/// The detection capability of an ECC scheme, as the SDC model sees it:
+/// how many overlapping bad symbols each mode is guaranteed to detect,
+/// whether the fault-free mode's codewords span only half the rank, and
+/// whether the scheme escalates pages after scrub detection at all.
+///
+/// ARCC is `{ relaxed_detect: 1, upgraded_detect: 2, half-width, adaptive }`;
+/// a static scheme detects the same count forever and never upgrades.
+/// Capabilities are derived from `arcc-core`'s scheme registry by the
+/// fleet layer (descriptor `guarantees.detect` of each mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeCapability {
+    /// Bad symbols per codeword the fault-free (relaxed) mode detects.
+    pub relaxed_detect: u32,
+    /// Bad symbols per codeword the escalated mode detects; equal to
+    /// `relaxed_detect` for static schemes.
+    pub upgraded_detect: u32,
+    /// Relaxed codewords span an 18-device half-rank rather than the full
+    /// 36 devices (true for every 18-device organisation).
+    pub relaxed_half_width: bool,
+    /// The scheme escalates scrub-detected pages to the upgraded mode.
+    pub adaptive: bool,
+}
+
+impl SchemeCapability {
+    /// The paper's ARCC capability: relaxed detect-1 over half-width
+    /// codewords, upgraded detect-2, adaptive.
+    pub fn arcc() -> Self {
+        Self {
+            relaxed_detect: 1,
+            upgraded_detect: 2,
+            relaxed_half_width: true,
+            adaptive: true,
+        }
+    }
+
+    /// A static (never-upgrading) scheme detecting `detect` bad symbols,
+    /// over half-width codewords when `half_width` is set.
+    pub fn static_code(detect: u32, half_width: bool) -> Self {
+        Self {
+            relaxed_detect: detect,
+            upgraded_detect: detect,
+            relaxed_half_width: half_width,
+            adaptive: false,
+        }
+    }
+}
+
+/// Does fault `b`, arriving while `overlapping` earlier faults are active
+/// in its full-width codeword, escape detection under capability `cap` —
+/// i.e. is it an SDC rather than a DUE?
+///
+/// For an adaptive scheme the two escape routes of Chapter 6 generalise
+/// to: enough *undetected* earlier faults in the relaxed codeword to
+/// exhaust `relaxed_detect` (pages escalate only after scrub detection),
+/// or enough faults — detected or not — in the full-width codeword to
+/// exhaust `upgraded_detect`. A static scheme has a single mode, so only
+/// the first route exists, without the undetected filter.
+pub fn arrival_is_sdc(
+    cap: &SchemeCapability,
+    overlapping: &[&FaultEvent],
+    b: &FaultEvent,
+    scrub_h: f64,
+) -> bool {
+    if cap.adaptive {
+        let undetected: Vec<&FaultEvent> = overlapping
+            .iter()
+            .copied()
+            .filter(|a| {
+                b.time_h < detection_time(a.time_h, scrub_h)
+                    && a.codeword_overlap(b, cap.relaxed_half_width)
+            })
+            .collect();
+        completes_overlap(&undetected, b, cap.relaxed_detect)
+            || completes_overlap(overlapping, b, cap.upgraded_detect)
+    } else if cap.relaxed_half_width {
+        let in_half: Vec<&FaultEvent> = overlapping
+            .iter()
+            .copied()
+            .filter(|a| a.codeword_overlap(b, true))
+            .collect();
+        completes_overlap(&in_half, b, cap.relaxed_detect)
+    } else {
+        completes_overlap(overlapping, b, cap.relaxed_detect)
+    }
+}
+
+/// Does `b` push the bad-symbol count in one codeword past a
+/// `detect`-strong guarantee: are there `detect` earlier faults among
+/// `candidates` — pairwise on distinct devices, rank-compatible, with a
+/// common address intersection — that `b`'s own locations also hit?
+///
+/// `detect == 1` degenerates to "any candidate", `detect == 2` is the
+/// classic [`triple_overlap`], and `detect == 0` (a scheme with no
+/// detection guarantee, like MultiECC's probabilistic trial decode)
+/// escapes on any arrival.
+pub fn completes_overlap(candidates: &[&FaultEvent], b: &FaultEvent, detect: u32) -> bool {
+    match detect {
+        0 => true,
+        1 => !candidates.is_empty(),
+        2 => triple_overlap(candidates, b),
+        k => {
+            let mut chosen: Vec<&FaultEvent> = Vec::with_capacity(k as usize);
+            k_overlap_search(candidates, 0, &mut chosen, &b.set, k as usize)
+        }
+    }
+}
+
+/// Recursive common-intersection search for `completes_overlap` at
+/// `detect >= 3`: extend `chosen` (pairwise distinct devices, pairwise
+/// rank-compatible) while narrowing `common` (seeded with `b`'s own set)
+/// until `need` faults share a location with `b`.
+fn k_overlap_search<'a>(
+    candidates: &[&'a FaultEvent],
+    start: usize,
+    chosen: &mut Vec<&'a FaultEvent>,
+    common: &arcc_faults::AddressSet,
+    need: usize,
+) -> bool {
+    if need == 0 {
+        return true;
+    }
+    for i in start..candidates.len() {
+        let c = candidates[i];
+        if chosen.iter().any(|x| x.device_pos == c.device_pos) {
+            continue;
+        }
+        let rank_ok = chosen.iter().all(|x| match (x.rank, c.rank) {
+            (Some(r1), Some(r2)) => r1 == r2,
+            _ => true,
+        });
+        if !rank_ok {
+            continue;
+        }
+        let Some(next) = common.intersection(&c.set) else {
+            continue;
+        };
+        chosen.push(c);
+        let hit = k_overlap_search(candidates, i + 1, chosen, &next, need - 1);
+        chosen.pop();
+        if hit {
+            return true;
+        }
+    }
+    false
 }
 
 /// Runs the Monte Carlo and returns counts.
@@ -291,5 +434,145 @@ mod tests {
         let a = quick(2.0, 10_000);
         let b = quick(2.0, 10_000);
         assert_eq!(a, b);
+    }
+
+    /// The ARCC wrapper must remain bit-identical to the pre-refactor
+    /// inline predicate over sampled fault histories.
+    #[test]
+    fn arcc_wrapper_matches_legacy_predicate_on_sampled_histories() {
+        let geometry = FaultGeometry::paper_channel();
+        let sampler = FaultSampler::new(geometry, FitRates::sridharan_sc12().scaled(80.0));
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        let scrub = 4.0;
+        let mut arrivals_checked = 0u32;
+        for _ in 0..2_000 {
+            let faults = sampler.sample_lifetime(&mut rng, 7.0 * HOURS_PER_YEAR);
+            for (bi, b) in faults.iter().enumerate() {
+                let overlapping: Vec<&FaultEvent> = faults[..bi]
+                    .iter()
+                    .filter(|a| active_at(a, b.time_h, scrub))
+                    .filter(|a| a.codeword_overlap(b, false))
+                    .collect();
+                if overlapping.is_empty() {
+                    continue;
+                }
+                let legacy = overlapping.iter().any(|a| {
+                    b.time_h < detection_time(a.time_h, scrub) && a.codeword_overlap(b, true)
+                }) || triple_overlap(&overlapping, b);
+                assert_eq!(
+                    arcc_arrival_is_sdc(&overlapping, b, scrub),
+                    legacy,
+                    "wrapper diverged at arrival {bi}"
+                );
+                arrivals_checked += 1;
+            }
+        }
+        assert!(arrivals_checked > 100, "too few overlapping arrivals");
+    }
+
+    /// Capability ordering over the same histories: detect-0 escapes on
+    /// every overlapped arrival, stronger static detection escapes less,
+    /// and ARCC sits between always-relaxed and always-upgraded.
+    #[test]
+    fn capability_ordering_over_sampled_histories() {
+        let geometry = FaultGeometry::paper_channel();
+        let sampler = FaultSampler::new(geometry, FitRates::sridharan_sc12().scaled(80.0));
+        let mut rng = StdRng::seed_from_u64(0xCAB);
+        let scrub = 4.0;
+        let caps = [
+            SchemeCapability::static_code(0, true),  // no guarantee
+            SchemeCapability::static_code(1, true),  // s8sc/relaxed-ck2
+            SchemeCapability::arcc(),                // adaptive
+            SchemeCapability::static_code(2, false), // sccdcd
+            SchemeCapability::static_code(4, false), // qpc-strength detect
+        ];
+        let mut sdc = [0u64; 5];
+        for _ in 0..2_000 {
+            let faults = sampler.sample_lifetime(&mut rng, 7.0 * HOURS_PER_YEAR);
+            for (bi, b) in faults.iter().enumerate() {
+                let overlapping: Vec<&FaultEvent> = faults[..bi]
+                    .iter()
+                    .filter(|a| active_at(a, b.time_h, scrub))
+                    .filter(|a| a.codeword_overlap(b, false))
+                    .collect();
+                if overlapping.is_empty() {
+                    continue;
+                }
+                for (i, cap) in caps.iter().enumerate() {
+                    sdc[i] += u64::from(arrival_is_sdc(cap, &overlapping, b, scrub));
+                }
+            }
+        }
+        assert!(sdc[0] >= sdc[1], "detect-0 must escape most: {sdc:?}");
+        assert!(sdc[1] >= sdc[2], "static relaxed >= adaptive ARCC: {sdc:?}");
+        assert!(sdc[2] >= sdc[3], "ARCC >= always-upgraded: {sdc:?}");
+        assert!(sdc[3] >= sdc[4], "detect-2 >= detect-4: {sdc:?}");
+        assert!(
+            sdc[0] > 0 && sdc[3] < sdc[0],
+            "ordering must be strict somewhere"
+        );
+    }
+
+    #[test]
+    fn completes_overlap_degenerate_counts() {
+        use arcc_faults::AddressSet;
+        let f = |dev: u32| FaultEvent {
+            time_h: 1.0,
+            mode: arcc_faults::FaultMode::SingleBank,
+            transient: false,
+            rank: Some(0),
+            device_pos: dev,
+            set: AddressSet::all(),
+        };
+        let (a1, a2, a3, b) = (f(0), f(1), f(2), f(3));
+        let cands = [&a1, &a2, &a3];
+        assert!(completes_overlap(&[], &b, 0), "detect-0 escapes on arrival");
+        assert!(!completes_overlap(&[], &b, 1));
+        assert!(completes_overlap(&cands[..1], &b, 1));
+        assert!(!completes_overlap(&cands[..1], &b, 2));
+        assert!(completes_overlap(&cands[..2], &b, 2));
+        // detect-3 needs three co-located earlier faults on distinct devices.
+        assert!(!completes_overlap(&cands[..2], &b, 3));
+        assert!(completes_overlap(&cands, &b, 3));
+        // Same device twice does not count twice.
+        let dup = [&a1, &a1, &a2];
+        assert!(!completes_overlap(&dup, &b, 3));
+    }
+
+    #[test]
+    fn k_overlap_respects_rank_compatibility_and_disjoint_sets() {
+        use arcc_faults::{AddressSet, DimSel};
+        let base = FaultEvent {
+            time_h: 1.0,
+            mode: arcc_faults::FaultMode::SingleBank,
+            transient: false,
+            rank: Some(0),
+            device_pos: 9,
+            set: AddressSet::all(),
+        };
+        let mut other_rank = base;
+        other_rank.rank = Some(1);
+        other_rank.device_pos = 1;
+        let mut same_rank = base;
+        same_rank.device_pos = 2;
+        let mut third = base;
+        third.device_pos = 3;
+        let b = FaultEvent {
+            device_pos: 5,
+            ..base
+        };
+        // Mixed ranks can never meet in one codeword.
+        assert!(!completes_overlap(
+            &[&same_rank, &other_rank, &third],
+            &b,
+            3
+        ));
+        assert!(completes_overlap(&[&same_rank, &base, &third], &b, 3));
+        // Disjoint banks cannot share a location.
+        let mut bank0 = same_rank;
+        bank0.set.banks = DimSel::One(0);
+        let mut bank1 = third;
+        bank1.set.banks = DimSel::One(1);
+        assert!(!completes_overlap(&[&bank0, &bank1, &base], &b, 3));
     }
 }

@@ -80,6 +80,8 @@ pub fn fit_spec(log: &FaultLog, seed: u64) -> FitResult {
                 rate_multiplier: multiplier,
                 scrub_interval_h: class.scrub_interval_h,
                 cores: class.cores,
+                scheme: arcc_fleet::DEFAULT_SCHEME.to_string(),
+                large_fault_multiplier: 1.0,
             });
         }
     }

@@ -588,6 +588,8 @@ impl FaultLog {
                 rate_multiplier: 1.0,
                 scrub_interval_h: c.scrub_interval_h,
                 cores: c.cores,
+                scheme: arcc_fleet::DEFAULT_SCHEME.to_string(),
+                large_fault_multiplier: 1.0,
             })
             .collect();
         FleetSpec::baseline(self.dimms.len() as u64)

@@ -711,7 +711,10 @@ mod tests {
         let mut output = Vec::new();
         let mut service = Service::new(TwinEngine::new(1, 7));
         service
-            .serve(format!("ingest lines={declared}\nx\n").as_bytes(), &mut output)
+            .serve(
+                format!("ingest lines={declared}\nx\n").as_bytes(),
+                &mut output,
+            )
             .expect("in-memory transport");
         let out = String::from_utf8(output).expect("utf8");
         assert_eq!(out.lines().count(), 1, "{out}");

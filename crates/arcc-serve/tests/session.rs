@@ -56,6 +56,7 @@ fn session_script() -> String {
     script.push_str("query-stats branch=pool\n");
     script.push_str("whatif policy=replace-on-due\n");
     script.push_str("whatif policy=replace-on-due\n");
+    script.push_str("list-scenarios\n");
     script.push_str("run-scenario name=table7_4\n");
     script.push_str("status\n");
     script.push_str("quit\n");
