@@ -26,6 +26,7 @@ pub const DEFAULT_DETERMINISTIC_CRATES: &[&str] = &[
     "arcc-faults",
     "arcc-mem",
     "arcc-reliability",
+    "arcc-obs",
     "arcc-fleet",
     "arcc-replay",
     "arcc-exp",

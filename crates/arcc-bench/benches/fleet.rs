@@ -9,8 +9,7 @@
 //! 1M rung is this PR's acceptance artefact: the bucket scheduler must
 //! hold ≥2x the PR 3 heap engine's ~8M channels/sec.
 
-use std::time::Instant;
-
+use arcc_bench::{bench_record_json, best_of};
 use arcc_fleet::{run_fleet, run_shard, FleetSpec, SchedulerKind};
 use criterion::{black_box, criterion_group, Criterion, Throughput};
 
@@ -44,13 +43,8 @@ criterion_group!(benches, bench_shard, bench_fleet);
 fn measure(channels: u64) -> (f64, f64) {
     let threads = arcc_core::default_threads();
     let spec = FleetSpec::baseline(channels);
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
-        let start = Instant::now();
-        let stats = run_fleet(threads, &spec);
-        assert_eq!(stats.channels, channels);
-        best = best.min(start.elapsed().as_secs_f64());
-    }
+    let (best, stats) = best_of(3, || run_fleet(threads, &spec));
+    assert_eq!(stats.channels, channels);
     (best, channels as f64 / best)
 }
 
@@ -67,19 +61,13 @@ fn main() {
     }
 
     let sizes = [10_000u64, 100_000u64, 1_000_000u64, 10_000_000u64];
-    let mut entries = Vec::new();
+    let mut rungs = Vec::new();
     for &channels in &sizes {
         let (secs, rate) = measure(channels);
         println!("fleet throughput: {channels} channels in {secs:.3}s ({rate:.0} channels/sec)");
-        entries.push(format!(
-            "{{\"channels\":{channels},\"seconds\":{secs},\"channels_per_sec\":{rate}}}"
-        ));
+        rungs.push((channels, secs, rate));
     }
-    let json = format!(
-        "{{\"bench\":\"fleet\",\"threads\":{},\"results\":[{}]}}\n",
-        arcc_core::default_threads(),
-        entries.join(",")
-    );
+    let json = bench_record_json("fleet", arcc_core::default_threads(), &rungs);
     // Benches run with the package as CWD; anchor the record at the
     // workspace root where the trajectory tooling looks for it.
     let path = std::env::var("ARCC_BENCH_OUT").unwrap_or_else(|_| {

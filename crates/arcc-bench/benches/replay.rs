@@ -9,9 +9,7 @@
 //! overridable via `ARCC_BENCH_OUT`) so replay throughput is gated in CI
 //! exactly like synthetic throughput.
 
-use std::time::Instant;
-
-use arcc_bench::bench_record_json;
+use arcc_bench::{bench_record_json, best_of};
 use arcc_fleet::{run_replay, FleetSpec, ReplayArrivals};
 use arcc_replay::{generate_log, FaultLog};
 use criterion::{black_box, criterion_group, Criterion, Throughput};
@@ -51,13 +49,8 @@ criterion_group!(benches, bench_parse, bench_replay);
 fn measure(channels: u64) -> (f64, f64) {
     let threads = arcc_core::default_threads();
     let (spec, arrivals) = ingest(channels);
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
-        let start = Instant::now();
-        let stats = run_replay(threads, &spec, &arrivals).expect("replay");
-        assert_eq!(stats.channels, channels);
-        best = best.min(start.elapsed().as_secs_f64());
-    }
+    let (best, stats) = best_of(3, || run_replay(threads, &spec, &arrivals).expect("replay"));
+    assert_eq!(stats.channels, channels);
     (best, channels as f64 / best)
 }
 

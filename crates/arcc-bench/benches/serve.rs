@@ -9,9 +9,7 @@
 //! `ARCC_BENCH_OUT`) so service ingestion is gated in CI exactly like
 //! replay throughput.
 
-use std::time::Instant;
-
-use arcc_bench::bench_record_json;
+use arcc_bench::{bench_record_json, best_of};
 use arcc_fleet::FleetSpec;
 use arcc_replay::generate_log;
 use arcc_serve::{Service, TwinEngine};
@@ -77,13 +75,8 @@ criterion_group!(benches, bench_ingest, bench_whatif);
 fn measure(channels: u64) -> (f64, f64) {
     let threads = arcc_core::default_threads();
     let segments = segments_for(channels, 8);
-    let mut best = f64::INFINITY;
-    for _ in 0..3 {
-        let start = Instant::now();
-        let service = ingest_all(threads, &segments);
-        assert_eq!(service.engine().channels(), channels);
-        best = best.min(start.elapsed().as_secs_f64());
-    }
+    let (best, service) = best_of(3, || ingest_all(threads, &segments));
+    assert_eq!(service.engine().channels(), channels);
     (best, channels as f64 / best)
 }
 

@@ -15,12 +15,17 @@
 //! and the process exits non-zero if any rung drops more than 30% below
 //! — the bucket-scheduler throughput is an acceptance artefact, so CI
 //! fails when it regresses.
+//!
+//! With `ARCC_OBS_AB=1` the run also A/B-tests the metrics recorder:
+//! best-of-3 [`run_fleet`] against best-of-3
+//! [`run_fleet_observed`](arcc_fleet::run_fleet_observed) at a fixed
+//! size, failing when the enabled recorder costs more than
+//! [`OBS_AB_TOLERANCE`] — the observability layer's overhead budget is
+//! itself a gated acceptance artefact.
 
-use std::time::Instant;
-
-use arcc_bench::BenchGate;
+use arcc_bench::{best_of, timed, BenchGate};
 use arcc_exp::default_threads;
-use arcc_fleet::{run_fleet, FleetSpec};
+use arcc_fleet::{run_fleet, run_fleet_observed, FleetSpec};
 
 fn sizes() -> Vec<u64> {
     std::env::var("ARCC_FLEET_SIZES")
@@ -32,6 +37,55 @@ fn sizes() -> Vec<u64> {
         })
         .filter(|v| !v.is_empty())
         .unwrap_or_else(|| vec![10_000, 100_000, 1_000_000, 10_000_000])
+}
+
+/// Fractional slowdown the enabled recorder may cost before the
+/// `ARCC_OBS_AB=1` rung fails the run.
+const OBS_AB_TOLERANCE: f64 = 0.05;
+
+/// Channels for the recorder A/B rung: large enough that per-event
+/// work dominates setup, small enough to stay cheap in CI.
+const OBS_AB_CHANNELS: u64 = 100_000;
+
+/// A/B-tests the metrics recorder when `ARCC_OBS_AB=1`: best-of-3
+/// plain vs observed runs, one retry on a noisy first verdict.
+/// Returns `false` when the observed run stays over budget.
+fn obs_overhead_ab(threads: usize) -> bool {
+    if std::env::var("ARCC_OBS_AB").as_deref() != Ok("1") {
+        return true;
+    }
+    let spec = FleetSpec::baseline(OBS_AB_CHANNELS);
+    let overhead = |threads: usize, spec: &FleetSpec| {
+        let (plain, stats) = best_of(3, || run_fleet(threads, spec));
+        let (observed, (obs_stats, snapshot)) = best_of(3, || run_fleet_observed(threads, spec));
+        assert_eq!(stats, obs_stats, "observed run must not change results");
+        assert!(
+            !snapshot.is_empty(),
+            "observed run must actually record metrics"
+        );
+        (plain, observed, observed / plain - 1.0)
+    };
+    let (mut plain, mut observed, mut delta) = overhead(threads, &spec);
+    if delta > OBS_AB_TOLERANCE {
+        // One retry before failing: both sides are best-of-3 already,
+        // but a loaded CI machine can still skew one whole triple.
+        (plain, observed, delta) = overhead(threads, &spec);
+    }
+    println!();
+    println!(
+        "obs A/B: {OBS_AB_CHANNELS} channels, plain {plain:.3}s vs observed {observed:.3}s \
+         ({})",
+        arcc_bench::pct(delta)
+    );
+    if delta > OBS_AB_TOLERANCE {
+        eprintln!(
+            "obs A/B FAILED: enabled recorder costs {} (budget {})",
+            arcc_bench::pct(delta),
+            arcc_bench::pct(OBS_AB_TOLERANCE)
+        );
+        return false;
+    }
+    true
 }
 
 fn main() {
@@ -48,9 +102,7 @@ fn main() {
     );
     for channels in sizes() {
         let spec = FleetSpec::baseline(channels);
-        let start = Instant::now();
-        let stats = run_fleet(threads, &spec);
-        let secs = start.elapsed().as_secs_f64();
+        let (secs, stats) = timed(|| run_fleet(threads, &spec));
         let mut rate = channels as f64 / secs;
         println!(
             "{:>12}  {:>10.3}  {:>14.0}  {:>10}  {:>8}",
@@ -62,9 +114,8 @@ fn main() {
             if rate < floor {
                 // One retry before failing: the baseline is best-of-3, so
                 // a single noisy measurement must not flake the gate.
-                let start = Instant::now();
-                run_fleet(threads, &spec);
-                rate = rate.max(channels as f64 / start.elapsed().as_secs_f64());
+                let (retry_secs, _) = timed(|| run_fleet(threads, &spec));
+                rate = rate.max(channels as f64 / retry_secs);
             }
             if rate < floor {
                 gate.fail_rung(channels, rate, base_rate);
@@ -74,7 +125,8 @@ fn main() {
     println!();
     println!("memory note: per-channel state exists only while its shard runs;");
     println!("shard aggregates (a few hundred bytes) are merged streaming, in order.");
-    if !gate.finish() {
+    let obs_ok = obs_overhead_ab(threads);
+    if !gate.finish() || !obs_ok {
         std::process::exit(1);
     }
 }

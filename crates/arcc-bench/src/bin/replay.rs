@@ -15,9 +15,7 @@
 //!   replay it under its own inventory-derived spec, and report — the
 //!   real ingestion path for field data.
 
-use std::time::Instant;
-
-use arcc_bench::BenchGate;
+use arcc_bench::{timed, BenchGate};
 use arcc_exp::default_threads;
 use arcc_fleet::{run_replay, FleetSpec, FleetStats};
 use arcc_replay::{generate_log, FaultLog};
@@ -46,22 +44,23 @@ fn report(stats: &FleetStats) {
 
 /// Parse + replay one serialised log, timing both stages.
 fn ingest_and_replay(threads: usize, text: &str, spec: &FleetSpec) -> (f64, f64, FleetStats) {
-    let start = Instant::now();
-    let log = FaultLog::parse(text).unwrap_or_else(|e| {
-        eprintln!("log does not parse: {e}");
-        std::process::exit(1);
+    let (parse_secs, arrivals) = timed(|| {
+        let log = FaultLog::parse(text).unwrap_or_else(|e| {
+            eprintln!("log does not parse: {e}");
+            std::process::exit(1);
+        });
+        log.arrivals().unwrap_or_else(|e| {
+            eprintln!("log arrivals invalid: {e}");
+            std::process::exit(1);
+        })
     });
-    let arrivals = log.arrivals().unwrap_or_else(|e| {
-        eprintln!("log arrivals invalid: {e}");
-        std::process::exit(1);
+    let (replay_secs, stats) = timed(|| {
+        run_replay(threads, spec, &arrivals).unwrap_or_else(|e| {
+            eprintln!("replay failed: {e}");
+            std::process::exit(1);
+        })
     });
-    let parse_secs = start.elapsed().as_secs_f64();
-    let start = Instant::now();
-    let stats = run_replay(threads, spec, &arrivals).unwrap_or_else(|e| {
-        eprintln!("replay failed: {e}");
-        std::process::exit(1);
-    });
-    (parse_secs, start.elapsed().as_secs_f64(), stats)
+    (parse_secs, replay_secs, stats)
 }
 
 fn main() {

@@ -14,9 +14,7 @@
 //! branch re-query (at most one tail shard), and the memoised protocol
 //! re-issue (no simulation at all — byte-identical cached bytes).
 
-use std::time::Instant;
-
-use arcc_bench::BenchGate;
+use arcc_bench::{timed, BenchGate};
 use arcc_exp::default_threads;
 use arcc_fleet::FleetSpec;
 use arcc_replay::generate_log;
@@ -45,18 +43,17 @@ fn segment_count() -> usize {
 /// Ingests every segment through a fresh service, returning
 /// (service, seconds).
 fn ingest_ladder(threads: usize, channels: u64, segments: &[String]) -> (Service, f64) {
-    let engine = TwinEngine::new(threads, 0x5E21).shard_channels(4096);
-    let mut service = Service::new(engine);
-    let start = Instant::now();
-    for text in segments {
-        let request = format!("ingest lines={}", text.lines().count());
-        let reply = service.handle(&request, Some(text));
-        if !reply.starts_with("{\"ok\":true") {
-            eprintln!("ingest refused: {reply}");
-            std::process::exit(1);
+    let mut service = Service::new(TwinEngine::new(threads, 0x5E21).shard_channels(4096));
+    let (secs, ()) = timed(|| {
+        for text in segments {
+            let request = format!("ingest lines={}", text.lines().count());
+            let reply = service.handle(&request, Some(text));
+            if !reply.starts_with("{\"ok\":true") {
+                eprintln!("ingest refused: {reply}");
+                std::process::exit(1);
+            }
         }
-    }
-    let secs = start.elapsed().as_secs_f64();
+    });
     assert_eq!(
         service.engine().channels(),
         channels,
@@ -100,19 +97,14 @@ fn main() {
         // What-if ladder over the ingested fleet: cold fork, warm
         // re-query of the (now existing) branch, memoised re-issue.
         let request = "whatif policy=replace-on-due";
-        let start = Instant::now();
-        let cold = service.handle(request, None);
-        let cold_secs = start.elapsed().as_secs_f64();
+        let (cold_secs, cold) = timed(|| service.handle(request, None));
         // Drop the memo entry but keep the branch: a mutation-free way
         // to time the warm (tail-shard-only) path is to query the
         // branch through the engine-level API... the protocol layer has
         // no eviction, so time `query-stats` on the what-if branch cold.
-        let start = Instant::now();
-        let warm = service.handle("query-stats branch=whatif:replace-on-due", None);
-        let warm_secs = start.elapsed().as_secs_f64();
-        let start = Instant::now();
-        let memo = service.handle(request, None);
-        let memo_secs = start.elapsed().as_secs_f64();
+        let (warm_secs, warm) =
+            timed(|| service.handle("query-stats branch=whatif:replace-on-due", None));
+        let (memo_secs, memo) = timed(|| service.handle(request, None));
         assert_eq!(cold, memo, "memoised response must be byte-identical");
         assert!(warm.starts_with("{\"ok\":true"), "{warm}");
 

@@ -60,7 +60,11 @@ pub mod sweep;
 pub use experiment::{Experiment, DEFAULT_FRACTION_GRID};
 pub use report::{Report, Table, Value};
 pub use runner::{
-    default_report_dir, main_for, repro_all_main, run_all, run_and_print, run_selected,
+    default_report_dir, main_for, profile_json, repro_all_main, repro_all_main_with, run_all,
+    run_and_print, run_selected, run_selected_profiled,
 };
 pub use scenario::{find, names, registry, run, ExpError, Scenario};
-pub use sweep::{cell_seed, default_threads, lifetime_curve_sharded, parallel_map, MC_CHUNK};
+pub use sweep::{
+    cell_seed, default_threads, lifetime_curve_sharded, lifetime_curve_sharded_recorded,
+    parallel_map, MC_CHUNK,
+};

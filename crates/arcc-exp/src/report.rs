@@ -269,6 +269,12 @@ impl Report {
         self.tables.iter().find(|t| t.name == name)
     }
 
+    /// Total data rows across every table — the per-scenario "event
+    /// count" that `repro_all --profile` pairs with wall-clock timings.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.rows.len()).sum()
+    }
+
     /// Human-readable rendering: banner, metadata, aligned tables, notes.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -4,6 +4,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
+use arcc_obs::{elapsed_secs, Clock, ManualClock, WallClock};
+
 use crate::experiment::Experiment;
 use crate::report::Report;
 use crate::scenario::{registry, run, ExpError, Scenario};
@@ -65,6 +67,25 @@ pub fn run_selected(
     out_dir: &Path,
     only: &[String],
 ) -> Result<Vec<Report>, ExpError> {
+    let timed = run_selected_profiled(exp, out_dir, only, &ManualClock::new())?;
+    Ok(timed.into_iter().map(|(report, _)| report).collect())
+}
+
+/// [`run_selected`] with per-scenario wall-clock timing: each report is
+/// paired with the seconds `clock` advanced while its scenario ran.
+/// Timing is read from the caller's [`Clock`], so library code and tests
+/// stay deterministic (a [`ManualClock`] yields all-zero timings) while
+/// the `repro_all --profile` binary passes a wall clock.
+///
+/// # Errors
+///
+/// Exactly as [`run_selected`].
+pub fn run_selected_profiled(
+    exp: &Experiment,
+    out_dir: &Path,
+    only: &[String],
+    clock: &dyn Clock,
+) -> Result<Vec<(Report, f64)>, ExpError> {
     for name in only {
         if !registry().iter().any(|s| s.name() == name) {
             return Err(ExpError::UnknownScenario {
@@ -82,13 +103,36 @@ pub fn run_selected(
         if !only.is_empty() && !only.iter().any(|n| n == s.name()) {
             continue;
         }
+        let start = clock.now_nanos();
         let report = run_caught(*s, exp)?;
+        let seconds = elapsed_secs(clock, start);
         print!("{}", report.render());
         let path = out_dir.join(format!("{}.json", report.scenario));
         std::fs::write(&path, report.to_json()).map_err(|error| ExpError::Io { path, error })?;
-        reports.push(report);
+        reports.push((report, seconds));
     }
     Ok(reports)
+}
+
+/// Renders the `--profile` JSON document: one entry per scenario with
+/// its wall-clock seconds and total report rows, plus the run total.
+/// Single-line, key-sorted only by construction (registry order), and
+/// built with the same hand-rolled escaping as the reports themselves.
+pub fn profile_json(timed: &[(Report, f64)]) -> String {
+    let mut out = String::from("{\"scenarios\":[");
+    for (i, (report, seconds)) in timed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"seconds\":{seconds},\"rows\":{}}}",
+            arcc_obs::escape_json(&report.scenario),
+            report.total_rows()
+        ));
+    }
+    let total: f64 = timed.iter().map(|(_, s)| s).sum();
+    out.push_str(&format!("],\"total_seconds\":{total}}}"));
+    out
 }
 
 /// Report directory: `ARCC_REPORT_DIR` if set, else `target/repro`
@@ -108,15 +152,36 @@ pub fn default_report_dir() -> PathBuf {
 /// this to smoke-run `fleet_scheme_sweep` on its own); no arguments
 /// means the full registry.
 pub fn repro_all_main() -> i32 {
-    let only: Vec<String> = std::env::args().skip(1).collect();
+    repro_all_main_with(&WallClock::new())
+}
+
+/// [`repro_all_main`] parameterised over the timing clock (the binary
+/// passes a [`WallClock`]; tests can pass a [`ManualClock`]).
+///
+/// A `--profile` argument (anywhere in the argument list) additionally
+/// writes `<report dir>/profile.json` — per-scenario wall-clock seconds
+/// and report row counts — so CI can archive where repro time goes.
+pub fn repro_all_main_with(clock: &dyn Clock) -> i32 {
+    let mut only: Vec<String> = std::env::args().skip(1).collect();
+    let profile = only.iter().any(|a| a == "--profile");
+    only.retain(|a| a != "--profile");
     let exp = Experiment::from_env();
     let dir = default_report_dir();
-    match run_selected(&exp, &dir, &only) {
-        Ok(reports) => {
+    match run_selected_profiled(&exp, &dir, &only, clock) {
+        Ok(timed) => {
+            if profile {
+                let path = dir.join("profile.json");
+                if let Err(error) = std::fs::write(&path, profile_json(&timed)) {
+                    eprintln!("repro_all FAILED: cannot write {}: {error}", path.display());
+                    return 1;
+                }
+                println!();
+                println!("profile written to {}", path.display());
+            }
             println!();
             println!(
                 "repro_all: {} scenarios OK, reports under {}",
-                reports.len(),
+                timed.len(),
                 dir.display()
             );
             0

@@ -41,6 +41,21 @@ pub fn lifetime_curve_sharded(
     cfg: &LifetimeConfig,
     model: &OverheadModel,
 ) -> Vec<LifetimePoint> {
+    lifetime_curve_sharded_recorded(threads, cfg, model, &mut arcc_obs::NoopRecorder)
+}
+
+/// [`lifetime_curve_sharded`] with sweep metrics: records the
+/// `exp.sweep.chunks` (Monte-Carlo cells dispatched) and
+/// `exp.sweep.cells` (channels swept across them) counters into `rec`.
+/// Both are functions of the config alone — not of thread count or
+/// scheduling — so observed sweeps stay as reproducible as the curve
+/// itself.
+pub fn lifetime_curve_sharded_recorded(
+    threads: usize,
+    cfg: &LifetimeConfig,
+    model: &OverheadModel,
+    rec: &mut dyn arcc_obs::Recorder,
+) -> Vec<LifetimePoint> {
     let mut chunks: Vec<u32> = Vec::new();
     let mut left = cfg.channels.max(1);
     while left > 0 {
@@ -48,6 +63,8 @@ pub fn lifetime_curve_sharded(
         chunks.push(n);
         left -= n;
     }
+    rec.counter_add("exp.sweep.chunks", chunks.len() as u64);
+    rec.counter_add("exp.sweep.cells", chunks.iter().map(|&n| n as u64).sum());
     let curves = parallel_map(threads, &chunks, |i, &n| {
         let sub = LifetimeConfig {
             channels: n,
@@ -118,5 +135,26 @@ mod tests {
             assert_eq!(a.avg_overhead.to_bits(), b.avg_overhead.to_bits());
         }
         assert!(seq.last().unwrap().avg_overhead > 0.0);
+    }
+
+    #[test]
+    fn recorded_sweep_counts_are_thread_invariant() {
+        use arcc_obs::SnapshotRecorder;
+        let g = FaultGeometry::paper_channel();
+        let model = OverheadModel::worst_case_arcc_power(&g);
+        let cfg = LifetimeConfig {
+            channels: 2500,
+            ..LifetimeConfig::default()
+        };
+        let mut seq_rec = SnapshotRecorder::new();
+        let mut par_rec = SnapshotRecorder::new();
+        let seq = lifetime_curve_sharded_recorded(1, &cfg, &model, &mut seq_rec);
+        let par = lifetime_curve_sharded_recorded(8, &cfg, &model, &mut par_rec);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.avg_overhead.to_bits(), b.avg_overhead.to_bits());
+        }
+        assert_eq!(seq_rec.snapshot(), par_rec.snapshot());
+        assert_eq!(seq_rec.snapshot().counter("exp.sweep.chunks"), 3);
+        assert_eq!(seq_rec.snapshot().counter("exp.sweep.cells"), 2500);
     }
 }

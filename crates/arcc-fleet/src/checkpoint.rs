@@ -258,6 +258,13 @@ impl FleetCheckpoint {
         out
     }
 
+    /// Serialised size in bytes (`to_text().len()`): a deterministic
+    /// function of the checkpoint contents, which is what lets the
+    /// digital twin's `checkpoint.bytes` counter stay schedule-invariant.
+    pub fn text_bytes(&self) -> u64 {
+        self.to_text().len() as u64
+    }
+
     /// Parses the text format produced by [`Self::to_text`].
     pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
         let mut lines = text.lines();
@@ -412,6 +419,7 @@ mod tests {
             parsed.stats.upgraded_page_mass.to_bits(),
             ckpt.stats.upgraded_page_mass.to_bits()
         );
+        assert_eq!(ckpt.text_bytes(), ckpt.to_text().len() as u64);
     }
 
     #[test]

@@ -64,6 +64,51 @@ use crate::source::ReplayArrivals;
 use crate::spec::{FleetSpec, OperatorPolicy, SchedulerKind};
 use crate::stats::FleetStats;
 
+/// Deterministic per-shard engine telemetry: plain event counts the
+/// engine maintains unconditionally (u64 increments, invisible next to
+/// the RNG and queue work — the committed `BENCH_fleet` gate pins that).
+/// Every field is schedule-invariant: it depends only on the spec, the
+/// seed, and the shard's own event stream, never on thread interleaving,
+/// so per-shard values merge associatively into byte-identical fleet
+/// totals ([`EngineMetrics::record_into`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Events pushed into the shard's queue (post horizon filter).
+    pub scheduled: u64,
+    /// Events popped and dispatched (including stale ones).
+    pub popped: u64,
+    /// Popped events dropped because a replacement/retirement bumped the
+    /// channel generation after they were scheduled.
+    pub stale_dropped: u64,
+    /// Channels whose first arrival bypassed the queue entirely (first
+    /// draw at/past the horizon, zero-rate or replay-inert channels).
+    pub bypass_hits: u64,
+    /// Channels that allocated a state slot and entered the queue.
+    pub bypass_misses: u64,
+    /// Active-fault entries compacted away (cleared transients purged at
+    /// arrival under no-repair, or removed by their detection scrub).
+    pub compactions: u64,
+    /// High-water mark of the event queue's occupancy.
+    pub queue_peak: u64,
+}
+
+impl EngineMetrics {
+    /// Streams the shard's counts into a recorder under the canonical
+    /// `fleet.*` metric names. Counters add and the queue-peak gauge
+    /// maxes, so recording shards in any grouping yields byte-identical
+    /// [`arcc_obs::MetricsSnapshot`]s.
+    pub fn record_into(&self, rec: &mut dyn arcc_obs::Recorder) {
+        rec.counter_add("fleet.shards", 1);
+        rec.counter_add("fleet.events.scheduled", self.scheduled);
+        rec.counter_add("fleet.events.popped", self.popped);
+        rec.counter_add("fleet.events.stale_dropped", self.stale_dropped);
+        rec.counter_add("fleet.bypass.hits", self.bypass_hits);
+        rec.counter_add("fleet.bypass.misses", self.bypass_misses);
+        rec.counter_add("fleet.compactions", self.compactions);
+        rec.gauge_max("fleet.queue.peak", self.queue_peak);
+    }
+}
+
 /// One fault currently resident in a channel.
 #[derive(Debug, Clone)]
 struct ActiveFault {
@@ -146,6 +191,7 @@ pub struct ShardEngine<'a> {
     /// Observed-arrival source; `None` draws arrivals synthetically.
     replay: Option<&'a ReplayArrivals>,
     stats: FleetStats,
+    metrics: EngineMetrics,
 }
 
 impl<'a> ShardEngine<'a> {
@@ -232,6 +278,7 @@ impl<'a> ShardEngine<'a> {
             peak_active_faults: 0,
             replay,
             stats: FleetStats::empty(spec.epochs(), spec.populations.len()),
+            metrics: EngineMetrics::default(),
         };
         engine.stats.horizon_hours = horizon_h;
         engine.stats.channels += shard_channels as u64;
@@ -255,12 +302,15 @@ impl<'a> ShardEngine<'a> {
                 pop_counts[population] += 1;
                 let (start, end) = arrivals.range_of(global);
                 if start == end {
+                    engine.metrics.bypass_hits += 1;
                     continue; // nothing observed: the channel is inert
                 }
                 let t = arrivals.events()[start as usize].time_h;
                 if t >= horizon_h {
+                    engine.metrics.bypass_hits += 1;
                     continue; // whole (time-ordered) stream past the horizon
                 }
+                engine.metrics.bypass_misses += 1;
                 let slot = engine.states.len() as u32;
                 let mut state = ChannelState::fresh(placeholder_rng.clone(), population as u32);
                 state.replay_next = start;
@@ -273,17 +323,21 @@ impl<'a> ShardEngine<'a> {
             pop_counts[population] += 1;
             let rate = engine.rates[population];
             if rate <= 0.0 {
+                engine.metrics.bypass_hits += 1;
                 continue;
             }
             let mut rng = StdRng::seed_from_u64(cell_seed(shard_seed, c as u64));
             let u: f64 = rng.gen_range(0.0..1.0);
             if u >= first_u[population] {
+                engine.metrics.bypass_hits += 1;
                 continue; // first arrival past the horizon: full bypass
             }
             let t = exp_interarrival_from_u(u, rate);
             if t >= horizon_h {
+                engine.metrics.bypass_hits += 1;
                 continue; // rounding guard at the threshold boundary
             }
+            engine.metrics.bypass_misses += 1;
             let slot = engine.states.len() as u32;
             engine
                 .states
@@ -309,12 +363,22 @@ impl<'a> ShardEngine<'a> {
             generation,
             kind,
         });
+        self.metrics.scheduled += 1;
+        self.metrics.queue_peak = self.metrics.queue_peak.max(self.queue.len() as u64);
     }
 
     /// Runs the shard to the horizon and returns its aggregate.
     pub fn run(mut self) -> FleetStats {
         self.drain();
         self.finalize()
+    }
+
+    /// Like [`Self::run`], but also returns the shard's deterministic
+    /// [`EngineMetrics`] for observed runs.
+    pub fn run_observed(mut self) -> (FleetStats, EngineMetrics) {
+        self.drain();
+        let metrics = self.metrics;
+        (self.finalize(), metrics)
     }
 
     /// Test observability: like [`Self::run`], but also reports the
@@ -328,8 +392,10 @@ impl<'a> ShardEngine<'a> {
 
     fn drain(&mut self) {
         while let Some(ev) = self.queue.pop() {
+            self.metrics.popped += 1;
             let state = &self.states[ev.slot as usize];
             if ev.generation != state.generation {
+                self.metrics.stale_dropped += 1;
                 continue; // scheduled before a replacement/retirement
             }
             match ev.kind {
@@ -378,9 +444,11 @@ impl<'a> ShardEngine<'a> {
         // bounded by the permanent count. Under repair policies the
         // detection event itself removes the transient.
         if matches!(self.policy, OperatorPolicy::None) {
+            let before = state.faults.len();
             state
                 .faults
                 .retain(|a| !a.event.transient || active_at(&a.event, t, scrub));
+            self.metrics.compactions += (before - state.faults.len()) as u64;
         }
 
         // Classify against active earlier faults — the arcc-reliability
@@ -504,6 +572,7 @@ impl<'a> ShardEngine<'a> {
             // boundary), keeping the active list bounded by the
             // channel's permanent fault count.
             state.faults.remove(idx);
+            self.metrics.compactions += 1;
             self.stats.transient_cleared += 1;
             return;
         }

@@ -44,7 +44,13 @@
 //!   parser) replayed through the same scheduler/stats/checkpoint
 //!   machinery while detection, upgrade, and policy stay simulated — a
 //!   log generated from a spec replays **bit-identically** under
-//!   no-repair.
+//!   no-repair;
+//! * every entry point has an `_observed` twin ([`run_fleet_observed`],
+//!   [`run_replay_observed`], …) that additionally returns an
+//!   `arcc-obs` metric snapshot of deterministic engine counts
+//!   ([`EngineMetrics`]: events popped, horizon-bypass hits/misses,
+//!   queue occupancy, compactions) — recorded in shard order, so the
+//!   snapshot is as schedule-invariant as the stats themselves.
 //!
 //! The engine is pinned against the paper-path Monte Carlo: at the
 //! paper's 10 000-channel scale its lifetime failure probabilities agree
@@ -80,9 +86,12 @@ pub mod spec;
 pub mod stats;
 
 pub use checkpoint::{CheckpointError, FleetCheckpoint, PersistError};
+pub use engine::EngineMetrics;
 pub use runner::{
-    extend_replay, resume_fleet, resume_replay, run_fleet, run_fleet_checkpointed, run_fleet_until,
-    run_replay, run_replay_checkpointed, run_replay_until, run_shard, run_shard_replay,
+    extend_replay, resume_fleet, resume_replay, run_fleet, run_fleet_checkpointed,
+    run_fleet_observed, run_fleet_until, run_fleet_until_observed, run_replay,
+    run_replay_checkpointed, run_replay_observed, run_replay_until, run_replay_until_observed,
+    run_shard, run_shard_observed, run_shard_replay, run_shard_replay_observed,
 };
 pub use source::{ReplayArrivals, ReplayError};
 pub use spec::{

@@ -18,9 +18,10 @@
 use std::path::Path;
 
 use arcc_core::parallel_map;
+use arcc_obs::{MetricsSnapshot, Recorder, SnapshotRecorder};
 
 use crate::checkpoint::{CheckpointError, FleetCheckpoint, PersistError};
-use crate::engine::ShardEngine;
+use crate::engine::{EngineMetrics, ShardEngine};
 use crate::source::{ReplayArrivals, ReplayError};
 use crate::spec::FleetSpec;
 use crate::stats::FleetStats;
@@ -47,11 +48,42 @@ pub fn run_shard_replay(spec: &FleetSpec, shard: u64, arrivals: &ReplayArrivals)
     ShardEngine::new_replay(spec, shard, arrivals).run()
 }
 
+/// [`run_shard`] plus the shard's deterministic [`EngineMetrics`].
+pub fn run_shard_observed(spec: &FleetSpec, shard: u64) -> (FleetStats, EngineMetrics) {
+    ShardEngine::new(spec, shard).run_observed()
+}
+
+/// [`run_shard_replay`] plus the shard's deterministic [`EngineMetrics`].
+///
+/// # Panics
+///
+/// As for [`run_shard_replay`]: `arrivals` must already be validated
+/// against `spec`.
+pub fn run_shard_replay_observed(
+    spec: &FleetSpec,
+    shard: u64,
+    arrivals: &ReplayArrivals,
+) -> (FleetStats, EngineMetrics) {
+    ShardEngine::new_replay(spec, shard, arrivals).run_observed()
+}
+
 /// Runs the whole fleet on up to `threads` workers and returns the merged
 /// aggregate.
 pub fn run_fleet(threads: usize, spec: &FleetSpec) -> FleetStats {
     let ckpt = FleetCheckpoint::start(spec);
     run_span(threads, spec, ckpt, spec.shard_count(), None).stats
+}
+
+/// [`run_fleet`] plus a deterministic metric snapshot (`fleet.*` event
+/// counts). The snapshot is schedule-invariant: any `threads` value
+/// yields byte-identical metrics, and concatenating the snapshots of a
+/// split run ([`run_fleet_until_observed`]) reproduces the one-shot
+/// snapshot — the same contract the stats themselves carry.
+pub fn run_fleet_observed(threads: usize, spec: &FleetSpec) -> (FleetStats, MetricsSnapshot) {
+    let ckpt = FleetCheckpoint::start(spec);
+    let mut rec = SnapshotRecorder::new();
+    let done = run_span_observed(threads, spec, ckpt, spec.shard_count(), None, &mut rec);
+    (done.stats, rec.into_snapshot())
 }
 
 /// Replays an observed arrival set through the fleet engine: logged
@@ -69,6 +101,31 @@ pub fn run_replay(
     arrivals.validate_for(spec)?;
     let ckpt = FleetCheckpoint::start_replay(spec, arrivals);
     Ok(run_span(threads, spec, ckpt, spec.shard_count(), Some(arrivals)).stats)
+}
+
+/// [`run_replay`] plus a deterministic metric snapshot (see
+/// [`run_fleet_observed`] for the schedule-invariance contract).
+///
+/// # Errors
+///
+/// As for [`run_replay`].
+pub fn run_replay_observed(
+    threads: usize,
+    spec: &FleetSpec,
+    arrivals: &ReplayArrivals,
+) -> Result<(FleetStats, MetricsSnapshot), ReplayError> {
+    arrivals.validate_for(spec)?;
+    let ckpt = FleetCheckpoint::start_replay(spec, arrivals);
+    let mut rec = SnapshotRecorder::new();
+    let done = run_span_observed(
+        threads,
+        spec,
+        ckpt,
+        spec.shard_count(),
+        Some(arrivals),
+        &mut rec,
+    );
+    Ok((done.stats, rec.into_snapshot()))
 }
 
 /// Replay-mode [`run_fleet_until`]: runs shards `[ckpt.shards_done,
@@ -103,6 +160,40 @@ pub fn run_replay_until(
         until.min(spec.shard_count()),
         Some(arrivals),
     ))
+}
+
+/// [`run_replay_until`] plus a *span-local* metric snapshot covering only
+/// the shards this call ran. Merging the snapshots of consecutive spans
+/// yields byte-for-byte the one-shot [`run_replay_observed`] snapshot.
+///
+/// # Errors
+///
+/// As for [`run_replay_until`].
+pub fn run_replay_until_observed(
+    threads: usize,
+    spec: &FleetSpec,
+    arrivals: &ReplayArrivals,
+    ckpt: FleetCheckpoint,
+    until: u64,
+) -> Result<(FleetCheckpoint, MetricsSnapshot), ReplayError> {
+    arrivals.validate_for(spec)?;
+    let expected = arrivals.run_fingerprint(spec);
+    if ckpt.fingerprint != expected {
+        return Err(ReplayError::CheckpointMismatch {
+            expected: ckpt.fingerprint,
+            actual: expected,
+        });
+    }
+    let mut rec = SnapshotRecorder::new();
+    let done = run_span_observed(
+        threads,
+        spec,
+        ckpt,
+        until.min(spec.shard_count()),
+        Some(arrivals),
+        &mut rec,
+    );
+    Ok((done, rec.into_snapshot()))
 }
 
 /// Extends a checkpointed replay run whose arrival set has *grown*
@@ -200,6 +291,36 @@ pub fn run_fleet_until(
         until.min(spec.shard_count()),
         None,
     ))
+}
+
+/// [`run_fleet_until`] plus a *span-local* metric snapshot covering only
+/// the shards this call ran (see [`run_replay_until_observed`]).
+///
+/// # Errors
+///
+/// As for [`run_fleet_until`].
+pub fn run_fleet_until_observed(
+    threads: usize,
+    spec: &FleetSpec,
+    ckpt: FleetCheckpoint,
+    until: u64,
+) -> Result<(FleetCheckpoint, MetricsSnapshot), CheckpointError> {
+    if !ckpt.matches(spec) {
+        return Err(CheckpointError::SpecMismatch {
+            expected: ckpt.fingerprint,
+            actual: spec.fingerprint(),
+        });
+    }
+    let mut rec = SnapshotRecorder::new();
+    let done = run_span_observed(
+        threads,
+        spec,
+        ckpt,
+        until.min(spec.shard_count()),
+        None,
+        &mut rec,
+    );
+    Ok((done, rec.into_snapshot()))
 }
 
 /// Runs the fleet with durable progress: the checkpoint is written
@@ -309,6 +430,34 @@ fn run_span(
         });
         for agg in &aggregates {
             ckpt.stats.merge(agg);
+        }
+        ckpt.shards_done = hi;
+    }
+    ckpt
+}
+
+/// [`run_span`] with per-shard [`EngineMetrics`] recorded into `rec` —
+/// always in shard order, mirroring the stats fold, so the recorded
+/// snapshot is invariant to `threads` and to how a span is split.
+fn run_span_observed(
+    threads: usize,
+    spec: &FleetSpec,
+    mut ckpt: FleetCheckpoint,
+    until: u64,
+    replay: Option<&ReplayArrivals>,
+    rec: &mut dyn Recorder,
+) -> FleetCheckpoint {
+    let window = (threads.max(1) * WINDOW_FACTOR).max(1) as u64;
+    while ckpt.shards_done < until {
+        let hi = (ckpt.shards_done + window).min(until);
+        let shards: Vec<u64> = (ckpt.shards_done..hi).collect();
+        let aggregates = parallel_map(threads, &shards, |_, &shard| match replay {
+            Some(arrivals) => run_shard_replay_observed(spec, shard, arrivals),
+            None => run_shard_observed(spec, shard),
+        });
+        for (agg, metrics) in &aggregates {
+            ckpt.stats.merge(agg);
+            metrics.record_into(rec);
         }
         ckpt.shards_done = hi;
     }

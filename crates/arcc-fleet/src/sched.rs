@@ -173,6 +173,12 @@ impl BucketQueue {
         }
     }
 
+    /// Pending event count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
     #[inline]
     pub fn pop(&mut self) -> Option<QueuedEvent> {
         if self.len == 0 {
@@ -231,6 +237,16 @@ impl EventQueue {
         match self {
             EventQueue::Heap(h) => h.pop(),
             EventQueue::Bucket(b) => b.pop(),
+        }
+    }
+
+    /// Pending event count — the engine's queue-occupancy metric; both
+    /// implementations track it O(1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(h) => h.len(),
+            EventQueue::Bucket(b) => b.len(),
         }
     }
 }

@@ -548,6 +548,26 @@ impl FaultLog {
         Ok(log)
     }
 
+    /// [`Self::parse`] with parse metrics: on success, records
+    /// `replay.parse.lines` (raw lines scanned, comments and blanks
+    /// included), `replay.parse.classes`, `replay.parse.dimms`, and
+    /// `replay.parse.faults` counters into `rec`. Failed parses record
+    /// nothing, so a snapshot only ever counts validated content —
+    /// which keeps the counters deterministic functions of the ingested
+    /// log, independent of rejected inputs.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Self::parse`].
+    pub fn parse_recorded(text: &str, rec: &mut dyn arcc_obs::Recorder) -> Result<Self, LogError> {
+        let log = Self::parse(text)?;
+        rec.counter_add("replay.parse.lines", text.lines().count() as u64);
+        rec.counter_add("replay.parse.classes", log.classes.len() as u64);
+        rec.counter_add("replay.parse.dimms", log.dimms.len() as u64);
+        rec.counter_add("replay.parse.faults", log.faults.len() as u64);
+        Ok(log)
+    }
+
     /// The log's arrival streams in the engine's [`ReplayArrivals`]
     /// layout: DIMM declaration order is channel order, class index is
     /// population index.
@@ -669,6 +689,29 @@ mod tests {
         );
         assert_eq!(parsed.class_dimm_counts(), vec![1, 1]);
         assert_eq!(parsed.class_fault_counts(), vec![0, 2]);
+    }
+
+    #[test]
+    fn parse_recorded_counts_validated_content_only() {
+        use arcc_obs::{Recorder, SnapshotRecorder};
+        let log = tiny_log();
+        let text = log.to_text();
+        let mut rec = SnapshotRecorder::new();
+        let parsed = FaultLog::parse_recorded(&text, &mut rec).expect("round trip");
+        assert_eq!(parsed, log);
+        let snap = rec.snapshot().clone();
+        assert_eq!(
+            snap.counter("replay.parse.lines"),
+            text.lines().count() as u64
+        );
+        assert_eq!(snap.counter("replay.parse.classes"), 2);
+        assert_eq!(snap.counter("replay.parse.dimms"), 2);
+        assert_eq!(snap.counter("replay.parse.faults"), 2);
+        // A rejected parse must leave the recorder untouched.
+        let mut rec = SnapshotRecorder::new();
+        rec.counter_add("sentinel", 1);
+        assert!(FaultLog::parse_recorded("not a log", &mut rec).is_err());
+        assert_eq!(rec.snapshot().len(), 1);
     }
 
     #[test]

@@ -127,6 +127,31 @@ impl FaultLog {
         self.append_segment(&segment)
     }
 
+    /// [`Self::ingest_segment`] with ingest metrics: on success, records
+    /// the [`FaultLog::parse_recorded`] parse counters plus a
+    /// `replay.ingest.segments` counter into `rec`. Failed ingests (parse
+    /// errors and contract violations alike) record nothing and leave the
+    /// log unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Self::ingest_segment`].
+    #[allow(clippy::type_complexity)]
+    pub fn ingest_segment_recorded(
+        &mut self,
+        text: &str,
+        rec: &mut dyn arcc_obs::Recorder,
+    ) -> Result<(Vec<u32>, Vec<Vec<FaultEvent>>), SegmentError> {
+        let segment = FaultLog::parse(text).map_err(SegmentError::Parse)?;
+        let slices = self.append_segment(&segment)?;
+        rec.counter_add("replay.parse.lines", text.lines().count() as u64);
+        rec.counter_add("replay.parse.classes", segment.classes.len() as u64);
+        rec.counter_add("replay.parse.dimms", segment.dimms.len() as u64);
+        rec.counter_add("replay.parse.faults", segment.faults.len() as u64);
+        rec.counter_add("replay.ingest.segments", 1);
+        Ok(slices)
+    }
+
     /// Appends a segment to the accumulated log: validates the segment
     /// contract (same horizon, identical class table, globally unique
     /// DIMM ids), renumbers the segment's DIMMs after the existing
@@ -230,6 +255,32 @@ mod tests {
         }
         assert_eq!(rebuilt, log);
         assert_eq!(rebuilt.to_text(), log.to_text());
+    }
+
+    #[test]
+    fn recorded_segment_ingest_counts_segments_and_rolls_back_on_error() {
+        use arcc_obs::SnapshotRecorder;
+        let log = sample_log();
+        let segments = log.split_channels(16);
+        let mut acc = segments[0].clone();
+        let mut rec = SnapshotRecorder::new();
+        for seg in &segments[1..] {
+            acc.ingest_segment_recorded(&seg.to_text(), &mut rec)
+                .expect("ingest");
+        }
+        assert_eq!(acc, log);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("replay.ingest.segments"), 2);
+        assert_eq!(
+            snap.counter("replay.parse.dimms"),
+            (log.dimms.len() - segments[0].dimms.len()) as u64
+        );
+        // A refused segment (duplicate dimms) records nothing.
+        let before = rec.snapshot().clone();
+        assert!(acc
+            .ingest_segment_recorded(&segments[0].to_text(), &mut rec)
+            .is_err());
+        assert_eq!(rec.snapshot(), &before);
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //!   localhost TCP socket), and pure queries are **memoised** — a
 //!   repeated question is answered byte-identically from a [`std::collections::BTreeMap`]
 //!   without touching the engine;
+//! * the service is **observable without losing determinism**: the
+//!   engine records `serve.*` / `replay.parse.*` work counters into an
+//!   `arcc-obs` snapshot (a pure function of the command sequence), the
+//!   `metrics` command exposes it as one-line JSON or Prometheus text,
+//!   and per-command latency histograms live behind an
+//!   [`arcc_obs::Clock`] — a `ManualClock` by default, so goldens and
+//!   library users see all-zero timings, a `WallClock` in the binary;
 //! * state refusal is **typed**: a checkpoint that does not belong to
 //!   the accumulated history is a
 //!   [`ServeError::CheckpointMismatch`](twin::ServeError) carrying both

@@ -17,7 +17,13 @@ use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use arcc_obs::{log_line, LogLevel, WallClock};
 use arcc_serve::{render_error, ServeError, Service, TwinEngine};
+
+/// One structured line on stderr: `{"level":...,"event":...,...}`.
+fn log_error(event: &str, fields: &[(&str, &str)]) {
+    eprintln!("{}", log_line(LogLevel::Error, event, fields));
+}
 
 struct Options {
     state: Option<PathBuf>,
@@ -104,18 +110,21 @@ fn main() -> ExitCode {
             // A refused state directory is still a protocol-shaped
             // answer, so scripted callers can parse it.
             println!("{}", render_error(&e));
-            eprintln!("arcc-serve: {e}");
+            log_error("open-state", &[("error", &e.to_string())]);
             return ExitCode::FAILURE;
         }
     };
-    let mut service = Service::new(engine);
+    let mut service = Service::with_clock(engine, Box::new(WallClock::new()));
 
     match opts.tcp {
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             if let Err(e) = service.serve(stdin.lock(), stdout.lock()) {
-                eprintln!("arcc-serve: transport error: {e}");
+                log_error(
+                    "transport",
+                    &[("transport", "stdio"), ("error", &e.to_string())],
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -123,7 +132,13 @@ fn main() -> ExitCode {
             let listener = match TcpListener::bind(("127.0.0.1", port)) {
                 Ok(listener) => listener,
                 Err(e) => {
-                    eprintln!("arcc-serve: cannot bind 127.0.0.1:{port}: {e}");
+                    log_error(
+                        "bind",
+                        &[
+                            ("addr", &format!("127.0.0.1:{port}")),
+                            ("error", &e.to_string()),
+                        ],
+                    );
                     return ExitCode::FAILURE;
                 }
             };
@@ -136,19 +151,22 @@ fn main() -> ExitCode {
                 let stream = match stream {
                     Ok(stream) => stream,
                     Err(e) => {
-                        eprintln!("arcc-serve: accept failed: {e}");
+                        log_error("accept", &[("error", &e.to_string())]);
                         continue;
                     }
                 };
                 let reader = match stream.try_clone() {
                     Ok(clone) => BufReader::new(clone),
                     Err(e) => {
-                        eprintln!("arcc-serve: cannot clone stream: {e}");
+                        log_error("clone-stream", &[("error", &e.to_string())]);
                         continue;
                     }
                 };
                 if let Err(e) = service.serve(reader, stream) {
-                    eprintln!("arcc-serve: connection error: {e}");
+                    log_error(
+                        "connection",
+                        &[("transport", "tcp"), ("error", &e.to_string())],
+                    );
                 }
             }
         }

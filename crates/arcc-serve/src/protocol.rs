@@ -25,6 +25,7 @@
 //! | `list-scenarios` | the `arcc::exp` scenario registry |
 //! | `run-scenario name=<s>` | run a registry scenario at [`Experiment::quick`] scale |
 //! | `status` | channels, branches, and work [`Counters`](crate::twin::Counters) |
+//! | `metrics [include=timing] [format=prometheus]` | the engine's metric snapshot (JSON or Prometheus text) |
 //! | `quit` | end the session |
 //!
 //! Policy tokens are `none`, `replace-on-due`, or `spare-pool:<n>`.
@@ -41,13 +42,15 @@
 //! `ingest`, `fork`, or a `whatif` that had to fork — clears the table,
 //! so a cached response is always exactly what recomputing would print.
 //! `status` is deliberately not memoised: it reports the counters the
-//! memo table itself advances.
+//! memo table itself advances. `metrics` likewise — its snapshot *is*
+//! the record of work done, memo hits included.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
 use arcc_exp::{find, names, run, Experiment};
 use arcc_fleet::FleetStats;
+use arcc_obs::{Clock, ManualClock, Recorder as _, SnapshotRecorder};
 
 use crate::twin::{parse_policy, policy_token, ServeError, TwinEngine, BASELINE_BRANCH};
 
@@ -65,14 +68,45 @@ pub const MAX_INGEST_LINES: u64 = 10_000_000;
 pub struct Service {
     engine: TwinEngine,
     memo: BTreeMap<String, String>,
+    /// Latency clock: [`ManualClock`] by default, so library users and
+    /// golden sessions stay deterministic; the binary installs a
+    /// [`arcc_obs::WallClock`] via [`Service::with_clock`].
+    clock: Box<dyn Clock>,
+    /// Per-command `serve.latency_us.<cmd>` histograms, read from
+    /// `clock`. Kept apart from the engine's deterministic metrics:
+    /// plain `metrics` omits them, `metrics include=timing` merges them.
+    timing: SnapshotRecorder,
 }
 
+/// The protocol command vocabulary — also the closed set of
+/// `serve.latency_us.<cmd>` histogram names (anything else times under
+/// `unknown`, so hostile request lines cannot mint metric names).
+const COMMANDS: &[&str] = &[
+    "ingest",
+    "query-stats",
+    "fork",
+    "whatif",
+    "list-scenarios",
+    "run-scenario",
+    "status",
+    "metrics",
+    "quit",
+];
+
 impl Service {
-    /// Wraps an engine (fresh or reopened from a state directory).
+    /// Wraps an engine (fresh or reopened from a state directory) with
+    /// the deterministic [`ManualClock`] (all latencies read zero).
     pub fn new(engine: TwinEngine) -> Self {
+        Self::with_clock(engine, Box::new(ManualClock::new()))
+    }
+
+    /// Wraps an engine with a caller-chosen latency clock.
+    pub fn with_clock(engine: TwinEngine, clock: Box<dyn Clock>) -> Self {
         Self {
             engine,
             memo: BTreeMap::new(),
+            clock,
+            timing: SnapshotRecorder::new(),
         }
     }
 
@@ -161,10 +195,21 @@ impl Service {
     /// `ingest`) and returns the single-line JSON response. Never
     /// panics: failures render as `{"ok":false,...}`.
     pub fn handle(&mut self, request: &str, payload: Option<&str>) -> String {
-        match self.dispatch(request, payload) {
+        let start = self.clock.now_nanos();
+        let response = match self.dispatch(request, payload) {
             Ok(response) => response,
             Err(e) => render_error(&e),
-        }
+        };
+        let cmd = first_token(request);
+        let cmd = if COMMANDS.contains(&cmd) {
+            cmd
+        } else {
+            "unknown"
+        };
+        let micros = self.clock.now_nanos().saturating_sub(start) / 1_000;
+        self.timing
+            .observe(&format!("serve.latency_us.{cmd}"), micros);
+        response
     }
 
     fn dispatch(&mut self, request: &str, payload: Option<&str>) -> Result<String, ServeError> {
@@ -277,6 +322,35 @@ impl Service {
                 self.memo.insert(key, response.clone());
                 Ok(response)
             }
+            "metrics" => {
+                // Deliberately not memoised: the snapshot is itself the
+                // record of work done, including memo hits.
+                expect_keys(cmd, &args, &["include", "format"])?;
+                let mut snapshot = self.engine.metrics().clone();
+                match args.get("include").copied() {
+                    None => {}
+                    Some("timing") => snapshot.merge(self.timing.snapshot()),
+                    Some(other) => {
+                        return Err(ServeError::Protocol {
+                            detail: format!("metrics include={other:?} (only timing)"),
+                        });
+                    }
+                }
+                match args.get("format").copied() {
+                    None | Some("json") => Ok(format!(
+                        "{{\"ok\":true,\"cmd\":\"metrics\",\"metrics\":{}}}",
+                        arcc_obs::to_json(&snapshot)
+                    )),
+                    Some("prometheus") => Ok(format!(
+                        "{{\"ok\":true,\"cmd\":\"metrics\",\"format\":\"prometheus\",\
+                         \"body\":{}}}",
+                        json_string(&arcc_obs::to_prometheus(&snapshot))
+                    )),
+                    Some(other) => Err(ServeError::Protocol {
+                        detail: format!("metrics format={other:?} (json or prometheus)"),
+                    }),
+                }
+            }
             "status" => {
                 expect_keys(cmd, &args, &[])?;
                 let mut out = format!(
@@ -302,13 +376,15 @@ impl Service {
                 let c = self.engine.counters();
                 out.push_str(&format!(
                     "],\"counters\":{{\"ingests\":{},\"forks\":{},\"queries\":{},\
-                     \"shards_run\":{},\"memo_hits\":{}}},\"memo_entries\":{}}}",
+                     \"shards_run\":{},\"memo_hits\":{}}},\"memo_entries\":{},\
+                     \"metrics_entries\":{}}}",
                     c.ingests,
                     c.forks,
                     c.queries,
                     c.shards_run,
                     c.memo_hits,
-                    self.memo.len()
+                    self.memo.len(),
+                    self.engine.metrics().len()
                 ));
                 Ok(out)
             }
@@ -719,6 +795,66 @@ mod tests {
         let out = String::from_utf8(output).expect("utf8");
         assert_eq!(out.lines().count(), 1, "{out}");
         assert!(out.contains("out of range"), "{out}");
+    }
+
+    #[test]
+    fn metrics_command_reports_deterministic_work() {
+        let mut service = Service::new(TwinEngine::new(2, 7));
+        let segments = sample_segments();
+        let (req, payload) = ingest_request(&segments[0]);
+        service.handle(&req, Some(&payload));
+        service.handle("query-stats", None);
+        service.handle("query-stats", None); // memo hit
+
+        let cold = service.handle("metrics", None);
+        assert!(
+            cold.starts_with("{\"ok\":true,\"cmd\":\"metrics\",\"metrics\":{"),
+            "{cold}"
+        );
+        assert!(
+            cold.contains("\"serve.ingest.segments\":{\"type\":\"counter\",\"value\":1}"),
+            "{cold}"
+        );
+        assert!(cold.contains("\"serve.memo.hits\""), "{cold}");
+        assert!(cold.contains("\"replay.parse.dimms\""), "{cold}");
+        // Not memoised (only the query-stats entry remains) — and
+        // byte-stable while no work happens.
+        assert_eq!(cold, service.handle("metrics", None));
+        assert_eq!(service.memo_entries(), 1);
+
+        // Under the default ManualClock, timing histograms exist but
+        // read zero, so `include=timing` stays deterministic too.
+        let timed = service.handle("metrics include=timing", None);
+        assert!(timed.contains("\"serve.latency_us.metrics\""), "{timed}");
+        assert!(timed.contains("\"serve.latency_us.ingest\""), "{timed}");
+
+        let prom = service.handle("metrics format=prometheus", None);
+        assert!(
+            prom.starts_with("{\"ok\":true,\"cmd\":\"metrics\",\"format\":\"prometheus\""),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("# TYPE serve_ingest_segments counter"),
+            "{prom}"
+        );
+
+        for bad in ["metrics include=everything", "metrics format=xml"] {
+            let response = service.handle(bad, None);
+            assert!(
+                response.starts_with("{\"ok\":false,\"error\":{\"kind\":\"Protocol\""),
+                "{bad:?} -> {response}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_request_lines_cannot_mint_latency_metrics() {
+        let mut service = Service::new(TwinEngine::new(1, 7));
+        service.handle("frobnicate", None);
+        service.handle("grobnicate a=b", None);
+        let timed = service.handle("metrics include=timing", None);
+        assert!(timed.contains("\"serve.latency_us.unknown\""), "{timed}");
+        assert!(!timed.contains("frobnicate"), "{timed}");
     }
 
     #[test]

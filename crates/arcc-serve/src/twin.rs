@@ -31,6 +31,7 @@ use arcc_fleet::{
     extend_replay, run_shard_replay, FleetCheckpoint, FleetSpec, FleetStats, OperatorPolicy,
     ReplayArrivals, ReplayError, DEFAULT_SHARD_CHANNELS,
 };
+use arcc_obs::{MetricsSnapshot, Recorder as _, SnapshotRecorder};
 use arcc_replay::{FaultLog, SegmentError};
 
 /// The reserved name of the branch every fleet starts with.
@@ -257,6 +258,12 @@ pub struct TwinEngine {
     arrivals: ReplayArrivals,
     branches: BTreeMap<String, Branch>,
     counters: Counters,
+    /// Deterministic work metrics (`serve.*` plus the `replay.parse.*`
+    /// counters of every absorbed segment): a pure function of the
+    /// command sequence this process handled, independent of thread
+    /// count and wall-clock. Resets with the process — a reopened
+    /// durable engine re-counts the segments it replays from disk.
+    obs: SnapshotRecorder,
 }
 
 impl TwinEngine {
@@ -276,6 +283,7 @@ impl TwinEngine {
             arrivals: empty_arrivals(),
             branches: BTreeMap::new(),
             counters: Counters::default(),
+            obs: SnapshotRecorder::new(),
         }
     }
 
@@ -379,6 +387,9 @@ impl TwinEngine {
             let before = ckpt.shards_done;
             let ckpt = extend_replay(engine.threads, &spec, &engine.arrivals, ckpt)?;
             engine.counters.shards_run += ckpt.shards_done - before;
+            engine
+                .obs
+                .counter_add("serve.shards_run", ckpt.shards_done - before);
             engine.branches.insert(name, Branch { policy, spec, ckpt });
         }
         engine.persist()?;
@@ -408,9 +419,17 @@ impl TwinEngine {
         self.counters
     }
 
+    /// The engine's deterministic metric snapshot: `serve.*` work
+    /// counters (mirroring [`Counters`] plus persisted byte counts) and
+    /// the `replay.parse.*` counters of every absorbed segment.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
     /// Notes a memo-table hit (the protocol layer owns the table).
     pub fn note_memo_hit(&mut self) {
         self.counters.memo_hits += 1;
+        self.obs.counter_add("serve.memo.hits", 1);
     }
 
     /// Branch names in iteration (lexicographic) order.
@@ -468,6 +487,13 @@ impl TwinEngine {
             complete_shards: self.complete_shards(),
             branches: self.branches.len() as u64,
         };
+        self.obs.counter_add("serve.ingest.segments", 1);
+        self.obs
+            .counter_add("serve.ingest.channels", summary.segment_channels);
+        self.obs
+            .counter_add("serve.ingest.events", summary.segment_events);
+        self.obs
+            .gauge_max("serve.branches", self.branches.len() as u64);
         self.persist_segment(segment_text)?;
         self.persist()?;
         Ok(summary)
@@ -500,10 +526,15 @@ impl TwinEngine {
         let ckpt = FleetCheckpoint::start_twin(&spec, &self.arrivals);
         let before = ckpt.shards_done;
         let ckpt = extend_replay(self.threads, &spec, &self.arrivals, ckpt)?;
+        self.obs
+            .counter_add("serve.shards_run", ckpt.shards_done - before);
         self.counters.shards_run += ckpt.shards_done - before;
         self.counters.forks += 1;
+        self.obs.counter_add("serve.forks", 1);
         self.branches
             .insert(name.to_string(), Branch { policy, spec, ckpt });
+        self.obs
+            .gauge_max("serve.branches", self.branches.len() as u64);
         self.persist()?;
         Ok(&self.branches[name])
     }
@@ -534,8 +565,10 @@ impl TwinEngine {
                 &self.arrivals,
             ));
             self.counters.shards_run += 1;
+            self.obs.counter_add("serve.shards_run", 1);
         }
         self.counters.queries += 1;
+        self.obs.counter_add("serve.queries", 1);
         Ok(stats)
     }
 
@@ -580,14 +613,15 @@ impl TwinEngine {
     fn absorb_segment(&mut self, text: &str) -> Result<(), ServeError> {
         match &mut self.log {
             None => {
-                let log = FaultLog::parse(text)
+                let log = FaultLog::parse_recorded(text, &mut self.obs)
                     .map_err(|e| ServeError::Segment(SegmentError::Parse(e)))?;
                 let arrivals = log.arrivals()?;
                 self.log = Some(log);
                 self.arrivals = arrivals;
             }
             Some(log) => {
-                let (populations, per_channel) = log.ingest_segment(text)?;
+                let (populations, per_channel) =
+                    log.ingest_segment_recorded(text, &mut self.obs)?;
                 self.arrivals.extend(populations, per_channel)?;
             }
         }
@@ -621,6 +655,8 @@ impl TwinEngine {
             let before = ckpt.shards_done;
             let ckpt = extend_replay(self.threads, &spec, &self.arrivals, ckpt)?;
             self.counters.shards_run += ckpt.shards_done - before;
+            self.obs
+                .counter_add("serve.shards_run", ckpt.shards_done - before);
             if let Some(b) = self.branches.get_mut(&name) {
                 b.spec = spec;
                 b.ckpt = ckpt;
@@ -685,11 +721,13 @@ impl TwinEngine {
         };
         write_atomic_text(&dir.join(segment_file(self.segments_persisted)), text)?;
         self.segments_persisted += 1;
+        self.obs
+            .counter_add("serve.persist.segment_bytes", text.len() as u64);
         Ok(())
     }
 
     /// Rewrites meta, branch table, and branch checkpoints.
-    fn persist(&self) -> Result<(), ServeError> {
+    fn persist(&mut self) -> Result<(), ServeError> {
         let Some(dir) = &self.state_dir else {
             return Ok(());
         };
@@ -705,13 +743,17 @@ impl TwinEngine {
             listing.push_str(&format!("{name} {}\n", policy_token(b.policy)));
         }
         write_atomic_text(&dir.join("branches.txt"), &listing)?;
+        let mut checkpoint_bytes = 0u64;
         for (name, b) in &self.branches {
             b.ckpt
                 .write_atomic(&dir.join(branch_file(name)))
                 .map_err(|e| ServeError::State {
                     detail: format!("cannot persist branch {name:?}: {e}"),
                 })?;
+            checkpoint_bytes += b.ckpt.text_bytes();
         }
+        self.obs
+            .counter_add("serve.persist.checkpoint_bytes", checkpoint_bytes);
         Ok(())
     }
 

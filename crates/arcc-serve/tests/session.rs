@@ -58,6 +58,13 @@ fn session_script() -> String {
     script.push_str("whatif policy=replace-on-due\n");
     script.push_str("list-scenarios\n");
     script.push_str("run-scenario name=table7_4\n");
+    // The deterministic metric snapshot golden-pins in both exposition
+    // formats. `include=timing` must stay out of this script: the same
+    // bytes are piped through the release binary in CI, whose WallClock
+    // latencies are real — the timing path is covered in-process by the
+    // protocol tests, where the default ManualClock reads zero.
+    script.push_str("metrics\n");
+    script.push_str("metrics format=prometheus\n");
     script.push_str("status\n");
     script.push_str("quit\n");
     script

@@ -22,6 +22,7 @@
 //! | [`trace`] | synthetic SPEC-mix traces + analytical multicore model |
 //! | [`core`] | ARCC itself: schemes, page table, scrubber, upgrade engine, system sim |
 //! | [`reliability`] | SDC/DUE Monte Carlo, faulty-fraction and lifetime curves |
+//! | [`obs`] | deterministic metrics + tracing: schedule-invariant recorders, Prometheus/JSON exposition, clocks |
 //! | [`fleet`] | sharded event-driven fleet lifetime engine with streaming aggregation |
 //! | [`replay`] | trace-driven ingestion: fault-log format, replay arrivals, log→spec fitter |
 //! | [`exp`] | unified experiment API: scenario registry, parallel sweeps, structured reports |
@@ -66,6 +67,7 @@ pub use arcc_faults as faults;
 pub use arcc_fleet as fleet;
 pub use arcc_gf as gf;
 pub use arcc_mem as mem;
+pub use arcc_obs as obs;
 pub use arcc_reliability as reliability;
 pub use arcc_replay as replay;
 pub use arcc_serve as serve;
